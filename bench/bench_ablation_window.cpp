@@ -1,0 +1,38 @@
+// Ablation: the input window size T (paper section 3.1, T = 512). The conv
+// layer count follows log2(T)-1, so T also controls depth, parameters, and
+// edge latency. Reports AUC, model size, and the paper-board frequency
+// estimate per window.
+//
+// Usage: bench_ablation_window [--quick]
+#include "bench_common.hpp"
+
+#include "varade/edge/profiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace varade;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  core::Profile profile = bench::select_profile(opt);
+
+  std::printf("bench_ablation_window: window-size sweep (profile '%s')\n", profile.name.c_str());
+  const core::ExperimentData& data = bench::shared_experiment(profile);
+
+  const edge::EdgeProfiler nx(edge::jetson_xavier_nx());
+
+  std::printf("\n%8s %8s %10s %12s %14s %12s\n", "T", "layers", "var AUC", "params",
+              "host ms/inf", "NX est Hz");
+  bench::print_rule(70);
+  for (Index window : {Index{16}, Index{32}, Index{64}, Index{128}}) {
+    core::VaradeConfig cfg = profile.varade;
+    cfg.window = window;
+    core::VaradeDetector det(cfg);
+    const core::DetectorRun run = core::run_detector(det, data, profile);
+    const edge::EstimatedPerformance perf = nx.estimate(det.cost());
+    std::printf("%8ld %8ld %10.3f %12ld %14.3f %12.1f\n", window,
+                core::varade_layer_count(window), run.auc_roc, det.model()->num_params(),
+                run.mean_score_latency_ms, perf.inference_hz);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: T=512 with 8 conv layers; at repro scale the same rule gives\n"
+              "log2(T)-1 layers with feature maps doubling every second layer.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared infrastructure for the reproduction benches: the paper's published
+// Table 2 values, a cached experiment runner, and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "varade/core/experiment.hpp"
+#include "varade/core/model_costs.hpp"
+#include "varade/core/profiles.hpp"
+#include "varade/edge/device.hpp"
+
+namespace varade::bench {
+
+/// One published row of the paper's Table 2.
+struct PaperTable2Row {
+  const char* detector;
+  // Jetson Xavier NX.
+  double nx_cpu, nx_gpu, nx_ram, nx_gpu_ram, nx_power, nx_auc, nx_hz;
+  // Jetson AGX Orin.
+  double orin_cpu, orin_gpu, orin_ram, orin_gpu_ram, orin_power, orin_auc, orin_hz;
+};
+
+/// The paper's Table 2 (both boards; AUC is board-independent).
+inline const std::vector<PaperTable2Row>& paper_table2() {
+  static const std::vector<PaperTable2Row> rows = {
+      {"AR-LSTM", 62.311, 97.700, 5669.830, 872.374, 11.288, 0.719, 5.200,
+       10.744, 87.200, 4741.666, 761.107, 11.139, 0.719, 8.687},
+      {"GBRF", 61.499, 53.000, 5518.050, 528.416, 6.108, 0.655, 20.575,
+       10.475, 15.900, 4279.286, 245.287, 9.741, 0.655, 44.128},
+      {"AE", 53.023, 79.400, 5276.139, 807.528, 6.010, 0.810, 2.247,
+       10.548, 51.800, 4882.850, 699.010, 10.168, 0.810, 4.284},
+      {"kNN", 92.547, 55.700, 5076.605, 526.844, 7.208, 0.718, 1.116,
+       91.506, 0.000, 4201.195, 243.289, 16.887, 0.718, 4.754},
+      {"Isolation Forest", 51.122, 64.700, 4859.356, 526.673, 5.777, 0.629, 4.568,
+       10.648, 0.000, 3990.171, 243.289, 9.169, 0.629, 10.732},
+      {"VARADE", 52.420, 70.600, 5488.874, 1005.369, 6.333, 0.844, 14.937,
+       10.399, 70.100, 5167.490, 954.701, 10.220, 0.844, 26.461},
+  };
+  return rows;
+}
+
+inline const PaperTable2Row& paper_row(const std::string& name) {
+  for (const auto& row : paper_table2())
+    if (name == row.detector) return row;
+  fail("no paper row for detector '", name, "'");
+}
+
+/// Parses --paper / --quick flags shared by all benches.
+struct BenchOptions {
+  bool paper_scale = false;  // full published configuration (very slow)
+  bool quick = false;        // CI-speed smoke configuration
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) opt.paper_scale = true;
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+  }
+  return opt;
+}
+
+/// Profile selection: repro by default; --paper for the full configuration;
+/// --quick shrinks the repro profile further for smoke runs.
+inline core::Profile select_profile(const BenchOptions& opt) {
+  if (opt.paper_scale) return core::paper_profile();
+  core::Profile p = core::repro_profile();
+  if (opt.quick) {
+    p.train_duration_s = 60.0;
+    p.test_duration_s = 50.0;
+    p.n_collisions = 6;
+    p.varade.epochs = 2;
+    p.ar_lstm.epochs = 1;
+    p.ae.epochs = 2;
+    p.eval_stride = 8;
+  }
+  return p;
+}
+
+/// Runs (and caches per-process) the shared experiment for the profile.
+inline const core::ExperimentData& shared_experiment(const core::Profile& profile) {
+  static core::ExperimentData data = core::generate_experiment_data(profile);
+  return data;
+}
+
+inline void print_rule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace varade::bench

@@ -1,0 +1,90 @@
+// Reproduces the paper's Figure 1: the VARADE architecture. Walks the conv
+// cascade layer by layer (shape halving, feature-map doubling), reports
+// parameters and FLOPs, and micro-measures per-layer host latency.
+//
+// Usage: bench_figure1_arch [--paper]  (default uses the repro-scale window)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "varade/core/model_costs.hpp"
+#include "varade/core/profiles.hpp"
+#include "varade/core/varade.hpp"
+#include "varade/edge/profiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace varade;
+  bool paper_scale = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--paper") == 0) paper_scale = true;
+
+  core::VaradeConfig cfg =
+      paper_scale ? core::paper_profile().varade : core::repro_profile().varade;
+  const Index channels = data::kKukaChannelCount;
+
+  std::printf("bench_figure1_arch: VARADE architecture (T=%ld, base %ld feature maps, %ld input "
+              "channels)\n\n",
+              cfg.window, cfg.base_channels, channels);
+
+  Rng rng(1);
+  core::VaradeModel model(channels, cfg, rng);
+
+  std::printf("%-4s %-16s %-18s %12s %14s %12s\n", "#", "Layer", "Output [C, L]", "Params",
+              "FLOPs", "us/fwd");
+  for (int i = 0; i < 82; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  // Walk the trunk layer by layer, timing each with a single-sample input.
+  nn::Sequential& trunk = model.trunk();
+  Shape shape{channels, cfg.window};
+  Tensor x = Tensor::randn({1, channels, cfg.window}, rng);
+  long total_params = 0;
+  double total_us = 0.0;
+  for (std::size_t i = 0; i < trunk.size(); ++i) {
+    nn::Module& layer = trunk.layer(i);
+    const Shape out_shape = layer.output_shape(shape);
+    const long flops = layer.flops(shape);
+    const long params = layer.num_params();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Tensor y = layer.forward(x);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    std::string shape_str = out_shape.size() == 2
+                                ? "[" + std::to_string(out_shape[0]) + ", " +
+                                      std::to_string(out_shape[1]) + "]"
+                                : "[" + std::to_string(out_shape[0]) + "]";
+    std::printf("%-4zu %-16s %-18s %12ld %14ld %12.1f\n", i, layer.name().c_str(),
+                shape_str.c_str(), params, flops, us);
+    total_params += params;
+    total_us += us;
+    shape = out_shape;
+    x = std::move(y);
+  }
+  // Heads.
+  for (nn::Linear* head : {&model.mu_head(), &model.logvar_head()}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    head->forward(x);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    std::printf("%-4s %-16s [%ld]%15s %12ld %14ld %12.1f\n", "-",
+                head == &model.mu_head() ? "mu head" : "logvar head", channels, "",
+                head->num_params(), head->flops(shape), us);
+    total_params += head->num_params();
+    total_us += us;
+  }
+
+  std::printf("\ntotal: %ld conv layers, %ld parameters, %ld FLOPs/inference, %.1f us host fwd\n",
+              model.n_layers(), model.num_params(), model.flops(), total_us);
+  if (paper_scale)
+    std::printf("paper (section 3.1): T=512 -> 8 conv layers, feature maps 128 -> 1024\n");
+  else
+    std::printf("run with --paper for the published T=512 / 128->1024 configuration\n");
+
+  // Cross-check against the static paper-scale cost description.
+  const edge::ModelCost paper_cost = core::paper_model_cost("VARADE");
+  std::printf("paper-scale static cost: %.1f MFLOPs, %.1f MB weights, %d dispatched ops\n",
+              paper_cost.flops / 1e6, paper_cost.param_bytes / 1e6, paper_cost.n_ops);
+  return 0;
+}

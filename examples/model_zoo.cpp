@@ -1,0 +1,46 @@
+// Model zoo: trains all six detectors of the paper on one shared dataset and
+// compares accuracy, training cost, host inference latency, and estimated
+// edge behaviour — a compact version of the Table 2 experiment suitable as a
+// template for plugging in new detectors.
+#include <cstdio>
+
+#include "varade/core/experiment.hpp"
+#include "varade/core/model_costs.hpp"
+#include "varade/edge/device.hpp"
+#include "varade/edge/profiler.hpp"
+
+int main() {
+  using namespace varade;
+
+  core::Profile profile = core::repro_profile();
+  // Keep the example brisk: a shorter recording than the bench profile.
+  profile.train_duration_s = 220.0;
+  profile.test_duration_s = 120.0;
+  profile.n_collisions = 12;
+  profile.varade.epochs = 24;
+  profile.ae.epochs = 4;
+  profile.ar_lstm.epochs = 2;
+
+  std::printf("generating datasets (train %.0fs, test %.0fs, %d collisions)...\n",
+              profile.train_duration_s, profile.test_duration_s, profile.n_collisions);
+  const core::ExperimentData data = core::generate_experiment_data(profile);
+
+  const edge::EdgeProfiler nx(edge::jetson_xavier_nx());
+
+  std::printf("\n%-18s %8s %10s %12s %14s %12s\n", "Detector", "AUC", "train s", "host ms/inf",
+              "NX est Hz*", "NX est W*");
+  for (int i = 0; i < 80; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const std::string& name : core::detector_names()) {
+    const core::DetectorRun run = core::run_detector(name, data, profile);
+    // * edge estimates use the paper-scale architecture cost, as in Table 2.
+    const edge::EstimatedPerformance perf = nx.estimate(core::paper_model_cost(name));
+    std::printf("%-18s %8.3f %10.1f %12.3f %14.2f %12.2f\n", name.c_str(), run.auc_roc,
+                run.train_seconds, run.mean_score_latency_ms, perf.inference_hz, perf.power_w);
+    std::fflush(stdout);
+  }
+  std::printf("\n(*) estimated with the edge roofline model for the paper-scale architectures\n"
+              "    on the Jetson Xavier NX; see bench_table2 for the full reproduction.\n");
+  return 0;
+}

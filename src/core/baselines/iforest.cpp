@@ -1,0 +1,39 @@
+#include "varade/core/baselines/iforest.hpp"
+
+#include <cmath>
+
+namespace varade::core {
+
+IForestDetector::IForestDetector(IForestDetectorConfig config)
+    : config_(config), forest_(config.forest) {}
+
+void IForestDetector::fit(const data::MultivariateSeries& train) {
+  check(train.length() >= 2, "Isolation Forest needs at least two training samples");
+  n_channels_ = train.n_channels();
+  forest_.fit(train.to_tensor());
+}
+
+float IForestDetector::score_step(const Tensor& /*context*/, const Tensor& observed) {
+  check(fitted(), "Isolation Forest scoring before fit");
+  return forest_.score_one(observed);
+}
+
+edge::ModelCost IForestDetector::cost() const {
+  check(fitted(), "Isolation Forest cost before fit");
+  edge::ModelCost cost;
+  cost.name = name();
+  const double max_depth = std::ceil(std::log2(static_cast<double>(config_.forest.subsample)));
+  cost.flops = 2.0 * config_.forest.n_trees * max_depth;
+  cost.param_bytes =
+      static_cast<double>(config_.forest.n_trees) * config_.forest.subsample * 2.0 * 20.0;
+  cost.activation_bytes = static_cast<double>(n_channels_) * sizeof(float);
+  // sklearn traverses the ensemble tree-by-tree at the python level.
+  cost.n_ops = config_.forest.n_trees;
+  cost.runs_on_gpu = false;
+  cost.parallel_efficiency = 0.5;
+  cost.cpu_threads = 1;
+  cost.preprocess_flops = static_cast<double>(n_channels_) * 4.0;
+  return cost;
+}
+
+}  // namespace varade::core

@@ -1,0 +1,42 @@
+#include "varade/core/detector.hpp"
+
+#include <chrono>
+
+#include "varade/data/window.hpp"
+
+namespace varade::core {
+
+SeriesScores AnomalyDetector::score_series(const data::MultivariateSeries& test, Index stride) {
+  check(fitted(), name() + ": score_series before fit");
+  check(stride >= 1, "stride must be >= 1");
+  const Index window = context_window();
+  check(test.length() > window, name() + ": test series shorter than context window");
+
+  SeriesScores out;
+  const Index c = test.n_channels();
+  Tensor observed({c});
+
+  using Clock = std::chrono::steady_clock;
+  double total_ms = 0.0;
+  long calls = 0;
+
+  for (Index t = window; t < test.length(); t += stride) {
+    const Tensor context = data::extract_context(test, t - 1, window);
+    const float* s = test.sample(t);
+    for (Index ch = 0; ch < c; ++ch) observed[ch] = s[ch];
+
+    const auto t0 = Clock::now();
+    const float score = score_step(context, observed);
+    const auto t1 = Clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++calls;
+
+    out.scores.push_back(score);
+    out.labels.push_back(test.label(t));
+    out.times.push_back(t);
+  }
+  out.mean_latency_ms = calls > 0 ? total_ms / static_cast<double>(calls) : 0.0;
+  return out;
+}
+
+}  // namespace varade::core

@@ -1,0 +1,71 @@
+#include "varade/core/experiment.hpp"
+
+#include <chrono>
+
+#include "varade/eval/metrics.hpp"
+#include "varade/robot/simulator.hpp"
+
+namespace varade::core {
+
+ExperimentData generate_experiment_data(const Profile& profile) {
+  check(profile.train_duration_s > 0.0 && profile.test_duration_s > 0.0,
+        "experiment durations must be positive");
+
+  robot::SimulatorConfig sim_cfg;
+  sim_cfg.sample_rate_hz = profile.sample_rate_hz;
+  sim_cfg.seed = profile.seed;
+
+  // Training recording: normal behaviour only.
+  sim_cfg.noise_seed = profile.seed * 1000 + 1;
+  robot::RobotCellSimulator train_sim(sim_cfg);
+  data::MultivariateSeries train_raw = train_sim.record(profile.train_duration_s);
+  check(!train_raw.has_anomalies(), "training recording must be anomaly-free");
+
+  // Test recording: same action library, fresh noise, plus the collision
+  // schedule (paper section 4.3).
+  sim_cfg.noise_seed = profile.seed * 1000 + 2;
+  robot::RobotCellSimulator test_sim(sim_cfg);
+  robot::CollisionScheduleConfig coll_cfg;
+  coll_cfg.n_events = profile.n_collisions;
+  coll_cfg.experiment_duration = profile.test_duration_s;
+  coll_cfg.seed = profile.seed * 1000 + 3;
+  robot::CollisionSchedule schedule(coll_cfg);
+  test_sim.set_collision_schedule(schedule);
+  data::MultivariateSeries test_raw = test_sim.record(profile.test_duration_s);
+
+  ExperimentData data;
+  data.n_collision_events = static_cast<int>(schedule.size());
+  data.normalizer.fit(train_raw);
+  data.train = data.normalizer.transform(train_raw);
+  data.test = data.normalizer.transform(test_raw);
+  return data;
+}
+
+DetectorRun run_detector(AnomalyDetector& detector, const ExperimentData& data,
+                         const Profile& profile) {
+  using Clock = std::chrono::steady_clock;
+
+  DetectorRun run;
+  run.detector = detector.name();
+
+  const auto t0 = Clock::now();
+  detector.fit(data.train);
+  const auto t1 = Clock::now();
+  run.train_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  run.scores = detector.score_series(data.test, profile.eval_stride);
+  run.mean_score_latency_ms = run.scores.mean_latency_ms;
+  run.host_inference_hz =
+      run.mean_score_latency_ms > 0.0 ? 1000.0 / run.mean_score_latency_ms : 0.0;
+  run.auc_roc = eval::auc_roc(run.scores.scores, run.scores.labels);
+  run.cost = detector.cost();
+  return run;
+}
+
+DetectorRun run_detector(const std::string& name, const ExperimentData& data,
+                         const Profile& profile) {
+  const std::unique_ptr<AnomalyDetector> detector = make_detector(profile, name);
+  return run_detector(*detector, data, profile);
+}
+
+}  // namespace varade::core

@@ -1,0 +1,56 @@
+// Autoregressive LSTM baseline (paper section 3.3).
+//
+// "A recurrent architecture featuring 5 LSTM recurrent layers with 256
+// feature maps each, followed by 2 fully connected layers. The anomaly score
+// is the euclidean norm of the difference between predicted and real value."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "varade/core/detector.hpp"
+#include "varade/nn/layers.hpp"
+#include "varade/nn/lstm.hpp"
+#include "varade/nn/module.hpp"
+
+namespace varade::core {
+
+struct ArLstmConfig {
+  Index window = 512;
+  Index hidden = 256;   // paper: 256 feature maps
+  int n_layers = 5;     // paper: 5 recurrent layers
+  // Training.
+  int epochs = 5;
+  Index batch_size = 32;
+  float learning_rate = 1e-5F;  // paper section 3.4
+  Index train_stride = 1;
+  float grad_clip = 5.0F;
+  std::uint64_t seed = 2;
+  bool verbose = false;
+};
+
+class ArLstmDetector : public AnomalyDetector {
+ public:
+  explicit ArLstmDetector(ArLstmConfig config = {});
+
+  std::string name() const override { return "AR-LSTM"; }
+  void fit(const data::MultivariateSeries& train) override;
+  float score_step(const Tensor& context, const Tensor& observed) override;
+  Index context_window() const override { return config_.window; }
+  edge::ModelCost cost() const override;
+  bool fitted() const override { return model_ != nullptr; }
+
+  /// One-step forecast for a context [C, T].
+  Tensor forecast(const Tensor& context);
+
+  const std::vector<float>& loss_history() const { return loss_history_; }
+  nn::Sequential* model() { return model_.get(); }
+
+ private:
+  ArLstmConfig config_;
+  Index n_channels_ = 0;
+  std::unique_ptr<nn::Sequential> model_;
+  std::vector<float> loss_history_;
+};
+
+}  // namespace varade::core

@@ -1,0 +1,63 @@
+// Convolutional autoencoder baseline (paper section 3.3).
+//
+// "A convolutional autoencoder featuring 6 ResNet blocks [7]. The anomaly
+// score is the euclidean norm of the difference of reconstructed and real
+// value."
+//
+// Architecture: strided Conv1d encoder to half resolution, three residual
+// blocks, a second strided conv to quarter resolution; mirrored transposed-
+// conv decoder with the remaining three residual blocks. Trained to
+// reconstruct normal windows with MSE; at inference the window is shifted to
+// end at the current observation and the reconstruction error of that last
+// time step is the score.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "varade/core/detector.hpp"
+#include "varade/nn/layers.hpp"
+#include "varade/nn/module.hpp"
+
+namespace varade::core {
+
+struct AutoencoderConfig {
+  Index window = 512;
+  Index base_channels = 128;  // feature maps after the first conv
+  // Training.
+  int epochs = 10;
+  Index batch_size = 32;
+  float learning_rate = 1e-5F;  // paper section 3.4
+  Index train_stride = 1;
+  float grad_clip = 5.0F;
+  std::uint64_t seed = 3;
+  bool verbose = false;
+};
+
+class AutoencoderDetector : public AnomalyDetector {
+ public:
+  explicit AutoencoderDetector(AutoencoderConfig config = {});
+
+  std::string name() const override { return "AE"; }
+  void fit(const data::MultivariateSeries& train) override;
+  float score_step(const Tensor& context, const Tensor& observed) override;
+  Index context_window() const override { return config_.window; }
+  edge::ModelCost cost() const override;
+  bool fitted() const override { return model_ != nullptr; }
+
+  /// Reconstruction of a window [C, T].
+  Tensor reconstruct(const Tensor& window);
+
+  /// Mean squared reconstruction error over a whole window (used by tests).
+  float window_reconstruction_error(const Tensor& window);
+
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+ private:
+  AutoencoderConfig config_;
+  Index n_channels_ = 0;
+  std::unique_ptr<nn::Sequential> model_;
+  std::vector<float> loss_history_;
+};
+
+}  // namespace varade::core

@@ -1,0 +1,61 @@
+// Unified anomaly-detector interface.
+//
+// All six detectors of the paper (VARADE + five baselines, section 3) share
+// this interface so the streaming runtime, benches, and tests treat them
+// uniformly:
+//   - fit() consumes a normalised recording of *normal* behaviour
+//     (unsupervised training, section 2);
+//   - score_step() receives the context window of the T samples preceding the
+//     current one plus the current observation, and returns an anomaly score
+//     for that observation (higher = more anomalous).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "varade/data/timeseries.hpp"
+#include "varade/edge/profiler.hpp"
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::core {
+
+/// Result of scoring a whole series.
+struct SeriesScores {
+  std::vector<float> scores;
+  std::vector<int> labels;
+  std::vector<Index> times;       // sample index each score refers to
+  double mean_latency_ms = 0.0;   // host wall-clock per score_step call
+};
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  AnomalyDetector() = default;
+  AnomalyDetector(const AnomalyDetector&) = delete;
+  AnomalyDetector& operator=(const AnomalyDetector&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on a normalised series of normal behaviour.
+  virtual void fit(const data::MultivariateSeries& train) = 0;
+
+  /// Scores the observation `observed` [C] given the `context` [C, T] of the
+  /// T samples immediately preceding it.
+  virtual float score_step(const Tensor& context, const Tensor& observed) = 0;
+
+  /// Context length T the detector expects.
+  virtual Index context_window() const = 0;
+
+  /// Static workload description for the edge profiler (one inference).
+  virtual edge::ModelCost cost() const = 0;
+
+  virtual bool fitted() const = 0;
+
+  /// Walks a test series, scoring every `stride`-th sample after the first
+  /// context_window() samples; measures host wall-clock per inference.
+  SeriesScores score_series(const data::MultivariateSeries& test, Index stride = 1);
+};
+
+}  // namespace varade::core

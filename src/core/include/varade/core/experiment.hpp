@@ -1,0 +1,51 @@
+// End-to-end experiment orchestration: simulate the robotic cell, record the
+// training (normal) and test (collision) datasets, normalise, train each
+// detector, score the test stream, and evaluate — the pipeline behind
+// Table 2, Figure 3, and the ablation benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "varade/core/detector.hpp"
+#include "varade/core/profiles.hpp"
+#include "varade/data/normalize.hpp"
+#include "varade/data/timeseries.hpp"
+
+namespace varade::core {
+
+/// The generated datasets of one experiment (already normalised to [-1, 1]
+/// with statistics fitted on the training split, per paper section 4.3).
+struct ExperimentData {
+  data::MultivariateSeries train;  // normal behaviour, normalised
+  data::MultivariateSeries test;   // collision experiment, normalised, labelled
+  data::MinMaxNormalizer normalizer;
+  int n_collision_events = 0;
+};
+
+/// Simulates and prepares train/test recordings per the profile's data
+/// settings (train shares the action library with test but not noise draws).
+ExperimentData generate_experiment_data(const Profile& profile);
+
+/// Outcome of one detector on one experiment.
+struct DetectorRun {
+  std::string detector;
+  double auc_roc = 0.0;
+  double train_seconds = 0.0;
+  double mean_score_latency_ms = 0.0;  // host wall-clock per inference
+  double host_inference_hz = 0.0;
+  SeriesScores scores;
+  edge::ModelCost cost;  // of the actually-trained (profile-scaled) model
+};
+
+/// Fits `detector` on the experiment's training split and scores the test
+/// split at the profile's evaluation stride.
+DetectorRun run_detector(AnomalyDetector& detector, const ExperimentData& data,
+                         const Profile& profile);
+
+/// Convenience: build-by-name, fit, and score.
+DetectorRun run_detector(const std::string& name, const ExperimentData& data,
+                         const Profile& profile);
+
+}  // namespace varade::core

@@ -1,0 +1,27 @@
+// Paper-scale workload descriptions for the edge estimates.
+//
+// Table 2's resource columns depend on the *full-size* architectures (T=512,
+// 128->1024 channels, 5x256 LSTM, the complete 390-min kNN reference set).
+// These costs are static properties of the architectures — no training is
+// needed to know them — so benches in the scaled repro profile can still
+// estimate the paper-scale Table 2 columns with the edge profiler while
+// reporting AUC from the repro-trained models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "varade/edge/profiler.hpp"
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::core {
+
+/// Cost of each detector at the paper's published configuration, in
+/// detector_names() order. `n_channels` defaults to the 86-channel KUKA
+/// schema.
+std::vector<edge::ModelCost> paper_model_costs(Index n_channels = 86);
+
+/// Cost of one named detector at paper scale.
+edge::ModelCost paper_model_cost(const std::string& name, Index n_channels = 86);
+
+}  // namespace varade::core

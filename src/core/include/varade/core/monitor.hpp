@@ -1,0 +1,100 @@
+// Online anomaly monitor: the deployment loop of the paper (section 4.3) and
+// its future-work direction ("integrate VARADE within the manufacturing
+// control loop, enabling preventive anomaly detection to activate high-level
+// reconfiguration strategies") as a reusable component.
+//
+// The monitor wraps a fitted detector with:
+//  - a normalising ring buffer fed one raw sample at a time,
+//  - a threshold calibrated on training scores (quantile-based),
+//  - alarm debouncing (consecutive exceedances before raising) and a
+//    hold-off that merges bursts into one event,
+//  - an event log with onset time and peak score for downstream
+//    reconfiguration logic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "varade/core/detector.hpp"
+#include "varade/data/normalize.hpp"
+
+namespace varade::core {
+
+struct MonitorConfig {
+  /// Quantile of training scores used as the alarm threshold.
+  double threshold_quantile = 0.995;
+  /// Consecutive above-threshold scores required to raise an alarm.
+  int debounce_samples = 2;
+  /// Samples after an alarm during which new exceedances extend (not
+  /// re-raise) the current event.
+  int holdoff_samples = 25;
+  /// Stride for threshold calibration over the training series.
+  Index calibration_stride = 4;
+};
+
+/// One detected anomaly event.
+struct AnomalyEvent {
+  Index onset_sample = 0;   // stream index where the alarm was raised
+  Index last_sample = 0;    // last sample that extended the event
+  float peak_score = 0.0F;
+};
+
+class OnlineMonitor {
+ public:
+  /// The detector must already be fitted; the normalizer must carry the
+  /// training statistics. Both are borrowed and must outlive the monitor.
+  OnlineMonitor(AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+                MonitorConfig config = {});
+
+  /// Calibrates the alarm threshold on a normalised training series.
+  void calibrate(const data::MultivariateSeries& train);
+
+  /// Sets the threshold directly (alternative to calibrate()).
+  void set_threshold(float threshold);
+  float threshold() const { return threshold_; }
+  bool calibrated() const { return calibrated_; }
+
+  /// Feeds one raw (unnormalised) sample; returns the anomaly score once the
+  /// context is full, or a negative value while warming up. Alarm state and
+  /// the event log update internally.
+  float push(const float* raw_sample);
+  float push(const std::vector<float>& raw_sample);
+
+  /// True while an anomaly event is open.
+  bool in_alarm() const { return in_alarm_; }
+
+  /// Completed + open events so far.
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+
+  /// Number of samples consumed.
+  Index samples_seen() const { return samples_seen_; }
+
+  /// Optional callback invoked when a new event is raised (e.g. to trigger a
+  /// reconfiguration strategy).
+  void on_event(std::function<void(const AnomalyEvent&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+ private:
+  AnomalyDetector* detector_;
+  const data::MinMaxNormalizer* normalizer_;
+  MonitorConfig config_;
+
+  float threshold_ = 0.0F;
+  bool calibrated_ = false;
+
+  std::deque<std::vector<float>> ring_;
+  std::vector<float> scratch_;
+  Index samples_seen_ = 0;
+
+  int consecutive_over_ = 0;
+  int since_last_over_ = 0;
+  bool in_alarm_ = false;
+  std::vector<AnomalyEvent> events_;
+  std::function<void(const AnomalyEvent&)> callback_;
+
+  Tensor context_tensor() const;
+};
+
+}  // namespace varade::core

@@ -1,0 +1,18 @@
+// Shared training-loop helpers used by the neural detectors.
+#pragma once
+
+#include <vector>
+
+#include "varade/data/window.hpp"
+#include "varade/tensor/rng.hpp"
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::core {
+
+/// Splits indices 0..n-1 into shuffled batches (last batch may be short).
+std::vector<std::vector<Index>> make_batches(Index n, Index batch_size, Rng& rng);
+
+/// Progress callback signature: (epoch, mean epoch loss).
+using EpochCallback = void (*)(int, float);
+
+}  // namespace varade::core

@@ -1,0 +1,126 @@
+// VARADE: the paper's variational autoregressive anomaly detector
+// (sections 3.1-3.2).
+//
+// Architecture (Figure 1): a cascade of 1-D convolutions with kernel size and
+// stride 2 — halving the time dimension at every layer — with ReLU
+// activations, feature maps doubling every two layers from `base_channels`
+// (paper: 128, reaching 1024), and a final linear projection producing the
+// mean and log-variance of a Gaussian over the next time step.
+//
+// Training minimises the negative ELBO, L = L_recon + lambda * D_KL (Eq. 7).
+// At inference the predicted mean is discarded and the mean predicted
+// variance across channels is the anomaly score: the KL prior pulls the
+// variance toward 1 wherever the data do not pin it down, so unfamiliar
+// (anomalous) contexts yield high variance (section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "varade/core/detector.hpp"
+#include "varade/nn/layers.hpp"
+#include "varade/nn/loss.hpp"
+#include "varade/nn/module.hpp"
+
+namespace varade::core {
+
+struct VaradeConfig {
+  Index window = 512;        // paper: T = 512 (must be a power of two >= 8)
+  Index base_channels = 128; // paper: 128, doubled every 2 layers
+  /// Paper design choice: double the feature maps every second layer
+  /// ("helping the network to learn more complex and abstract features").
+  /// Disable for the width-ablation bench (constant-width trunk).
+  bool channel_doubling = true;
+  float lambda = 0.01F;      // KL weight in Eq. 7
+  // Training.
+  int epochs = 10;
+  Index batch_size = 32;
+  float learning_rate = 1e-5F;  // paper section 3.4 (Adam, fixed 1e-5)
+  Index train_stride = 1;       // hop between training windows
+  float grad_clip = 5.0F;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Number of conv layers for a window size: halve until the time dimension
+/// reaches 2 (paper: T=512 -> 8 layers).
+Index varade_layer_count(Index window);
+
+/// The network: conv trunk + two linear heads.
+class VaradeModel {
+ public:
+  VaradeModel(Index in_channels, const VaradeConfig& config, Rng& rng);
+
+  struct Output {
+    Tensor mu;      // [N, C]
+    Tensor logvar;  // [N, C]
+  };
+
+  /// x: [N, C, T].
+  Output forward(const Tensor& x);
+
+  /// Backward from loss gradients; accumulates parameter gradients.
+  void backward(const Tensor& grad_mu, const Tensor& grad_logvar);
+
+  std::vector<nn::Parameter*> parameters();
+  void zero_grad();
+
+  Index in_channels() const { return in_channels_; }
+  Index window() const { return window_; }
+  long num_params();
+  long flops() const;
+  Index n_layers() const { return n_conv_layers_; }
+
+  nn::Sequential& trunk() { return trunk_; }
+  nn::Linear& mu_head() { return *mu_head_; }
+  nn::Linear& logvar_head() { return *logvar_head_; }
+
+ private:
+  Index in_channels_;
+  Index window_;
+  Index n_conv_layers_;
+  nn::Sequential trunk_;  // convs + relus + flatten
+  std::unique_ptr<nn::Linear> mu_head_;
+  std::unique_ptr<nn::Linear> logvar_head_;
+};
+
+/// The detector wrapper implementing the AnomalyDetector interface.
+class VaradeDetector : public AnomalyDetector {
+ public:
+  explicit VaradeDetector(VaradeConfig config = {});
+
+  std::string name() const override { return "VARADE"; }
+  void fit(const data::MultivariateSeries& train) override;
+  float score_step(const Tensor& context, const Tensor& observed) override;
+  Index context_window() const override { return config_.window; }
+  edge::ModelCost cost() const override;
+  bool fitted() const override { return model_ != nullptr; }
+
+  /// Mean predicted variance over channels for a context [C, T] — the paper's
+  /// anomaly score.
+  float variance_score(const Tensor& context);
+
+  /// Forecast-error score ||observed - mu||_2 on the same model; used by the
+  /// score-function ablation (bench_ablation_score).
+  float forecast_error_score(const Tensor& context, const Tensor& observed);
+
+  /// Training loss history (one entry per epoch).
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+  /// Persists the fitted model (architecture description + weights) so a
+  /// detector trained offline can be deployed to the edge device.
+  void save(const std::string& path) const;
+
+  /// Restores a detector saved with save(); replaces config and weights.
+  void load(const std::string& path);
+
+  VaradeModel* model() { return model_.get(); }
+  const VaradeConfig& config() const { return config_; }
+
+ private:
+  VaradeConfig config_;
+  std::unique_ptr<VaradeModel> model_;
+  std::vector<float> loss_history_;
+};
+
+}  // namespace varade::core

@@ -1,0 +1,24 @@
+#include "varade/core/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace varade::core {
+
+std::vector<std::vector<Index>> make_batches(Index n, Index batch_size, Rng& rng) {
+  check(n > 0, "make_batches on empty dataset");
+  check(batch_size >= 1, "batch size must be >= 1");
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<std::vector<Index>> batches;
+  for (Index start = 0; start < n; start += batch_size) {
+    const Index end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace varade::core

@@ -1,0 +1,90 @@
+#include "varade/data/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace varade::data {
+
+void write_csv(const MultivariateSeries& series, std::ostream& out) {
+  check(series.n_channels() > 0, "cannot write empty-schema series");
+  const auto& channels = series.channels();
+  for (Index c = 0; c < series.n_channels(); ++c) {
+    if (c > 0) out << ',';
+    if (!channels.empty())
+      out << channels[static_cast<std::size_t>(c)].name;
+    else
+      out << "ch" << c;
+  }
+  out << ",label\n";
+  for (Index t = 0; t < series.length(); ++t) {
+    const float* s = series.sample(t);
+    for (Index c = 0; c < series.n_channels(); ++c) {
+      if (c > 0) out << ',';
+      out << s[c];
+    }
+    out << ',' << series.label(t) << '\n';
+  }
+  check(static_cast<bool>(out), "failed writing CSV stream");
+}
+
+void write_csv(const MultivariateSeries& series, const std::string& path) {
+  std::ofstream f(path);
+  check(f.is_open(), "cannot open for writing: " + path);
+  write_csv(series, f);
+}
+
+MultivariateSeries read_csv(std::istream& in) {
+  std::string line;
+  check(static_cast<bool>(std::getline(in, line)), "CSV stream is empty");
+
+  // Parse header.
+  std::vector<ChannelInfo> channels;
+  {
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) channels.push_back({field, "", ""});
+  }
+  check(channels.size() >= 2, "CSV must have at least one channel and a label column");
+  check(channels.back().name == "label", "last CSV column must be 'label'");
+  channels.pop_back();
+  const auto d = static_cast<Index>(channels.size());
+
+  MultivariateSeries series(d, channels);
+  std::vector<float> sample(static_cast<std::size_t>(d));
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    Index c = 0;
+    int label = 0;
+    while (std::getline(ss, field, ',')) {
+      check(c <= d, "CSV line " + std::to_string(line_no) + " has too many fields");
+      try {
+        const float v = std::stof(field);
+        if (c < d)
+          sample[static_cast<std::size_t>(c)] = v;
+        else
+          label = static_cast<int>(v);
+      } catch (const std::exception&) {
+        fail("CSV line ", line_no, ": cannot parse '", field, "' as a number");
+      }
+      ++c;
+    }
+    check(c == d + 1, "CSV line " + std::to_string(line_no) + " has " + std::to_string(c) +
+                          " fields, expected " + std::to_string(d + 1));
+    series.append(sample, label);
+  }
+  return series;
+}
+
+MultivariateSeries read_csv(const std::string& path) {
+  std::ifstream f(path);
+  check(f.is_open(), "cannot open for reading: " + path);
+  return read_csv(f);
+}
+
+}  // namespace varade::data

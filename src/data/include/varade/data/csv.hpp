@@ -1,0 +1,21 @@
+// CSV import/export for multivariate series, for interop with the original
+// python tooling (the paper's dataset is distributed as CSV).
+//
+// Layout: header row with channel names plus a trailing "label" column; one
+// sample per row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "varade/data/timeseries.hpp"
+
+namespace varade::data {
+
+void write_csv(const MultivariateSeries& series, std::ostream& out);
+void write_csv(const MultivariateSeries& series, const std::string& path);
+
+MultivariateSeries read_csv(std::istream& in);
+MultivariateSeries read_csv(const std::string& path);
+
+}  // namespace varade::data

@@ -1,0 +1,59 @@
+// Sliding-window dataset construction for autoregressive training.
+//
+// A window pairs a context of `window` consecutive samples (shaped [C, T]
+// channels-first, matching the Conv1d/Lstm convention) with the immediately
+// following sample as the forecasting target (paper Figure 1: inputs
+// t_-T..t_0, predict t_1).
+#pragma once
+
+#include <cstdint>
+
+#include "varade/data/timeseries.hpp"
+
+namespace varade::data {
+
+struct WindowConfig {
+  Index window = 512;  // paper: T = 512
+  Index stride = 1;    // hop between consecutive training windows
+};
+
+/// Indexes windows over a series without materialising them.
+class WindowDataset {
+ public:
+  WindowDataset(const MultivariateSeries& series, WindowConfig config);
+
+  /// Number of (context, target) pairs.
+  Index size() const { return count_; }
+  Index window() const { return config_.window; }
+  Index n_channels() const { return series_->n_channels(); }
+
+  /// Context window `i` as a channels-first [C, T] tensor.
+  Tensor context(Index i) const;
+
+  /// Target sample (the step right after window `i`) as a [C] tensor.
+  Tensor target(Index i) const;
+
+  /// Time index of the target sample of window `i` in the source series.
+  Index target_time(Index i) const;
+
+  /// Label of the target sample (1 when the step to predict is anomalous).
+  int target_label(Index i) const;
+
+  /// Materialises a batch of contexts [B, C, T] and targets [B, C] for the
+  /// given window indices.
+  void gather(const std::vector<Index>& indices, Tensor& contexts, Tensor& targets) const;
+
+  /// All window indices in order; convenience for shuffling at the call site.
+  std::vector<Index> all_indices() const;
+
+ private:
+  const MultivariateSeries* series_;
+  WindowConfig config_;
+  Index count_ = 0;
+};
+
+/// Copies a channels-first [C, T] context ending at (and including) sample
+/// `end_t` directly from a series; used by the streaming runtime.
+Tensor extract_context(const MultivariateSeries& series, Index end_t, Index window);
+
+}  // namespace varade::data

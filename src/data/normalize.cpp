@@ -1,0 +1,114 @@
+#include "varade/data/normalize.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace varade::data {
+
+void MinMaxNormalizer::fit(const MultivariateSeries& series) {
+  check(series.length() > 0, "cannot fit normalizer on empty series");
+  fit(series.to_tensor());
+}
+
+void MinMaxNormalizer::fit(const Tensor& x) {
+  check(x.rank() == 2 && x.dim(0) > 0, "normalizer fit expects non-empty [n, d]");
+  const Index n = x.dim(0);
+  const Index d = x.dim(1);
+  mins_.assign(static_cast<std::size_t>(d), std::numeric_limits<float>::max());
+  maxs_.assign(static_cast<std::size_t>(d), std::numeric_limits<float>::lowest());
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < d; ++j) {
+      const float v = x[i * d + j];
+      auto js = static_cast<std::size_t>(j);
+      mins_[js] = std::min(mins_[js], v);
+      maxs_[js] = std::max(maxs_[js], v);
+    }
+  }
+}
+
+void MinMaxNormalizer::transform_sample(const float* in, float* out) const {
+  check(fitted(), "normalizer used before fit");
+  const Index d = n_channels();
+  for (Index j = 0; j < d; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    const float range = maxs_[js] - mins_[js];
+    out[j] = range > 0.0F ? 2.0F * (in[j] - mins_[js]) / range - 1.0F : 0.0F;
+  }
+}
+
+Tensor MinMaxNormalizer::transform(const Tensor& x) const {
+  check(fitted(), "normalizer used before fit");
+  check(x.rank() == 2 && x.dim(1) == n_channels(), "transform expects [n, " +
+                                                       std::to_string(n_channels()) + "]");
+  Tensor out(x.shape());
+  const Index n = x.dim(0);
+  const Index d = x.dim(1);
+  for (Index i = 0; i < n; ++i) transform_sample(x.data() + i * d, out.data() + i * d);
+  return out;
+}
+
+MultivariateSeries MinMaxNormalizer::transform(const MultivariateSeries& series) const {
+  check(fitted(), "normalizer used before fit");
+  check(series.n_channels() == n_channels(), "series channel count mismatch");
+  MultivariateSeries out(series.n_channels(), series.channels());
+  out.set_sample_rate_hz(series.sample_rate_hz());
+  std::vector<float> buf(static_cast<std::size_t>(series.n_channels()));
+  for (Index t = 0; t < series.length(); ++t) {
+    transform_sample(series.sample(t), buf.data());
+    out.append(buf.data(), series.label(t));
+  }
+  return out;
+}
+
+Tensor MinMaxNormalizer::inverse_transform(const Tensor& x) const {
+  check(fitted(), "normalizer used before fit");
+  check(x.rank() == 2 && x.dim(1) == n_channels(), "inverse_transform shape mismatch");
+  Tensor out(x.shape());
+  const Index n = x.dim(0);
+  const Index d = x.dim(1);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < d; ++j) {
+      auto js = static_cast<std::size_t>(j);
+      const float range = maxs_[js] - mins_[js];
+      out[i * d + j] = range > 0.0F
+                           ? mins_[js] + (x[i * d + j] + 1.0F) * 0.5F * range
+                           : mins_[js];
+    }
+  }
+  return out;
+}
+
+float MinMaxNormalizer::channel_min(Index c) const {
+  check(c >= 0 && c < n_channels(), "channel index out of range");
+  return mins_[static_cast<std::size_t>(c)];
+}
+
+float MinMaxNormalizer::channel_max(Index c) const {
+  check(c >= 0 && c < n_channels(), "channel index out of range");
+  return maxs_[static_cast<std::size_t>(c)];
+}
+
+void MinMaxNormalizer::save(std::ostream& out) const {
+  check(fitted(), "cannot save unfitted normalizer");
+  const auto d = static_cast<std::uint64_t>(mins_.size());
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(mins_.data()),
+            static_cast<std::streamsize>(d * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(maxs_.data()),
+            static_cast<std::streamsize>(d * sizeof(float)));
+  check(static_cast<bool>(out), "failed writing normalizer");
+}
+
+void MinMaxNormalizer::load(std::istream& in) {
+  std::uint64_t d = 0;
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  check(static_cast<bool>(in) && d > 0 && d < (1U << 24), "malformed normalizer stream");
+  mins_.resize(d);
+  maxs_.resize(d);
+  in.read(reinterpret_cast<char*>(mins_.data()), static_cast<std::streamsize>(d * sizeof(float)));
+  in.read(reinterpret_cast<char*>(maxs_.data()), static_cast<std::streamsize>(d * sizeof(float)));
+  check(static_cast<bool>(in), "unexpected end of normalizer stream");
+}
+
+}  // namespace varade::data

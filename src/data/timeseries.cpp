@@ -1,0 +1,100 @@
+#include "varade/data/timeseries.hpp"
+
+#include <algorithm>
+
+namespace varade::data {
+
+std::vector<ChannelInfo> kuka_channel_schema() {
+  std::vector<ChannelInfo> schema;
+  schema.reserve(static_cast<std::size_t>(kKukaChannelCount));
+  schema.push_back({"action_id", "-", "Robot action ID"});
+  for (Index j = 0; j < kKukaJointCount; ++j) {
+    const std::string p = "sensor_id_" + std::to_string(j) + "_";
+    schema.push_back({p + "AccX", "m/s^2", "X-axis acceleration"});
+    schema.push_back({p + "AccY", "m/s^2", "Y-axis acceleration"});
+    schema.push_back({p + "AccZ", "m/s^2", "Z-axis acceleration"});
+    schema.push_back({p + "GyroX", "deg/s", "X-axis angular velocity"});
+    schema.push_back({p + "GyroY", "deg/s", "Y-axis angular velocity"});
+    schema.push_back({p + "GyroZ", "deg/s", "Z-axis angular velocity"});
+    schema.push_back({p + "q1", "-", "Quaternion orientation comp. 1"});
+    schema.push_back({p + "q2", "-", "Quaternion orientation comp. 2"});
+    schema.push_back({p + "q3", "-", "Quaternion orientation comp. 3"});
+    schema.push_back({p + "q4", "-", "Quaternion orientation comp. 4"});
+    schema.push_back({p + "temp", "degC", "Temperature"});
+  }
+  schema.push_back({"current", "A", "Current"});
+  schema.push_back({"frequency", "Hz", "Frequency"});
+  schema.push_back({"phase_angle", "degree", "Phase angle"});
+  schema.push_back({"power", "W", "Power"});
+  schema.push_back({"power_factor", "-", "Power factor"});
+  schema.push_back({"reactive_power", "VAr", "Reactive power"});
+  schema.push_back({"voltage", "V", "Voltage"});
+  schema.push_back({"energy", "kWh", "Cumulative energy register"});
+  check(static_cast<Index>(schema.size()) == kKukaChannelCount,
+        "KUKA schema must have 86 channels");
+  return schema;
+}
+
+MultivariateSeries::MultivariateSeries(Index n_channels, std::vector<ChannelInfo> channels)
+    : n_channels_(n_channels), channels_(std::move(channels)) {
+  check(n_channels > 0, "series needs at least one channel");
+  check(channels_.empty() || static_cast<Index>(channels_.size()) == n_channels,
+        "channel metadata count must match n_channels");
+}
+
+void MultivariateSeries::append(const float* sample, int label) {
+  values_.insert(values_.end(), sample, sample + n_channels_);
+  labels_.push_back(static_cast<std::uint8_t>(label != 0 ? 1 : 0));
+  ++length_;
+}
+
+void MultivariateSeries::append(const std::vector<float>& sample, int label) {
+  check(static_cast<Index>(sample.size()) == n_channels_,
+        "sample has " + std::to_string(sample.size()) + " values, expected " +
+            std::to_string(n_channels_));
+  append(sample.data(), label);
+}
+
+float MultivariateSeries::value(Index t, Index c) const {
+  check(t >= 0 && t < length_ && c >= 0 && c < n_channels_, "series access out of range");
+  return values_[static_cast<std::size_t>(t * n_channels_ + c)];
+}
+
+const float* MultivariateSeries::sample(Index t) const {
+  check(t >= 0 && t < length_, "sample index out of range");
+  return values_.data() + t * n_channels_;
+}
+
+int MultivariateSeries::label(Index t) const {
+  check(t >= 0 && t < length_, "label index out of range");
+  return labels_[static_cast<std::size_t>(t)];
+}
+
+bool MultivariateSeries::has_anomalies() const {
+  return std::any_of(labels_.begin(), labels_.end(), [](std::uint8_t l) { return l != 0; });
+}
+
+Index MultivariateSeries::count_anomalous_samples() const {
+  return static_cast<Index>(std::count_if(labels_.begin(), labels_.end(),
+                                          [](std::uint8_t l) { return l != 0; }));
+}
+
+Tensor MultivariateSeries::to_tensor() const {
+  return Tensor({length_, n_channels_}, values_);
+}
+
+Tensor MultivariateSeries::labels_tensor() const {
+  Tensor t({length_});
+  for (Index i = 0; i < length_; ++i) t[i] = static_cast<float>(labels_[static_cast<std::size_t>(i)]);
+  return t;
+}
+
+MultivariateSeries MultivariateSeries::slice(Index begin, Index end) const {
+  check(begin >= 0 && end >= begin && end <= length_, "slice bounds out of range");
+  MultivariateSeries out(n_channels_, channels_);
+  out.sample_rate_hz_ = sample_rate_hz_;
+  for (Index t = begin; t < end; ++t) out.append(sample(t), label(t));
+  return out;
+}
+
+}  // namespace varade::data

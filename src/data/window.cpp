@@ -1,0 +1,86 @@
+#include "varade/data/window.hpp"
+
+#include <numeric>
+
+namespace varade::data {
+
+WindowDataset::WindowDataset(const MultivariateSeries& series, WindowConfig config)
+    : series_(&series), config_(config) {
+  check(config_.window >= 1, "window must be >= 1");
+  check(config_.stride >= 1, "stride must be >= 1");
+  // A window of length T starting at s covers [s, s+T) and targets s+T, so the
+  // last valid start is length - T - 1.
+  const Index usable = series.length() - config_.window;
+  count_ = usable > 0 ? (usable - 1) / config_.stride + 1 : 0;
+}
+
+Tensor WindowDataset::context(Index i) const {
+  check(i >= 0 && i < count_, "window index out of range");
+  const Index start = i * config_.stride;
+  const Index c = series_->n_channels();
+  const Index t = config_.window;
+  Tensor out({c, t});
+  for (Index step = 0; step < t; ++step) {
+    const float* s = series_->sample(start + step);
+    for (Index ch = 0; ch < c; ++ch) out[ch * t + step] = s[ch];
+  }
+  return out;
+}
+
+Tensor WindowDataset::target(Index i) const {
+  check(i >= 0 && i < count_, "window index out of range");
+  const Index c = series_->n_channels();
+  Tensor out({c});
+  const float* s = series_->sample(target_time(i));
+  for (Index ch = 0; ch < c; ++ch) out[ch] = s[ch];
+  return out;
+}
+
+Index WindowDataset::target_time(Index i) const {
+  check(i >= 0 && i < count_, "window index out of range");
+  return i * config_.stride + config_.window;
+}
+
+int WindowDataset::target_label(Index i) const { return series_->label(target_time(i)); }
+
+void WindowDataset::gather(const std::vector<Index>& indices, Tensor& contexts,
+                           Tensor& targets) const {
+  const auto b = static_cast<Index>(indices.size());
+  const Index c = series_->n_channels();
+  const Index t = config_.window;
+  contexts = Tensor({b, c, t});
+  targets = Tensor({b, c});
+  for (Index k = 0; k < b; ++k) {
+    const Index i = indices[static_cast<std::size_t>(k)];
+    check(i >= 0 && i < count_, "window index out of range in gather");
+    const Index start = i * config_.stride;
+    for (Index step = 0; step < t; ++step) {
+      const float* s = series_->sample(start + step);
+      for (Index ch = 0; ch < c; ++ch) contexts[(k * c + ch) * t + step] = s[ch];
+    }
+    const float* ts = series_->sample(target_time(i));
+    for (Index ch = 0; ch < c; ++ch) targets[k * c + ch] = ts[ch];
+  }
+}
+
+std::vector<Index> WindowDataset::all_indices() const {
+  std::vector<Index> idx(static_cast<std::size_t>(count_));
+  std::iota(idx.begin(), idx.end(), Index{0});
+  return idx;
+}
+
+Tensor extract_context(const MultivariateSeries& series, Index end_t, Index window) {
+  check(window >= 1, "window must be >= 1");
+  check(end_t >= window - 1 && end_t < series.length(),
+        "not enough history for a window ending at t=" + std::to_string(end_t));
+  const Index c = series.n_channels();
+  Tensor out({c, window});
+  const Index start = end_t - window + 1;
+  for (Index step = 0; step < window; ++step) {
+    const float* s = series.sample(start + step);
+    for (Index ch = 0; ch < c; ++ch) out[ch * window + step] = s[ch];
+  }
+  return out;
+}
+
+}  // namespace varade::data

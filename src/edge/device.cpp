@@ -1,0 +1,62 @@
+#include "varade/edge/device.hpp"
+
+namespace varade::edge {
+
+// Calibration notes
+// -----------------
+// Idle telemetry is copied from Table 2 of the paper (Idle rows). Sustained
+// GFLOPS figures de-rate the marketing TOPS numbers to small-batch dense FP32.
+// The dispatch overheads and dynamic-power coefficients were fitted so that
+// the six detector workloads of the paper, described at their full
+// architecture sizes (core/model_costs), land on the published Table 2
+// inference frequencies and power draws:
+//   Xavier NX: GBRF 20.6 Hz, VARADE 14.9 Hz, AR-LSTM 5.2 Hz, IF 4.6 Hz,
+//              AE 2.2 Hz, kNN 1.1 Hz; power 5.8 (idle) .. 11.3 W (AR-LSTM).
+//   AGX Orin:  roughly 2x the frequencies, same ordering.
+// The fitted values are physically plausible: ~2 ms per TF-eager op on the
+// Xavier-class CPU (half that on Orin) and a few watts of dynamic power per
+// fully-busy compute engine.
+
+DeviceSpec jetson_xavier_nx() {
+  DeviceSpec d;
+  d.name = "Jetson Xavier NX";
+  d.cpu_cores = 6;
+  d.cpu_gflops_per_core = 4.0;   // Carmel @ 1.4 GHz, scalar/NEON mix
+  d.gpu_gflops = 180.0;          // 384-core Volta, small-batch FP32 sustained
+  d.mem_bandwidth_gbs = 25.0;    // LPDDR4x 51.2 GB/s peak, ~50% sustained
+  d.gpu_dispatch_ms = 2.2;       // TF 2.11 eager per-op (calibrated)
+  d.cpu_dispatch_ms = 2.1;       // sklearn per-estimator step (calibrated)
+  d.idle_power_w = 5.851;        // Table 2
+  d.cpu_dynamic_power_w = 2.5;
+  d.gpu_dynamic_power_w = 6.0;
+  d.gpu_active_base_w = 0.0;     // GPU already awake at idle (52% util)
+  d.ram_total_mb = 16384.0;
+  d.idle_cpu_util_pct = 36.465;  // Table 2
+  d.idle_gpu_util_pct = 52.100;
+  d.idle_ram_mb = 5130.219;
+  d.idle_gpu_ram_mb = 537.235;
+  return d;
+}
+
+DeviceSpec jetson_agx_orin() {
+  DeviceSpec d;
+  d.name = "Jetson AGX Orin";
+  d.cpu_cores = 12;
+  d.cpu_gflops_per_core = 9.0;   // Cortex-A78AE @ 2.2 GHz
+  d.gpu_gflops = 420.0;          // 2048-core Ampere, small-batch FP32 sustained
+  d.mem_bandwidth_gbs = 80.0;    // LPDDR5 204.8 GB/s peak, de-rated
+  d.gpu_dispatch_ms = 1.05;
+  d.cpu_dispatch_ms = 0.9;
+  d.idle_power_w = 7.522;        // Table 2
+  d.cpu_dynamic_power_w = 10.8;
+  d.gpu_dynamic_power_w = 3.5;
+  d.gpu_active_base_w = 2.2;     // GPU idles fully off (0% util) on Orin
+  d.ram_total_mb = 32768.0;
+  d.idle_cpu_util_pct = 4.875;   // Table 2
+  d.idle_gpu_util_pct = 0.0;
+  d.idle_ram_mb = 3916.715;
+  d.idle_gpu_ram_mb = 243.289;
+  return d;
+}
+
+}  // namespace varade::edge

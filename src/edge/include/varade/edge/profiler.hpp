@@ -1,0 +1,66 @@
+// Roofline-style performance/power estimation for detector workloads on the
+// modelled Jetson boards, producing the jetson-stats-like metrics of the
+// paper's Table 2 (CPU%, GPU%, RAM, GPU RAM, power, inference frequency).
+//
+// Latency model per inference:
+//   latency = max(compute, memory) + n_ops * dispatch + preprocess
+// where compute uses the executing engine's sustained throughput scaled by
+// the workload's parallel efficiency, memory streams parameters + reference
+// data + activations through shared DRAM, and dispatch is the framework
+// per-op overhead (TF eager / sklearn) that dominates small models.
+//
+// Utilisation and power follow from the duty cycles of each engine over the
+// inference loop; a recurrent model can keep the GPU spinning with persistent
+// kernels (`gpu_resident_spin`), which reproduces AR-LSTM's high GPU
+// utilisation and power at low throughput.
+#pragma once
+
+#include <string>
+
+#include "varade/edge/device.hpp"
+
+namespace varade::edge {
+
+/// Static cost description of one detector's per-inference workload.
+struct ModelCost {
+  std::string name;
+  double flops = 0.0;             // arithmetic ops per inference
+  double param_bytes = 0.0;       // weights resident in memory
+  double ref_bytes = 0.0;         // reference data streamed per query (kNN)
+  double activation_bytes = 0.0;  // intermediate traffic per inference
+  int n_ops = 1;                  // framework operator dispatches per inference
+  bool runs_on_gpu = false;       // where the TensorFlow planner placed it
+  /// Fraction of the engine's sustained throughput the workload achieves.
+  double parallel_efficiency = 0.7;
+  /// Worker threads for CPU workloads (clamped to the core count).
+  int cpu_threads = 1;
+  /// Recurrent persistent kernels keep the GPU busy while waiting.
+  bool gpu_resident_spin = false;
+  /// Host-side preprocessing cost per inference (windowing, normalisation).
+  double preprocess_flops = 0.0;
+};
+
+/// Estimated on-device behaviour (one Table 2 row).
+struct EstimatedPerformance {
+  double latency_ms = 0.0;
+  double inference_hz = 0.0;
+  double cpu_util_pct = 0.0;
+  double gpu_util_pct = 0.0;
+  double ram_mb = 0.0;
+  double gpu_ram_mb = 0.0;
+  double power_w = 0.0;
+};
+
+class EdgeProfiler {
+ public:
+  explicit EdgeProfiler(DeviceSpec spec);
+
+  EstimatedPerformance estimate(const ModelCost& cost) const;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace varade::edge

@@ -1,0 +1,96 @@
+#include "varade/edge/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "varade/error.hpp"
+
+namespace varade::edge {
+
+EdgeProfiler::EdgeProfiler(DeviceSpec spec) : spec_(std::move(spec)) {
+  check(spec_.cpu_cores > 0 && spec_.cpu_gflops_per_core > 0.0, "invalid CPU spec");
+  check(spec_.gpu_gflops > 0.0 && spec_.mem_bandwidth_gbs > 0.0, "invalid GPU/memory spec");
+}
+
+EstimatedPerformance EdgeProfiler::estimate(const ModelCost& cost) const {
+  check(cost.flops >= 0.0 && cost.param_bytes >= 0.0 && cost.activation_bytes >= 0.0 &&
+            cost.ref_bytes >= 0.0,
+        "model cost values must be non-negative");
+  check(cost.parallel_efficiency > 0.0 && cost.parallel_efficiency <= 1.0,
+        "parallel efficiency must be in (0, 1]");
+  check(cost.n_ops >= 1, "a model has at least one operator");
+  check(cost.cpu_threads >= 1, "cpu_threads must be >= 1");
+
+  EstimatedPerformance perf;
+
+  // --- compute and dispatch on the executing engine -------------------------
+  double compute_s = 0.0;
+  double dispatch_s = 0.0;
+  const int threads = std::min(cost.cpu_threads, spec_.cpu_cores);
+  if (cost.runs_on_gpu) {
+    compute_s = cost.flops / (spec_.gpu_gflops * 1e9 * cost.parallel_efficiency);
+    dispatch_s = cost.n_ops * spec_.gpu_dispatch_ms * 1e-3;
+  } else {
+    const double cpu_gflops = threads * spec_.cpu_gflops_per_core;
+    compute_s = cost.flops / (cpu_gflops * 1e9 * cost.parallel_efficiency);
+    dispatch_s = cost.n_ops * spec_.cpu_dispatch_ms * 1e-3;
+  }
+
+  // --- memory: weights, streamed reference data, activations ----------------
+  const double bytes = cost.param_bytes + cost.ref_bytes + cost.activation_bytes;
+  const double memory_s = bytes / (spec_.mem_bandwidth_gbs * 1e9);
+
+  // --- preprocessing runs single-threaded on the CPU (the sensor script) ----
+  const double pre_s = cost.preprocess_flops / (spec_.cpu_gflops_per_core * 1e9);
+
+  const double latency_s = std::max(compute_s, memory_s) + dispatch_s + pre_s;
+  perf.latency_ms = latency_s * 1e3;
+  perf.inference_hz = 1.0 / latency_s;
+
+  // --- utilisation -----------------------------------------------------------
+  const double compute_duty = std::min(1.0, std::max(compute_s, memory_s) / latency_s);
+  if (cost.runs_on_gpu) {
+    // Eager dispatch keeps the GPU partially lit between kernels; persistent
+    // recurrent kernels keep it fully busy.
+    const double busy = cost.gpu_resident_spin
+                            ? 0.95
+                            : std::min(1.0, compute_duty + 0.65 * (dispatch_s / latency_s));
+    perf.gpu_util_pct = std::min(
+        100.0, spec_.idle_gpu_util_pct + (100.0 - spec_.idle_gpu_util_pct) * busy);
+    // Host side: one dispatching thread.
+    perf.cpu_util_pct =
+        std::min(100.0, spec_.idle_cpu_util_pct + 0.9 * 100.0 / spec_.cpu_cores);
+  } else {
+    const double cpu_busy = std::min(1.0, (compute_s + dispatch_s) / latency_s);
+    perf.cpu_util_pct = std::min(
+        100.0, spec_.idle_cpu_util_pct +
+                   (100.0 - spec_.idle_cpu_util_pct) *
+                       (static_cast<double>(threads) / spec_.cpu_cores) * cpu_busy);
+    perf.gpu_util_pct = spec_.idle_gpu_util_pct;
+  }
+
+  // --- memory footprint ------------------------------------------------------
+  const double framework_overhead_mb = 350.0;  // runtime, buffers, allocator slack
+  perf.ram_mb = spec_.idle_ram_mb + framework_overhead_mb +
+                (cost.param_bytes + cost.ref_bytes + cost.activation_bytes) / 1e6;
+  perf.gpu_ram_mb = cost.runs_on_gpu
+                        ? spec_.idle_gpu_ram_mb + 420.0 + 1.5 * cost.param_bytes / 1e6
+                        : spec_.idle_gpu_ram_mb;
+
+  // --- power -------------------------------------------------------------------
+  double power = spec_.idle_power_w;
+  if (cost.runs_on_gpu) {
+    const double gpu_duty = cost.gpu_resident_spin ? 0.95 : compute_duty;
+    power += spec_.gpu_active_base_w + gpu_duty * spec_.gpu_dynamic_power_w;
+    power += 0.1 * spec_.cpu_dynamic_power_w;  // dispatching host thread
+  } else {
+    const double cpu_busy = std::min(1.0, (compute_s + dispatch_s) / latency_s);
+    power += (static_cast<double>(threads) / spec_.cpu_cores) * cpu_busy *
+             spec_.cpu_dynamic_power_w;
+  }
+  perf.power_w = power;
+
+  return perf;
+}
+
+}  // namespace varade::edge

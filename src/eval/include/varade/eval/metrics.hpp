@@ -1,0 +1,84 @@
+// Anomaly-detection evaluation metrics.
+//
+// The paper's accuracy metric is AUC-ROC (section 4.3): the detector is
+// interpreted as a binary classifier over a score threshold, and the area
+// under the true-positive-rate vs false-positive-rate curve summarises it
+// threshold-free. The implementation here is the exact rank-based (tie-aware)
+// AUC, equivalent to the normalised Mann-Whitney U statistic.
+#pragma once
+
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::eval {
+
+/// One point of a ROC curve.
+struct RocPoint {
+  float threshold = 0.0F;
+  float tpr = 0.0F;  // true positive rate
+  float fpr = 0.0F;  // false positive rate
+};
+
+/// Exact AUC-ROC of `scores` against binary `labels` (1 = anomalous).
+/// Ties receive half credit; throws if labels are all equal.
+double auc_roc(const std::vector<float>& scores, const std::vector<int>& labels);
+double auc_roc(const Tensor& scores, const Tensor& labels);
+
+/// Full ROC curve at every distinct threshold (descending thresholds).
+std::vector<RocPoint> roc_curve(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Confusion counts at a fixed threshold (score > threshold => positive).
+struct Confusion {
+  long tp = 0;
+  long fp = 0;
+  long tn = 0;
+  long fn = 0;
+
+  double precision() const { return tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0; }
+  double recall() const { return tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0; }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+  double accuracy() const {
+    const long total = tp + fp + tn + fn;
+    return total > 0 ? static_cast<double>(tp + tn) / total : 0.0;
+  }
+};
+
+Confusion confusion_at(const std::vector<float>& scores, const std::vector<int>& labels,
+                       float threshold);
+
+/// Best F1 over all candidate thresholds, with the threshold that achieves it.
+struct BestF1 {
+  double f1 = 0.0;
+  float threshold = 0.0F;
+};
+BestF1 best_f1(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Event-level detection: an anomaly event (maximal run of label==1) counts as
+/// detected when any score inside it exceeds the threshold.
+struct EventStats {
+  long total_events = 0;
+  long detected_events = 0;
+  double detection_rate() const {
+    return total_events > 0 ? static_cast<double>(detected_events) / total_events : 0.0;
+  }
+};
+EventStats event_detection(const std::vector<float>& scores, const std::vector<int>& labels,
+                           float threshold);
+
+/// Summary statistics used by benches and reports.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+Summary summarize(const std::vector<float>& values);
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace varade::eval

@@ -1,0 +1,175 @@
+#include "varade/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace varade::eval {
+
+namespace {
+void require_valid(const std::vector<float>& scores, const std::vector<int>& labels) {
+  check(scores.size() == labels.size(), "scores and labels must have equal length");
+  check(!scores.empty(), "metrics on empty inputs");
+  for (float s : scores) check(std::isfinite(s), "scores must be finite");
+}
+}  // namespace
+
+double auc_roc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  require_valid(scores, labels);
+  const long n_pos = std::count_if(labels.begin(), labels.end(), [](int l) { return l != 0; });
+  const long n_neg = static_cast<long>(labels.size()) - n_pos;
+  check(n_pos > 0 && n_neg > 0, "AUC needs both positive and negative labels");
+
+  // Rank-based AUC with midranks for ties: AUC = (R_pos - P(P+1)/2) / (P*N).
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Elements i..j share the midrank (ranks are 1-based).
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k)
+      if (labels[order[k]] != 0) rank_sum_pos += midrank;
+    i = j + 1;
+  }
+  const double p = static_cast<double>(n_pos);
+  const double n = static_cast<double>(n_neg);
+  return (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+double auc_roc(const Tensor& scores, const Tensor& labels) {
+  check(scores.rank() == 1 && labels.rank() == 1, "auc_roc expects rank-1 tensors");
+  std::vector<float> s(scores.data(), scores.data() + scores.numel());
+  std::vector<int> l(static_cast<std::size_t>(labels.numel()));
+  for (Index i = 0; i < labels.numel(); ++i) l[static_cast<std::size_t>(i)] =
+      labels[i] != 0.0F ? 1 : 0;
+  return auc_roc(s, l);
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<float>& scores, const std::vector<int>& labels) {
+  require_valid(scores, labels);
+  const long n_pos = std::count_if(labels.begin(), labels.end(), [](int l) { return l != 0; });
+  const long n_neg = static_cast<long>(labels.size()) - n_pos;
+  check(n_pos > 0 && n_neg > 0, "ROC needs both positive and negative labels");
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<float>::infinity(), 0.0F, 0.0F});
+  long tp = 0;
+  long fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const float threshold = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] != 0)
+        ++tp;
+      else
+        ++fp;
+      ++i;
+    }
+    curve.push_back({threshold, static_cast<float>(tp) / static_cast<float>(n_pos),
+                     static_cast<float>(fp) / static_cast<float>(n_neg)});
+  }
+  return curve;
+}
+
+Confusion confusion_at(const std::vector<float>& scores, const std::vector<int>& labels,
+                       float threshold) {
+  require_valid(scores, labels);
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    const bool actual = labels[i] != 0;
+    if (predicted && actual)
+      ++c.tp;
+    else if (predicted && !actual)
+      ++c.fp;
+    else if (!predicted && actual)
+      ++c.fn;
+    else
+      ++c.tn;
+  }
+  return c;
+}
+
+BestF1 best_f1(const std::vector<float>& scores, const std::vector<int>& labels) {
+  require_valid(scores, labels);
+  std::vector<float> candidates = scores;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  BestF1 best;
+  // Threshold just below each distinct score (score > threshold => positive).
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const float threshold =
+        i == 0 ? candidates[0] - 1.0F
+               : std::nextafter(candidates[i], -std::numeric_limits<float>::infinity());
+    const Confusion c = confusion_at(scores, labels, threshold);
+    const double f1 = c.f1();
+    if (f1 > best.f1) {
+      best.f1 = f1;
+      best.threshold = threshold;
+    }
+  }
+  return best;
+}
+
+EventStats event_detection(const std::vector<float>& scores, const std::vector<int>& labels,
+                           float threshold) {
+  require_valid(scores, labels);
+  EventStats stats;
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    if (labels[i] == 0) {
+      ++i;
+      continue;
+    }
+    // Maximal run of anomalous labels = one event.
+    ++stats.total_events;
+    bool detected = false;
+    while (i < labels.size() && labels[i] != 0) {
+      if (scores[i] > threshold) detected = true;
+      ++i;
+    }
+    if (detected) ++stats.detected_events;
+  }
+  return stats;
+}
+
+namespace {
+template <typename T>
+Summary summarize_impl(const std::vector<T>& values) {
+  check(!values.empty(), "summarize on empty input");
+  Summary s;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (T v : values) {
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double n = static_cast<double>(values.size());
+  s.mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  std::vector<T> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = static_cast<double>(sorted.front());
+  s.max = static_cast<double>(sorted.back());
+  s.median = static_cast<double>(sorted[sorted.size() / 2]);
+  return s;
+}
+}  // namespace
+
+Summary summarize(const std::vector<float>& values) { return summarize_impl(values); }
+Summary summarize(const std::vector<double>& values) { return summarize_impl(values); }
+
+}  // namespace varade::eval

@@ -1,0 +1,54 @@
+// k-d tree for exact nearest-neighbour queries.
+//
+// Effective in low/medium dimension; the kNN detector falls back to the
+// blocked brute-force search (knn.hpp) in high dimension where kd-trees
+// degenerate (curse of dimensionality). Both paths return identical results
+// and are cross-checked in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::knn {
+
+/// A neighbour: squared euclidean distance plus the index of the reference row.
+struct Neighbor {
+  float dist_sq = 0.0F;
+  Index index = -1;
+  bool operator<(const Neighbor& other) const { return dist_sq < other.dist_sq; }
+};
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds over reference points X [n, d]. Keeps a copy of the data.
+  void build(const Tensor& x);
+
+  /// Exact k nearest neighbours of `query` [d], sorted by ascending distance.
+  std::vector<Neighbor> query(const float* query, int k) const;
+  std::vector<Neighbor> query(const Tensor& query, int k) const;
+
+  bool built() const { return !nodes_.empty(); }
+  Index size() const { return points_.rank() == 2 ? points_.dim(0) : 0; }
+  Index n_features() const { return dims_; }
+
+ private:
+  struct Node {
+    Index point = -1;   // row into points_
+    int axis = -1;
+    int left = -1;
+    int right = -1;
+  };
+
+  int build_range(std::vector<Index>& rows, Index begin, Index end, int depth);
+  void search(int node_id, const float* query, int k, std::vector<Neighbor>& heap) const;
+
+  Tensor points_;  // [n, d]
+  Index dims_ = 0;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace varade::knn

@@ -1,0 +1,59 @@
+// k-nearest-neighbour anomaly scoring (paper section 3.3, following Goldstein
+// & Uchida [6]): the anomaly score of a query point is the maximum (or mean)
+// distance to its k nearest neighbours among the normal reference set. The
+// paper uses maximum distance with k = 5.
+#pragma once
+
+#include <cstdint>
+
+#include "varade/knn/kdtree.hpp"
+
+namespace varade::knn {
+
+enum class KnnScore {
+  kMaxDistance,   // paper default
+  kMeanDistance,
+};
+
+struct KnnConfig {
+  int k = 5;  // paper: k = 5
+  KnnScore score = KnnScore::kMaxDistance;
+  /// Reference points are subsampled to at most this many rows (0 = keep all);
+  /// keeps edge memory and query cost bounded.
+  Index max_reference_points = 0;
+  /// Use the kd-tree when dimensionality <= this; brute force otherwise.
+  Index kdtree_max_dims = 16;
+  std::uint64_t seed = 0;
+};
+
+class KnnAnomalyScorer {
+ public:
+  explicit KnnAnomalyScorer(KnnConfig config = {});
+
+  /// Stores (a possibly subsampled copy of) the normal reference set X [n, d].
+  void fit(const Tensor& x);
+
+  /// Distance-based anomaly score of a query sample [d]; higher = more anomalous.
+  float score_one(const float* sample) const;
+  float score_one(const Tensor& sample) const;
+  Tensor score(const Tensor& x) const;
+
+  /// Exact k nearest neighbours (used by tests to cross-check both backends).
+  std::vector<Neighbor> neighbors(const float* sample) const;
+
+  bool fitted() const { return reference_.rank() == 2 && reference_.dim(0) > 0; }
+  Index reference_size() const { return fitted() ? reference_.dim(0) : 0; }
+  Index n_features() const { return dims_; }
+  bool using_kdtree() const { return use_kdtree_; }
+
+ private:
+  std::vector<Neighbor> brute_force(const float* sample) const;
+
+  KnnConfig config_;
+  Tensor reference_;  // [n, d]
+  Index dims_ = 0;
+  KdTree tree_;
+  bool use_kdtree_ = false;
+};
+
+}  // namespace varade::knn

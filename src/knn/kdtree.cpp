@@ -1,0 +1,85 @@
+#include "varade/knn/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace varade::knn {
+
+void KdTree::build(const Tensor& x) {
+  check(x.rank() == 2, "KdTree build expects X [n, d]");
+  check(x.dim(0) > 0 && x.dim(1) > 0, "KdTree build on empty data");
+  points_ = x;
+  dims_ = x.dim(1);
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(x.dim(0)));
+  std::vector<Index> rows(static_cast<std::size_t>(x.dim(0)));
+  std::iota(rows.begin(), rows.end(), Index{0});
+  root_ = build_range(rows, 0, x.dim(0), 0);
+}
+
+int KdTree::build_range(std::vector<Index>& rows, Index begin, Index end, int depth) {
+  if (begin >= end) return -1;
+  const int axis = depth % static_cast<int>(dims_);
+  const Index mid = begin + (end - begin) / 2;
+  std::nth_element(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                   rows.begin() + static_cast<std::ptrdiff_t>(mid),
+                   rows.begin() + static_cast<std::ptrdiff_t>(end), [&](Index a, Index b) {
+                     return points_[a * dims_ + axis] < points_[b * dims_ + axis];
+                   });
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{.point = rows[static_cast<std::size_t>(mid)], .axis = axis,
+                        .left = -1, .right = -1});
+  const int left = build_range(rows, begin, mid, depth + 1);
+  const int right = build_range(rows, mid + 1, end, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void KdTree::search(int node_id, const float* query, int k, std::vector<Neighbor>& heap) const {
+  if (node_id < 0) return;
+  const Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+  const float* p = points_.data() + nd.point * dims_;
+
+  float dist_sq = 0.0F;
+  for (Index i = 0; i < dims_; ++i) {
+    const float d = query[i] - p[i];
+    dist_sq += d * d;
+  }
+  if (static_cast<int>(heap.size()) < k) {
+    heap.push_back({dist_sq, nd.point});
+    std::push_heap(heap.begin(), heap.end());
+  } else if (dist_sq < heap.front().dist_sq) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {dist_sq, nd.point};
+    std::push_heap(heap.begin(), heap.end());
+  }
+
+  const float axis_diff = query[nd.axis] - p[nd.axis];
+  const int near = axis_diff <= 0.0F ? nd.left : nd.right;
+  const int far = axis_diff <= 0.0F ? nd.right : nd.left;
+  search(near, query, k, heap);
+  // Prune the far side unless the splitting plane is closer than the current
+  // k-th best distance.
+  if (static_cast<int>(heap.size()) < k || axis_diff * axis_diff < heap.front().dist_sq)
+    search(far, query, k, heap);
+}
+
+std::vector<Neighbor> KdTree::query(const float* query, int k) const {
+  check(built(), "KdTree query before build");
+  check(k >= 1, "k must be >= 1");
+  std::vector<Neighbor> heap;
+  heap.reserve(static_cast<std::size_t>(k));
+  search(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  return heap;
+}
+
+std::vector<Neighbor> KdTree::query(const Tensor& query, int k) const {
+  check(query.rank() == 1 && query.dim(0) == dims_,
+        "query expects [" + std::to_string(dims_) + "]");
+  return query.numel() == 0 ? std::vector<Neighbor>{} : this->query(query.data(), k);
+}
+
+}  // namespace varade::knn

@@ -1,0 +1,94 @@
+#include "varade/knn/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace varade::knn {
+
+KnnAnomalyScorer::KnnAnomalyScorer(KnnConfig config) : config_(config) {
+  check(config_.k >= 1, "kNN requires k >= 1");
+  check(config_.max_reference_points >= 0, "max_reference_points must be >= 0");
+}
+
+void KnnAnomalyScorer::fit(const Tensor& x) {
+  check(x.rank() == 2, "kNN fit expects X [n, d]");
+  check(x.dim(0) >= config_.k, "kNN reference set smaller than k");
+  dims_ = x.dim(1);
+
+  if (config_.max_reference_points > 0 && x.dim(0) > config_.max_reference_points) {
+    // Deterministic uniform subsample.
+    Rng rng(config_.seed);
+    std::vector<Index> rows(static_cast<std::size_t>(x.dim(0)));
+    std::iota(rows.begin(), rows.end(), Index{0});
+    std::shuffle(rows.begin(), rows.end(), rng.engine());
+    rows.resize(static_cast<std::size_t>(config_.max_reference_points));
+    std::sort(rows.begin(), rows.end());
+    Tensor sub({config_.max_reference_points, dims_});
+    for (Index i = 0; i < config_.max_reference_points; ++i)
+      for (Index j = 0; j < dims_; ++j)
+        sub[i * dims_ + j] = x[rows[static_cast<std::size_t>(i)] * dims_ + j];
+    reference_ = std::move(sub);
+  } else {
+    reference_ = x;
+  }
+
+  use_kdtree_ = dims_ <= config_.kdtree_max_dims;
+  if (use_kdtree_) tree_.build(reference_);
+}
+
+std::vector<Neighbor> KnnAnomalyScorer::brute_force(const float* sample) const {
+  const Index n = reference_.dim(0);
+  const int k = config_.k;
+  std::vector<Neighbor> heap;
+  heap.reserve(static_cast<std::size_t>(k));
+  const float* ref = reference_.data();
+  for (Index i = 0; i < n; ++i) {
+    const float* p = ref + i * dims_;
+    float dist_sq = 0.0F;
+    for (Index j = 0; j < dims_; ++j) {
+      const float d = sample[j] - p[j];
+      dist_sq += d * d;
+    }
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back({dist_sq, i});
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist_sq < heap.front().dist_sq) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist_sq, i};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  return heap;
+}
+
+std::vector<Neighbor> KnnAnomalyScorer::neighbors(const float* sample) const {
+  check(fitted(), "kNN score before fit");
+  return use_kdtree_ ? tree_.query(sample, config_.k) : brute_force(sample);
+}
+
+float KnnAnomalyScorer::score_one(const float* sample) const {
+  const std::vector<Neighbor> nbs = neighbors(sample);
+  check(!nbs.empty(), "kNN found no neighbours");
+  if (config_.score == KnnScore::kMaxDistance) return std::sqrt(nbs.back().dist_sq);
+  double acc = 0.0;
+  for (const Neighbor& nb : nbs) acc += std::sqrt(static_cast<double>(nb.dist_sq));
+  return static_cast<float>(acc / static_cast<double>(nbs.size()));
+}
+
+float KnnAnomalyScorer::score_one(const Tensor& sample) const {
+  check(sample.rank() == 1 && sample.dim(0) == dims_,
+        "score_one expects [" + std::to_string(dims_) + "]");
+  return score_one(sample.data());
+}
+
+Tensor KnnAnomalyScorer::score(const Tensor& x) const {
+  check(x.rank() == 2 && x.dim(1) == dims_, "score expects [n, d]");
+  const Index n = x.dim(0);
+  Tensor out({n});
+  for (Index i = 0; i < n; ++i) out[i] = score_one(x.data() + i * dims_);
+  return out;
+}
+
+}  // namespace varade::knn

@@ -1,0 +1,24 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include <cmath>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::nn {
+
+/// He (Kaiming) normal init — appropriate before ReLU nonlinearities.
+inline Tensor he_normal(const Shape& shape, Index fan_in, Rng& rng) {
+  check(fan_in > 0, "he_normal requires positive fan_in");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return Tensor::randn(shape, rng, stddev);
+}
+
+/// Xavier (Glorot) uniform init — appropriate before tanh/sigmoid.
+inline Tensor xavier_uniform(const Shape& shape, Index fan_in, Index fan_out, Rng& rng) {
+  check(fan_in > 0 && fan_out > 0, "xavier_uniform requires positive fans");
+  const float limit = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand_uniform(shape, rng, -limit, limit);
+}
+
+}  // namespace varade::nn

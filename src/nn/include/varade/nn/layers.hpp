@@ -1,0 +1,172 @@
+// Feed-forward layers: Linear, activations, Conv1d, ConvTranspose1d, Flatten,
+// LastTimeStep, and the 1-D residual block used by the autoencoder baseline.
+//
+// Tensor conventions:
+//  - Dense layers operate on [N, F].
+//  - Temporal layers operate on channels-first sequences [N, C, L].
+#pragma once
+
+#include "varade/nn/module.hpp"
+
+namespace varade::nn {
+
+/// Fully connected layer: y = x W^T + b, x: [N, in], y: [N, out].
+class Linear : public Module {
+ public:
+  Linear(Index in_features, Index out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+  Shape output_shape(const Shape& in) const override;
+  long flops(const Shape& in) const override;
+
+  Index in_features() const { return in_; }
+  Index out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Index in_;
+  Index out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+/// Rectified linear activation (any shape).
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  long flops(const Shape& in) const override { return shape_numel(in); }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent activation (any shape).
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  long flops(const Shape& in) const override { return 4 * shape_numel(in); }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// 1-D convolution over [N, C, L] with configurable kernel/stride/padding.
+///
+/// VARADE uses kernel_size = stride = 2 and no padding, halving the time
+/// dimension at every layer (paper section 3.1); the autoencoder baseline uses
+/// kernel 3 / stride 1 / padding 1 inside its residual blocks.
+class Conv1d : public Module {
+ public:
+  Conv1d(Index in_channels, Index out_channels, Index kernel_size, Index stride, Index padding,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Conv1d"; }
+  Shape output_shape(const Shape& in) const override;
+  long flops(const Shape& in) const override;
+
+  Index in_channels() const { return in_ch_; }
+  Index out_channels() const { return out_ch_; }
+  Index kernel_size() const { return kernel_; }
+  Index stride() const { return stride_; }
+  Index padding() const { return padding_; }
+
+  /// Output length for an input of length `l`.
+  Index out_length(Index l) const;
+
+ private:
+  Index in_ch_;
+  Index out_ch_;
+  Index kernel_;
+  Index stride_;
+  Index padding_;
+  Parameter weight_;  // [out_ch, in_ch, kernel]
+  Parameter bias_;    // [out_ch]
+  Tensor cached_input_;
+};
+
+/// 1-D transposed convolution (upsampling), inverse geometry of Conv1d with
+/// the same kernel/stride and no padding: L_out = (L_in - 1) * stride + k.
+class ConvTranspose1d : public Module {
+ public:
+  ConvTranspose1d(Index in_channels, Index out_channels, Index kernel_size, Index stride,
+                  Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "ConvTranspose1d"; }
+  Shape output_shape(const Shape& in) const override;
+  long flops(const Shape& in) const override;
+
+ private:
+  Index in_ch_;
+  Index out_ch_;
+  Index kernel_;
+  Index stride_;
+  Parameter weight_;  // [in_ch, out_ch, kernel]
+  Parameter bias_;    // [out_ch]
+  Tensor cached_input_;
+};
+
+/// Collapses [N, C, L] to [N, C*L] (row-major, i.e. channel-major blocks).
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+  Shape output_shape(const Shape& in) const override;
+  long flops(const Shape&) const override { return 0; }
+
+ private:
+  Shape cached_shape_;
+};
+
+/// Selects the last time step of a sequence: [N, C, L] -> [N, C].
+class LastTimeStep : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "LastTimeStep"; }
+  Shape output_shape(const Shape& in) const override;
+  long flops(const Shape&) const override { return 0; }
+
+ private:
+  Shape cached_shape_;
+};
+
+/// Pre-activation 1-D residual block (He et al. [7] adapted to sequences):
+///   y = x + Conv(ReLU(Conv(ReLU(x))))
+/// with kernel 3, stride 1, padding 1, so the shape is preserved.
+class ResidualBlock1d : public Module {
+ public:
+  ResidualBlock1d(Index channels, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "ResidualBlock1d"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  long flops(const Shape& in) const override;
+
+ private:
+  ReLU relu1_;
+  Conv1d conv1_;
+  ReLU relu2_;
+  Conv1d conv2_;
+};
+
+}  // namespace varade::nn

@@ -1,0 +1,40 @@
+// Loss functions, including the variational objective of VARADE (paper
+// section 3.2, equations 5-7).
+//
+// Each loss returns the scalar value (mean over all elements, so gradients are
+// batch-size independent) together with analytic gradients w.r.t. its inputs.
+#pragma once
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::nn {
+
+/// Scalar loss plus gradient w.r.t. a single prediction tensor.
+struct LossResult {
+  float value = 0.0F;
+  Tensor grad;
+};
+
+/// Scalar loss plus gradients w.r.t. a (mean, log-variance) pair.
+struct VariationalLossResult {
+  float value = 0.0F;
+  Tensor grad_mu;
+  Tensor grad_logvar;
+};
+
+/// Mean squared error: mean((pred - target)^2).
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Gaussian negative log-likelihood (paper Eq. 5, constant term dropped):
+///   mean_i [ 1/2 * ( logvar_i + (y_i - mu_i)^2 / exp(logvar_i) ) ]
+VariationalLossResult gaussian_nll(const Tensor& mu, const Tensor& logvar, const Tensor& target);
+
+/// KL divergence to a standard normal prior (paper Eq. 6):
+///   mean_i [ -1/2 * ( 1 + logvar_i - mu_i^2 - exp(logvar_i) ) ]
+VariationalLossResult kl_standard_normal(const Tensor& mu, const Tensor& logvar);
+
+/// Full VARADE objective (paper Eq. 7): L = L_recon + lambda * D_KL.
+VariationalLossResult elbo_loss(const Tensor& mu, const Tensor& logvar, const Tensor& target,
+                                float lambda);
+
+}  // namespace varade::nn

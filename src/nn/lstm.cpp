@@ -1,0 +1,195 @@
+#include "varade/nn/lstm.hpp"
+
+#include <cmath>
+
+#include "varade/nn/init.hpp"
+
+namespace varade::nn {
+
+namespace {
+inline float sigmoid(float v) { return 1.0F / (1.0F + std::exp(-v)); }
+}  // namespace
+
+Lstm::Lstm(Index input_size, Index hidden_size, Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      w_ih_("w_ih", xavier_uniform({4 * hidden_size, input_size}, input_size, hidden_size, rng)),
+      w_hh_("w_hh", xavier_uniform({4 * hidden_size, hidden_size}, hidden_size, hidden_size, rng)),
+      bias_("bias", Tensor({4 * hidden_size})) {
+  check(input_size > 0 && hidden_size > 0, "Lstm dimensions must be positive");
+  // Initialise the forget-gate bias to 1 (standard trick for gradient flow).
+  for (Index h = 0; h < hidden_; ++h) bias_.value[hidden_ + h] = 1.0F;
+}
+
+Tensor Lstm::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(1) == input_,
+        "Lstm expected [N, " + std::to_string(input_) + ", L], got " +
+            shape_to_string(x.shape()));
+  cached_input_ = x;
+  const Index n = x.dim(0);
+  const Index l = x.dim(2);
+  gate_i_.assign(static_cast<std::size_t>(l), Tensor());
+  gate_f_.assign(static_cast<std::size_t>(l), Tensor());
+  gate_g_.assign(static_cast<std::size_t>(l), Tensor());
+  gate_o_.assign(static_cast<std::size_t>(l), Tensor());
+  cell_.assign(static_cast<std::size_t>(l), Tensor());
+  cell_tanh_.assign(static_cast<std::size_t>(l), Tensor());
+  hidden_seq_.assign(static_cast<std::size_t>(l), Tensor());
+
+  Tensor h_prev({n, hidden_});
+  Tensor c_prev({n, hidden_});
+  Tensor out({n, hidden_, l});
+
+  const float* pwi = w_ih_.value.data();
+  const float* pwh = w_hh_.value.data();
+  const float* pb = bias_.value.data();
+  const float* px = x.data();
+
+  for (Index t = 0; t < l; ++t) {
+    Tensor gi({n, hidden_});
+    Tensor gf({n, hidden_});
+    Tensor gg({n, hidden_});
+    Tensor go({n, hidden_});
+    Tensor ct({n, hidden_});
+    Tensor ct_tanh({n, hidden_});
+    Tensor ht({n, hidden_});
+    for (Index b = 0; b < n; ++b) {
+      const float* hp = h_prev.data() + b * hidden_;
+      const float* cp = c_prev.data() + b * hidden_;
+      for (Index h = 0; h < hidden_; ++h) {
+        // Pre-activations for the four gates of unit h.
+        double pre[4];
+        for (int g = 0; g < 4; ++g) {
+          const Index row = g * hidden_ + h;
+          double acc = pb[row];
+          const float* wi = pwi + row * input_;
+          for (Index c = 0; c < input_; ++c)
+            acc += static_cast<double>(wi[c]) * px[(b * input_ + c) * l + t];
+          const float* wh = pwh + row * hidden_;
+          for (Index k = 0; k < hidden_; ++k) acc += static_cast<double>(wh[k]) * hp[k];
+          pre[g] = acc;
+        }
+        const float i = sigmoid(static_cast<float>(pre[0]));
+        const float f = sigmoid(static_cast<float>(pre[1]));
+        const float g = std::tanh(static_cast<float>(pre[2]));
+        const float o = sigmoid(static_cast<float>(pre[3]));
+        const float c = f * cp[h] + i * g;
+        const float tc = std::tanh(c);
+        const Index idx = b * hidden_ + h;
+        gi[idx] = i;
+        gf[idx] = f;
+        gg[idx] = g;
+        go[idx] = o;
+        ct[idx] = c;
+        ct_tanh[idx] = tc;
+        ht[idx] = o * tc;
+        out[(b * hidden_ + h) * l + t] = ht[idx];
+      }
+    }
+    gate_i_[static_cast<std::size_t>(t)] = std::move(gi);
+    gate_f_[static_cast<std::size_t>(t)] = std::move(gf);
+    gate_g_[static_cast<std::size_t>(t)] = std::move(gg);
+    gate_o_[static_cast<std::size_t>(t)] = std::move(go);
+    cell_[static_cast<std::size_t>(t)] = ct;
+    cell_tanh_[static_cast<std::size_t>(t)] = std::move(ct_tanh);
+    hidden_seq_[static_cast<std::size_t>(t)] = ht;
+    h_prev = std::move(ht);
+    c_prev = std::move(ct);
+  }
+  return out;
+}
+
+Tensor Lstm::backward(const Tensor& grad_out) {
+  const Index n = cached_input_.dim(0);
+  const Index l = cached_input_.dim(2);
+  check(grad_out.rank() == 3 && grad_out.dim(0) == n && grad_out.dim(1) == hidden_ &&
+            grad_out.dim(2) == l,
+        "Lstm backward shape mismatch");
+
+  Tensor grad_in(cached_input_.shape());
+  Tensor dh_next({n, hidden_});
+  Tensor dc_next({n, hidden_});
+
+  const float* pwi = w_ih_.value.data();
+  const float* pwh = w_hh_.value.data();
+  float* pdwi = w_ih_.grad.data();
+  float* pdwh = w_hh_.grad.data();
+  float* pdb = bias_.grad.data();
+  const float* px = cached_input_.data();
+  float* pdx = grad_in.data();
+
+  Tensor da({n, 4 * hidden_});  // pre-activation gradients, reused per step
+
+  for (Index t = l - 1; t >= 0; --t) {
+    const auto ts = static_cast<std::size_t>(t);
+    const Tensor& gi = gate_i_[ts];
+    const Tensor& gf = gate_f_[ts];
+    const Tensor& gg = gate_g_[ts];
+    const Tensor& go = gate_o_[ts];
+    const Tensor& tc = cell_tanh_[ts];
+    const Tensor* c_prev = t > 0 ? &cell_[ts - 1] : nullptr;
+    const Tensor* h_prev = t > 0 ? &hidden_seq_[ts - 1] : nullptr;
+
+    da.zero();
+    Tensor dc_prev({n, hidden_});
+    for (Index b = 0; b < n; ++b) {
+      for (Index h = 0; h < hidden_; ++h) {
+        const Index idx = b * hidden_ + h;
+        const float dh = grad_out[(b * hidden_ + h) * l + t] + dh_next[idx];
+        const float dco = dh * go[idx] * (1.0F - tc[idx] * tc[idx]) + dc_next[idx];
+        const float cprev = c_prev != nullptr ? (*c_prev)[idx] : 0.0F;
+        const float d_i = dco * gg[idx];
+        const float d_f = dco * cprev;
+        const float d_g = dco * gi[idx];
+        const float d_o = dh * tc[idx];
+        da[b * 4 * hidden_ + 0 * hidden_ + h] = d_i * gi[idx] * (1.0F - gi[idx]);
+        da[b * 4 * hidden_ + 1 * hidden_ + h] = d_f * gf[idx] * (1.0F - gf[idx]);
+        da[b * 4 * hidden_ + 2 * hidden_ + h] = d_g * (1.0F - gg[idx] * gg[idx]);
+        da[b * 4 * hidden_ + 3 * hidden_ + h] = d_o * go[idx] * (1.0F - go[idx]);
+        dc_prev[idx] = dco * gf[idx];
+      }
+    }
+
+    // Accumulate parameter grads and propagate to x_t and h_{t-1}.
+    dh_next.zero();
+    for (Index b = 0; b < n; ++b) {
+      const float* darow = da.data() + b * 4 * hidden_;
+      for (Index r = 0; r < 4 * hidden_; ++r) {
+        const float g = darow[r];
+        if (g == 0.0F) continue;
+        pdb[r] += g;
+        float* dwi = pdwi + r * input_;
+        const float* wi = pwi + r * input_;
+        for (Index c = 0; c < input_; ++c) {
+          dwi[c] += g * px[(b * input_ + c) * l + t];
+          pdx[(b * input_ + c) * l + t] += g * wi[c];
+        }
+        float* dwh = pdwh + r * hidden_;
+        const float* wh = pwh + r * hidden_;
+        float* dhn = dh_next.data() + b * hidden_;
+        if (h_prev != nullptr) {
+          const float* hp = h_prev->data() + b * hidden_;
+          for (Index k = 0; k < hidden_; ++k) {
+            dwh[k] += g * hp[k];
+            dhn[k] += g * wh[k];
+          }
+        }
+      }
+    }
+    dc_next = std::move(dc_prev);
+  }
+  return grad_in;
+}
+
+Shape Lstm::output_shape(const Shape& in) const {
+  check(in.size() == 2 && in[0] == input_, "Lstm output_shape mismatch");
+  return {hidden_, in[1]};
+}
+
+long Lstm::flops(const Shape& in) const {
+  check(in.size() == 2, "Lstm flops expects [C, L]");
+  const Index l = in[1];
+  return 2L * 4 * hidden_ * (input_ + hidden_) * l;
+}
+
+}  // namespace varade::nn

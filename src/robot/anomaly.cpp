@@ -1,0 +1,168 @@
+#include "varade/robot/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "varade/robot/geometry.hpp"
+
+namespace varade::robot {
+
+CollisionSchedule::CollisionSchedule(CollisionScheduleConfig config)
+    : recovery_label_s_(config.recovery_label_s),
+      stop_detection_delay_(config.stop_detection_delay) {
+  check(config.recovery_label_s >= 0.0, "recovery label window must be non-negative");
+  check(config.max_stop_duration >= config.min_stop_duration && config.min_stop_duration >= 0.0,
+        "invalid protective-stop duration range");
+  check(config.stop_detection_delay >= 0.0, "detection delay must be non-negative");
+  check(config.n_events >= 0, "n_events must be non-negative");
+  check(config.experiment_duration > 0.0, "experiment duration must be positive");
+  check(config.max_duration >= config.min_duration && config.min_duration > 0.0,
+        "invalid collision duration range");
+  check(config.max_peak_torque >= config.min_peak_torque && config.min_peak_torque > 0.0,
+        "invalid collision torque range");
+  const double usable = config.experiment_duration - config.max_duration;
+  check(config.n_events == 0 || usable > config.min_separation * config.n_events,
+        "experiment too short for the requested number of separated collisions");
+
+  Rng rng(config.seed);
+  std::vector<double> starts;
+  starts.reserve(static_cast<std::size_t>(config.n_events));
+  // Rejection-sample start times with minimum separation.
+  int guard = 0;
+  while (static_cast<int>(starts.size()) < config.n_events) {
+    check(++guard < config.n_events * 1000, "failed to place separated collision events");
+    const double t = rng.uniform(0.0F, static_cast<float>(usable));
+    const bool ok = std::all_of(starts.begin(), starts.end(), [&](double s) {
+      return std::fabs(s - t) >= config.min_separation;
+    });
+    if (ok) starts.push_back(t);
+  }
+  std::sort(starts.begin(), starts.end());
+
+  events_.reserve(starts.size());
+  for (double start : starts) {
+    CollisionEvent ev;
+    ev.start_time = start;
+    ev.duration = rng.uniform(static_cast<float>(config.min_duration),
+                              static_cast<float>(config.max_duration));
+    ev.chatter_amplitude = config.chatter_amplitude;
+    ev.chatter_freq_hz = rng.uniform(static_cast<float>(config.chatter_min_freq_hz),
+                                     static_cast<float>(config.chatter_max_freq_hz));
+    ev.stop_duration = rng.uniform(static_cast<float>(config.min_stop_duration),
+                                   static_cast<float>(config.max_stop_duration));
+    const int n_joints = rng.bernoulli(0.3) ? 2 : 1;
+    for (int k = 0; k < n_joints; ++k) {
+      int j = rng.uniform_int(0, kNumJoints - 1);
+      // Avoid duplicating a joint within one event.
+      if (!ev.joints.empty() && j == ev.joints.front()) j = (j + 1) % kNumJoints;
+      const double magnitude = rng.uniform(static_cast<float>(config.min_peak_torque),
+                                           static_cast<float>(config.max_peak_torque));
+      const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      ev.joints.push_back(j);
+      ev.peak_torque.push_back(sign * magnitude);
+    }
+    events_.push_back(std::move(ev));
+  }
+}
+
+std::array<double, kNumJoints> CollisionSchedule::torque_at(double t) const {
+  std::array<double, kNumJoints> tau{};
+  if (events_.empty()) return tau;
+
+  // Advance the cursor for monotone time queries; rewind if time went back.
+  if (cursor_ > 0 && events_[cursor_ - 1].start_time > t) cursor_ = 0;
+  while (cursor_ < events_.size() &&
+         events_[cursor_].start_time + events_[cursor_].duration < t)
+    ++cursor_;
+
+  // Check the events around the cursor (separation guarantees at most one is
+  // active, but stay defensive).
+  for (std::size_t i = cursor_; i < events_.size() && events_[i].start_time <= t; ++i) {
+    const CollisionEvent& ev = events_[i];
+    const double local = t - ev.start_time;
+    if (local < 0.0 || local > ev.duration) continue;
+    // Half-sine pulse with contact chatter riding on it: smooth rise and
+    // fall like a real contact force, plus grab/bump vibration.
+    const double envelope = std::sin(kPi * local / ev.duration);
+    const double chatter =
+        ev.chatter_amplitude * std::sin(2.0 * kPi * ev.chatter_freq_hz * local);
+    const double shape = envelope * (1.0 + chatter);
+    for (std::size_t k = 0; k < ev.joints.size(); ++k)
+      tau[static_cast<std::size_t>(ev.joints[k])] += ev.peak_torque[k] * shape;
+  }
+  return tau;
+}
+
+MicroDisturbanceGenerator::MicroDisturbanceGenerator(MicroDisturbanceConfig config,
+                                                     std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  check(config_.mean_interval_s > 0.0, "mean interval must be positive");
+  check(config_.max_duration >= config_.min_duration && config_.min_duration > 0.0,
+        "invalid micro-disturbance duration range");
+  check(config_.max_peak_torque >= config_.min_peak_torque && config_.min_peak_torque >= 0.0,
+        "invalid micro-disturbance torque range");
+  // First event after one exponential gap.
+  std::exponential_distribution<double> gap(1.0 / config_.mean_interval_s);
+  next_start_ = gap(rng_.engine());
+}
+
+void MicroDisturbanceGenerator::advance_past(double t) {
+  while (true) {
+    if (active_ && t > current_.start_time + current_.duration) active_ = false;
+    if (!active_ && t >= next_start_) {
+      current_ = CollisionEvent{};
+      current_.start_time = next_start_;
+      current_.duration = rng_.uniform(static_cast<float>(config_.min_duration),
+                                       static_cast<float>(config_.max_duration));
+      current_.joints = {rng_.uniform_int(0, kNumJoints - 1)};
+      const double magnitude = rng_.uniform(static_cast<float>(config_.min_peak_torque),
+                                            static_cast<float>(config_.max_peak_torque));
+      current_.peak_torque = {rng_.bernoulli(0.5) ? magnitude : -magnitude};
+      current_.chatter_amplitude = config_.chatter_amplitude;
+      current_.chatter_freq_hz = rng_.uniform(static_cast<float>(config_.chatter_min_freq_hz),
+                                              static_cast<float>(config_.chatter_max_freq_hz));
+      active_ = true;
+      std::exponential_distribution<double> gap(1.0 / config_.mean_interval_s);
+      next_start_ = current_.start_time + current_.duration + gap(rng_.engine());
+      continue;
+    }
+    break;
+  }
+}
+
+std::array<double, kNumJoints> MicroDisturbanceGenerator::torque_at(double t) {
+  advance_past(t);
+  std::array<double, kNumJoints> tau{};
+  if (!active_) return tau;
+  const double local = t - current_.start_time;
+  if (local < 0.0 || local > current_.duration) return tau;
+  const double envelope = std::sin(kPi * local / current_.duration);
+  const double chatter =
+      current_.chatter_amplitude * std::sin(2.0 * kPi * current_.chatter_freq_hz * local);
+  const double shape = envelope * (1.0 + chatter);
+  tau[static_cast<std::size_t>(current_.joints.front())] =
+      current_.peak_torque.front() * shape;
+  return tau;
+}
+
+bool CollisionSchedule::active_at(double t) const {
+  for (const CollisionEvent& ev : events_) {
+    const double label_end =
+        ev.start_time + ev.duration + ev.stop_duration + recovery_label_s_;
+    if (t >= ev.start_time && t <= label_end) return true;
+    if (ev.start_time > t) break;
+  }
+  return false;
+}
+
+bool CollisionSchedule::stop_hold_at(double t) const {
+  for (const CollisionEvent& ev : events_) {
+    const double hold_begin = ev.start_time + stop_detection_delay_;
+    const double hold_end = ev.start_time + ev.duration + ev.stop_duration;
+    if (t >= hold_begin && t <= hold_end) return true;
+    if (ev.start_time > t) break;
+  }
+  return false;
+}
+
+}  // namespace varade::robot

@@ -1,0 +1,82 @@
+#include "varade/robot/dynamics.hpp"
+
+#include <cmath>
+
+namespace varade::robot {
+
+JointDynamics::JointDynamics(JointDynamicsConfig config)
+    : config_(config), ripple_rng_(config.ripple_seed) {
+  check(config_.kp > 0.0 && config_.kd > 0.0, "PD gains must be positive");
+  check(config_.torque_ripple >= 0.0 && config_.velocity_ripple >= 0.0,
+        "ripple coefficients must be non-negative");
+  for (double i : config_.inertia) check(i > 0.0, "joint inertia must be positive");
+}
+
+void JointDynamics::reset(const std::array<double, kNumJoints>& q) {
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    joints_[js] = JointState{.position = q[js], .velocity = 0.0, .acceleration = 0.0,
+                             .motor_torque = 0.0};
+  }
+}
+
+void JointDynamics::step(const std::array<JointRef, kNumJoints>& refs,
+                         const std::array<double, kNumJoints>& disturbance_torque, double dt) {
+  check(dt > 0.0, "dt must be positive");
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    JointState& s = joints_[js];
+    const JointRef& r = refs[js];
+    const double inertia = config_.inertia[js];
+
+    const double control_acc = config_.kp * (r.position - s.position) +
+                               config_.kd * (r.velocity - s.velocity) + r.acceleration;
+    s.motor_torque = inertia * control_acc;
+
+    // Load-dependent drivetrain vibration: torque ripple grows with the
+    // commanded torque and with speed (gear cogging), so intense motion —
+    // and above all the controller's fight against a collision — is rougher
+    // than quiet segments.
+    const double ripple_scale = config_.torque_ripple * std::fabs(s.motor_torque) +
+                                config_.velocity_ripple * std::fabs(s.velocity) * inertia;
+    const double ripple = ripple_scale * ripple_rng_.normal();
+
+    const double acc = control_acc + (disturbance_torque[js] + ripple) / inertia -
+                       config_.viscous_friction * s.velocity;
+    // Semi-implicit Euler: velocity first, then position with the new velocity.
+    s.acceleration = acc;
+    s.velocity += acc * dt;
+    s.position += s.velocity * dt;
+  }
+}
+
+std::array<double, kNumJoints> JointDynamics::positions() const {
+  std::array<double, kNumJoints> q{};
+  for (int j = 0; j < kNumJoints; ++j)
+    q[static_cast<std::size_t>(j)] = joints_[static_cast<std::size_t>(j)].position;
+  return q;
+}
+
+std::array<double, kNumJoints> JointDynamics::velocities() const {
+  std::array<double, kNumJoints> qd{};
+  for (int j = 0; j < kNumJoints; ++j)
+    qd[static_cast<std::size_t>(j)] = joints_[static_cast<std::size_t>(j)].velocity;
+  return qd;
+}
+
+double JointDynamics::mechanical_power() const {
+  double p = 0.0;
+  for (const JointState& s : joints_) p += std::fabs(s.motor_torque * s.velocity);
+  return p;
+}
+
+double JointDynamics::tracking_error(const std::array<JointRef, kNumJoints>& refs) const {
+  double e = 0.0;
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    e += std::fabs(refs[js].position - joints_[js].position);
+  }
+  return e;
+}
+
+}  // namespace varade::robot

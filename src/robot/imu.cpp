@@ -1,0 +1,91 @@
+#include "varade/robot/imu.hpp"
+
+#include <cmath>
+
+namespace varade::robot {
+
+ImuSensor::ImuSensor(ImuConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      temperature_(config.ambient_temp),
+      accel_filter_(3, config.kalman_process_noise, config.kalman_measurement_noise),
+      gyro_filter_(3, config.kalman_process_noise, config.kalman_measurement_noise) {
+  accel_bias_ = {rng_.normal(0.0F, static_cast<float>(config_.accel_bias_std)),
+                 rng_.normal(0.0F, static_cast<float>(config_.accel_bias_std)),
+                 rng_.normal(0.0F, static_cast<float>(config_.accel_bias_std))};
+  gyro_bias_ = {rng_.normal(0.0F, static_cast<float>(config_.gyro_bias_std)),
+                rng_.normal(0.0F, static_cast<float>(config_.gyro_bias_std)),
+                rng_.normal(0.0F, static_cast<float>(config_.gyro_bias_std))};
+}
+
+ImuReading ImuSensor::sample(const ImuInput& input, double dt) {
+  check(dt > 0.0, "dt must be positive");
+  ImuReading r;
+  const Mat3 world_to_body = input.orientation.transposed();
+
+  // Accelerometer measures specific force: a_world - g, with g = (0,0,-9.81),
+  // expressed in the body frame.
+  const Vec3 specific_force_world =
+      input.linear_acceleration + Vec3{0.0, 0.0, kGravity};
+  Vec3 acc_body = world_to_body * specific_force_world + accel_bias_;
+  double acc[3] = {acc_body.x + rng_.normal(0.0F, static_cast<float>(config_.accel_noise_std)),
+                   acc_body.y + rng_.normal(0.0F, static_cast<float>(config_.accel_noise_std)),
+                   acc_body.z + rng_.normal(0.0F, static_cast<float>(config_.accel_noise_std))};
+  accel_filter_.update(acc, 3);
+  r.accel = {static_cast<float>(acc[0]), static_cast<float>(acc[1]), static_cast<float>(acc[2])};
+
+  // Gyroscope: body-frame angular velocity in deg/s.
+  Vec3 gyro_body = world_to_body * input.angular_velocity;
+  double gyr[3] = {
+      rad_to_deg(gyro_body.x) + gyro_bias_.x +
+          rng_.normal(0.0F, static_cast<float>(config_.gyro_noise_std)),
+      rad_to_deg(gyro_body.y) + gyro_bias_.y +
+          rng_.normal(0.0F, static_cast<float>(config_.gyro_noise_std)),
+      rad_to_deg(gyro_body.z) + gyro_bias_.z +
+          rng_.normal(0.0F, static_cast<float>(config_.gyro_noise_std))};
+  gyro_filter_.update(gyr, 3);
+  r.gyro = {static_cast<float>(gyr[0]), static_cast<float>(gyr[1]), static_cast<float>(gyr[2])};
+
+  // Orientation as a quaternion with small component noise, renormalised.
+  Quaternion q = Quaternion::from_matrix(input.orientation);
+  q.w += rng_.normal(0.0F, static_cast<float>(config_.quat_noise_std));
+  q.x += rng_.normal(0.0F, static_cast<float>(config_.quat_noise_std));
+  q.y += rng_.normal(0.0F, static_cast<float>(config_.quat_noise_std));
+  q.z += rng_.normal(0.0F, static_cast<float>(config_.quat_noise_std));
+  q = q.normalized();
+  // Keep a consistent hemisphere so components do not flip sign sample to
+  // sample (q and -q encode the same rotation).
+  if (q.w < 0.0) q = {-q.w, -q.x, -q.y, -q.z};
+  r.quat = {static_cast<float>(q.w), static_cast<float>(q.x), static_cast<float>(q.y),
+            static_cast<float>(q.z)};
+
+  // Temperature: first-order approach to ambient + load-dependent rise.
+  const double target = config_.ambient_temp + config_.temp_rise_coeff * input.motor_load;
+  const double alpha = dt / (config_.temp_time_constant + dt);
+  temperature_ += alpha * (target - temperature_);
+  r.temperature = static_cast<float>(
+      temperature_ + rng_.normal(0.0F, static_cast<float>(config_.temp_noise_std)));
+
+  // Transmission glitches happen after the on-sensor filter, on the wire.
+  if (stale_remaining_ > 0 && have_last_) {
+    --stale_remaining_;
+    return last_reading_;  // repeated (stale) frame
+  }
+  if (config_.stale_probability > 0.0 && rng_.bernoulli(config_.stale_probability))
+    stale_remaining_ = rng_.uniform_int(config_.stale_min_samples, config_.stale_max_samples);
+  if (config_.spike_probability > 0.0 && rng_.bernoulli(config_.spike_probability)) {
+    const double magnitude = rng_.uniform(static_cast<float>(config_.spike_min_magnitude),
+                                          static_cast<float>(config_.spike_max_magnitude));
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    const int ch = rng_.uniform_int(0, 5);  // one of the 6 accel/gyro channels
+    if (ch < 3)
+      r.accel[static_cast<std::size_t>(ch)] += static_cast<float>(sign * magnitude);
+    else
+      r.gyro[static_cast<std::size_t>(ch - 3)] += static_cast<float>(sign * magnitude);
+  }
+  last_reading_ = r;
+  have_last_ = true;
+  return r;
+}
+
+}  // namespace varade::robot

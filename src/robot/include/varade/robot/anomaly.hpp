@@ -1,0 +1,126 @@
+// Collision anomaly injection.
+//
+// Reproduces the paper's "collision experiment" protocol (section 4.3): a
+// human operator randomly interferes with the robot during its movement in a
+// very limited timeframe — 125 collisions over 82 minutes. Here each
+// collision is a half-sine disturbance-torque pulse applied to one or two
+// random joints; ground-truth labels mark samples inside the pulse window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "varade/robot/kinematics.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+
+/// One scheduled collision.
+struct CollisionEvent {
+  double start_time = 0.0;                 // [s]
+  double duration = 0.0;                   // [s]
+  std::vector<int> joints;                 // affected joint indices
+  std::vector<double> peak_torque;         // [N m], signed, one per joint
+  double chatter_freq_hz = 0.0;            // contact-vibration frequency
+  double chatter_amplitude = 0.0;          // fraction of peak torque
+  /// Protective-stop hold after contact (ISO/TS 15066 collaborative
+  /// operation: the controller halts on detected contact, then resumes).
+  double stop_duration = 0.0;              // [s]
+};
+
+struct CollisionScheduleConfig {
+  int n_events = 125;            // paper: 125 collisions
+  double experiment_duration = 4920.0;  // paper: 82 minutes
+  double min_duration = 0.15;    // [s] "very limited timeframe"
+  double max_duration = 0.6;     // [s]
+  double min_peak_torque = 4.0;  // [N m] human shove against a compliant arm
+  double max_peak_torque = 12.0; // [N m]
+  double min_separation = 4.0;   // [s] between event starts (covers the stop)
+  /// Contact chatter: a grab/bump is not a clean pulse; a vibration component
+  /// rides on the half-sine (fraction of peak, within this frequency band).
+  double chatter_amplitude = 0.35;
+  double chatter_min_freq_hz = 12.0;
+  double chatter_max_freq_hz = 35.0;
+  /// Ground-truth labels cover the contact window plus the recovery
+  /// transient: a collided compliant arm is off its scripted trajectory until
+  /// the controller re-converges, and an annotator marking real IMU traces
+  /// would label that whole deviation as the anomaly.
+  double recovery_label_s = 1.2;
+  /// Protective-stop hold range after contact (collaborative robots halt on
+  /// detected contact and resume once it clears).
+  double min_stop_duration = 0.8;
+  double max_stop_duration = 1.8;
+  /// Contact-detection latency before the controller reacts.
+  double stop_detection_delay = 0.1;
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic random schedule of collision events.
+class CollisionSchedule {
+ public:
+  explicit CollisionSchedule(CollisionScheduleConfig config);
+
+  /// Empty schedule (normal operation / training recording).
+  CollisionSchedule() = default;
+
+  const std::vector<CollisionEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Disturbance torque per joint at absolute time t [N m].
+  std::array<double, kNumJoints> torque_at(double t) const;
+
+  /// True when t falls inside any collision window — contact, protective
+  /// stop, and recovery transient (the ground-truth label).
+  bool active_at(double t) const;
+
+  /// True while the controller's protective stop holds the trajectory.
+  bool stop_hold_at(double t) const;
+
+  double recovery_label_s() const { return recovery_label_s_; }
+
+ private:
+  double recovery_label_s_ = 0.0;
+  double stop_detection_delay_ = 0.0;
+  std::vector<CollisionEvent> events_;
+  // Cursor for monotone queries (typical simulator access pattern).
+  mutable std::size_t cursor_ = 0;
+};
+
+/// Benign micro-disturbances: small unlabeled torque perturbations present in
+/// *normal* operation (payload shifts, cable drag, vibration from neighbouring
+/// machinery). They give the training data a continuum of disturbance
+/// intensities — the heteroscedastic signal a variational detector learns
+/// from — and make single-sample outlier detection realistically hard.
+/// Collisions are drawn from the same pattern family but an order of
+/// magnitude stronger and labelled.
+struct MicroDisturbanceConfig {
+  double mean_interval_s = 2.5;    // exponential gaps between events
+  double min_duration = 0.1;       // [s]
+  double max_duration = 0.4;       // [s]
+  double min_peak_torque = 0.4;    // [N m]
+  double max_peak_torque = 2.5;    // [N m]
+  double chatter_amplitude = 0.35;
+  double chatter_min_freq_hz = 12.0;
+  double chatter_max_freq_hz = 35.0;
+};
+
+/// Streams micro-disturbance torques; events are generated lazily from the
+/// seed, so recordings of any length draw from one deterministic process.
+class MicroDisturbanceGenerator {
+ public:
+  MicroDisturbanceGenerator(MicroDisturbanceConfig config, std::uint64_t seed);
+
+  /// Disturbance torque per joint at time `t` (monotone queries).
+  std::array<double, kNumJoints> torque_at(double t);
+
+ private:
+  void advance_past(double t);
+
+  MicroDisturbanceConfig config_;
+  Rng rng_;
+  CollisionEvent current_;
+  bool active_ = false;
+  double next_start_ = 0.0;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,88 @@
+// Per-joint second-order dynamics under PD control.
+//
+// Each joint tracks its trajectory reference with a PD controller plus
+// acceleration feed-forward; external disturbance torques (collisions) enter
+// the same equation the way real contact forces do, so a collision produces
+// exactly the transients the paper's detectors look for: tracking error,
+// acceleration/gyro spikes, and a motor-torque (hence power) surge.
+//
+//   qdd = ( tau_motor + tau_disturbance - b*qd ) / I
+//   tau_motor = I * ( Kp*(q_ref - q) + Kd*(qd_ref - qd) + qdd_ref )
+//
+// Integration is semi-implicit Euler at the sensor rate (200 Hz), which is
+// stable for the chosen gains (natural frequency 20 rad/s, critically damped).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "varade/robot/trajectory.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+
+struct JointDynamicsConfig {
+  // Compliant (collaborative-mode) gains: the LBR iiwa yields visibly under a
+  // human shove, which is what makes collisions observable in the kinematic
+  // channels. Feed-forward acceleration keeps normal tracking tight anyway.
+  // Underdamped (zeta ~ 0.4): a disturbance rings down at the arm's natural
+  // frequency (~1.2 Hz) for about a second — the resonance signature that
+  // makes post-collision recovery observable and learnable.
+  double kp = 60.0;                // proportional gain [1/s^2]
+  double kd = 6.0;                 // derivative gain [1/s]
+  double viscous_friction = 0.08;  // b/I [1/s]
+  /// Effective inertia per joint [kg m^2], decreasing along the chain.
+  std::array<double, kNumJoints> inertia{0.30, 0.25, 0.20, 0.15, 0.10, 0.06, 0.04};
+  /// Torque ripple: gear-cogging / commutation vibration proportional to the
+  /// commanded torque magnitude. Makes intense motion measurably rougher than
+  /// rest — the load-dependent heteroscedasticity real drivetrains exhibit
+  /// (and the signal VARADE's variance head learns from).
+  double torque_ripple = 0.45;
+  /// Velocity-dependent vibration component [N m per rad/s].
+  double velocity_ripple = 0.06;
+  std::uint64_t ripple_seed = 7;
+};
+
+/// State of one joint.
+struct JointState {
+  double position = 0.0;      // [rad]
+  double velocity = 0.0;      // [rad/s]
+  double acceleration = 0.0;  // [rad/s^2]
+  double motor_torque = 0.0;  // [N m]
+};
+
+class JointDynamics {
+ public:
+  explicit JointDynamics(JointDynamicsConfig config = {});
+
+  /// Resets all joints to the given configuration at rest.
+  void reset(const std::array<double, kNumJoints>& q);
+
+  /// Advances one step of `dt` seconds toward `refs`, with external
+  /// disturbance torques [N m] added per joint.
+  void step(const std::array<JointRef, kNumJoints>& refs,
+            const std::array<double, kNumJoints>& disturbance_torque, double dt);
+
+  const std::array<JointState, kNumJoints>& joints() const { return joints_; }
+
+  std::array<double, kNumJoints> positions() const;
+  std::array<double, kNumJoints> velocities() const;
+
+  /// Total mechanical power currently delivered by the motors [W]:
+  /// sum |tau_i * qd_i|.
+  double mechanical_power() const;
+
+  /// Sum of |tracking error| over joints [rad]; a collision indicator used in
+  /// tests.
+  double tracking_error(const std::array<JointRef, kNumJoints>& refs) const;
+
+  /// Reseeds the ripple noise stream (used to decorrelate recordings).
+  void reseed_ripple(std::uint64_t seed) { ripple_rng_ = Rng(seed); }
+
+ private:
+  JointDynamicsConfig config_;
+  std::array<JointState, kNumJoints> joints_{};
+  Rng ripple_rng_{7};
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,103 @@
+// Minimal 3-D geometry types for the manipulator simulator.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "varade/error.hpp"
+
+namespace varade::robot {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+};
+
+/// Row-major 3x3 rotation matrix.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 identity() { return {}; }
+
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r * 3 + c)]; }
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r * 3 + c)]; }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) {
+        double acc = 0.0;
+        for (int k = 0; k < 3; ++k) acc += (*this)(r, k) * o(k, c);
+        out(r, c) = acc;
+      }
+    return out;
+  }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z, m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  Mat3 transposed() const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) out(r, c) = (*this)(c, r);
+    return out;
+  }
+
+  /// Rotation about the z axis by `a` radians.
+  static Mat3 rot_z(double a) {
+    Mat3 r;
+    const double c = std::cos(a);
+    const double s = std::sin(a);
+    r.m = {c, -s, 0, s, c, 0, 0, 0, 1};
+    return r;
+  }
+
+  /// Rotation about the x axis by `a` radians.
+  static Mat3 rot_x(double a) {
+    Mat3 r;
+    const double c = std::cos(a);
+    const double s = std::sin(a);
+    r.m = {1, 0, 0, 0, c, -s, 0, s, c};
+    return r;
+  }
+};
+
+/// Rigid transform: rotation + translation.
+struct Transform {
+  Mat3 rotation;
+  Vec3 translation;
+
+  Transform operator*(const Transform& o) const {
+    return {rotation * o.rotation, rotation * o.translation + translation};
+  }
+
+  Vec3 apply(const Vec3& p) const { return rotation * p + translation; }
+};
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kGravity = 9.80665;  // m/s^2
+
+inline double deg_to_rad(double d) { return d * kPi / 180.0; }
+inline double rad_to_deg(double r) { return r * 180.0 / kPi; }
+
+}  // namespace varade::robot

@@ -1,0 +1,87 @@
+// Inertial Measurement Unit sensor model (DFRobot SEN0386 equivalent).
+//
+// One IMU is mounted on each robot joint (paper section 4.1). Per sample the
+// sensor reports 11 channels (Table 1): 3-axis acceleration [m/s^2], 3-axis
+// angular velocity [deg/s], 4 quaternion orientation components, and a
+// temperature [degC]. Measurements are corrupted with bias + white noise and
+// then smoothed with the on-sensor Kalman filter, matching the real device's
+// output path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "varade/robot/kalman.hpp"
+#include "varade/robot/kinematics.hpp"
+#include "varade/robot/quaternion.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+
+struct ImuConfig {
+  double accel_noise_std = 0.02;   // [m/s^2]
+  double gyro_noise_std = 0.15;    // [deg/s]
+  double quat_noise_std = 0.002;   // unitless, per component before renorm
+  double temp_noise_std = 0.05;    // [degC]
+  double accel_bias_std = 0.02;    // fixed per-sensor bias draw
+  double gyro_bias_std = 0.1;
+  double ambient_temp = 24.0;        // [degC]
+  double temp_rise_coeff = 6.0;      // degC at unit normalized load
+  double temp_time_constant = 60.0;  // [s]
+  /// On-sensor Kalman filter noise parameters (variances).
+  double kalman_process_noise = 0.05;
+  double kalman_measurement_noise = 0.01;
+
+  // Transmission glitches (after the Kalman filter, on the serial link, so
+  // they reach the consumer unfiltered — as on the real 200 Hz wire):
+  /// Probability per sample of a spike on one random accel/gyro channel.
+  double spike_probability = 8e-4;
+  double spike_min_magnitude = 3.0;   // in channel units (m/s^2 or deg/s)
+  double spike_max_magnitude = 12.0;
+  /// Probability per sample of entering a stale-frame run (repeated output).
+  double stale_probability = 4e-4;
+  int stale_min_samples = 2;
+  int stale_max_samples = 5;
+};
+
+/// Ground-truth kinematic input for one IMU sample.
+struct ImuInput {
+  Mat3 orientation;           // link frame in world
+  Vec3 angular_velocity;      // world frame [rad/s]
+  Vec3 linear_acceleration;   // of the sensor point, world frame [m/s^2]
+  double motor_load = 0.0;    // normalized |torque|/rated, drives heating
+};
+
+/// One IMU measurement (the 11 channels of Table 1, in schema order).
+struct ImuReading {
+  std::array<float, 3> accel{};  // m/s^2
+  std::array<float, 3> gyro{};   // deg/s
+  std::array<float, 4> quat{};   // w, x, y, z
+  float temperature = 0.0F;      // degC
+};
+
+class ImuSensor {
+ public:
+  ImuSensor(ImuConfig config, std::uint64_t seed);
+
+  /// Produces one filtered reading; `dt` is the sample period.
+  ImuReading sample(const ImuInput& input, double dt);
+
+  const ImuConfig& config() const { return config_; }
+  double temperature_state() const { return temperature_; }
+
+ private:
+  ImuConfig config_;
+  Rng rng_;
+  Vec3 accel_bias_;
+  Vec3 gyro_bias_;
+  double temperature_;
+  KalmanBank accel_filter_;
+  KalmanBank gyro_filter_;
+  // Transmission-glitch state.
+  int stale_remaining_ = 0;
+  ImuReading last_reading_{};
+  bool have_last_ = false;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,53 @@
+// Scalar Kalman filters matching the on-sensor smoothing of the DFRobot
+// SEN0386 IMU, which "sends data at 200 Hz on a serial wire after applying a
+// Kalman filter to reduce noise" (paper section 4.1).
+#pragma once
+
+#include <vector>
+
+#include "varade/error.hpp"
+
+namespace varade::robot {
+
+/// One-dimensional Kalman filter with a random-walk state model:
+///   x_t = x_{t-1} + w,  w ~ N(0, q)
+///   z_t = x_t + v,      v ~ N(0, r)
+class ScalarKalman {
+ public:
+  /// `process_noise` q and `measurement_noise` r are variances.
+  ScalarKalman(double process_noise, double measurement_noise);
+
+  /// Incorporates a measurement and returns the filtered estimate.
+  double update(double measurement);
+
+  double estimate() const { return x_; }
+  double variance() const { return p_; }
+  double gain() const { return k_; }
+  bool initialized() const { return initialized_; }
+  void reset();
+
+ private:
+  double q_;
+  double r_;
+  double x_ = 0.0;
+  double p_ = 1.0;
+  double k_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Bank of independent scalar filters, one per channel.
+class KalmanBank {
+ public:
+  KalmanBank(int n_channels, double process_noise, double measurement_noise);
+
+  /// Filters `values` in place (stateful: one call per sample period).
+  void update(double* values, int n);
+
+  int size() const { return static_cast<int>(filters_.size()); }
+  const ScalarKalman& filter(int i) const;
+
+ private:
+  std::vector<ScalarKalman> filters_;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,63 @@
+// Forward kinematics of a 7-DOF serial manipulator.
+//
+// The chain is parameterised with standard Denavit-Hartenberg rows matching
+// the geometry of a KUKA LBR iiwa 14 (link offsets d1=0.36, d3=0.42,
+// d5=0.40, d7=0.126 m, alternating +-90 degree link twists), the robot of the
+// paper's case study (section 4.1).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "varade/robot/geometry.hpp"
+#include "varade/robot/quaternion.hpp"
+
+namespace varade::robot {
+
+inline constexpr int kNumJoints = 7;
+
+/// One standard DH row: rotation about z by (theta + q), translation d along
+/// z, translation a along x, rotation alpha about x.
+struct DhRow {
+  double a = 0.0;      // link length [m]
+  double alpha = 0.0;  // link twist [rad]
+  double d = 0.0;      // link offset [m]
+  double theta = 0.0;  // joint angle offset [rad]
+};
+
+/// Joint limits of the LBR iiwa (degrees, symmetric).
+std::array<double, kNumJoints> iiwa_joint_limits_deg();
+
+/// The iiwa-like DH table used by the simulator.
+std::array<DhRow, kNumJoints> iiwa_dh_table();
+
+/// Kinematic state of every link for one joint configuration.
+struct LinkState {
+  Transform pose;        // link frame in world coordinates
+  Vec3 angular_velocity; // world frame [rad/s]
+};
+
+class ForwardKinematics {
+ public:
+  ForwardKinematics() : dh_(iiwa_dh_table()) {}
+  explicit ForwardKinematics(std::array<DhRow, kNumJoints> dh) : dh_(dh) {}
+
+  /// Pose of every link frame for joint angles q [rad].
+  std::array<Transform, kNumJoints> link_poses(const std::array<double, kNumJoints>& q) const;
+
+  /// Poses plus angular velocities given joint velocities qd [rad/s].
+  std::array<LinkState, kNumJoints> link_states(const std::array<double, kNumJoints>& q,
+                                                const std::array<double, kNumJoints>& qd) const;
+
+  /// End-effector (last link) pose.
+  Transform end_effector(const std::array<double, kNumJoints>& q) const;
+
+  const std::array<DhRow, kNumJoints>& dh() const { return dh_; }
+
+ private:
+  Transform joint_transform(int joint, double q) const;
+
+  std::array<DhRow, kNumJoints> dh_;
+};
+
+}  // namespace varade::robot

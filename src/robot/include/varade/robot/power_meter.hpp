@@ -1,0 +1,69 @@
+// Single-phase energy meter model (Eastron SDM230 equivalent, paper
+// section 4.1) monitoring the robot plus its industrial PC.
+//
+// Driven by the mechanical power the joint motors deliver, it derives the
+// eight electrical quantities of the paper's power channels: current,
+// frequency, phase angle, active power, power factor, reactive power,
+// voltage, and the cumulative energy register. Collisions raise motor torque
+// and therefore active power/current — the "anomalies transparent with
+// respect to the robot trajectories" the paper calls out (section 4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "varade/error.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+
+struct PowerMeterConfig {
+  double idle_power_w = 160.0;     // robot controller + industrial PC baseline
+  double motor_efficiency = 0.72;  // mechanical->electrical conversion
+  double rated_power_w = 1200.0;   // full-scale for load-fraction computation
+  double nominal_voltage = 230.0;  // [V]
+  double nominal_frequency = 50.0; // [Hz]
+  double pf_idle = 0.62;           // power factor at idle (switching supplies)
+  double pf_full = 0.94;           // power factor at rated load
+  double voltage_noise_std = 0.25;
+  double frequency_noise_std = 0.01;
+  double power_noise_std = 2.5;    // [W]
+  /// Modbus transmission glitch: probability per sample of a spurious spike
+  /// on the current/power registers (seen on real RS-485 links).
+  double spike_probability = 6e-4;
+  double spike_max_fraction = 0.5;  // spike size as a fraction of the reading
+};
+
+/// One meter reading, in the schema order of the power channels.
+struct PowerReading {
+  float current = 0.0F;         // [A]
+  float frequency = 0.0F;       // [Hz]
+  float phase_angle = 0.0F;     // [deg]
+  float power = 0.0F;           // active power [W]
+  float power_factor = 0.0F;    // [-]
+  float reactive_power = 0.0F;  // [VAr]
+  float voltage = 0.0F;         // [V]
+  float energy = 0.0F;          // cumulative [kWh]
+
+  std::array<float, 8> as_array() const {
+    return {current, frequency, phase_angle, power, power_factor, reactive_power, voltage, energy};
+  }
+};
+
+class PowerMeter {
+ public:
+  PowerMeter(PowerMeterConfig config, std::uint64_t seed);
+
+  /// Produces a reading given the motors' mechanical power [W] over `dt` s.
+  PowerReading sample(double mechanical_power_w, double dt);
+
+  double energy_kwh() const { return energy_kwh_; }
+  const PowerMeterConfig& config() const { return config_; }
+
+ private:
+  PowerMeterConfig config_;
+  Rng rng_;
+  double energy_kwh_ = 0.0;
+};
+
+}  // namespace varade::robot

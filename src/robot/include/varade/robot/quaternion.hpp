@@ -1,0 +1,47 @@
+// Quaternion algebra.
+//
+// The paper converts IMU Euler orientations to quaternions to avoid the
+// +-180 degree wrap discontinuity (section 4.2); this type provides that
+// conversion plus the operations the simulator and tests need.
+#pragma once
+
+#include "varade/robot/geometry.hpp"
+
+namespace varade::robot {
+
+struct Quaternion {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  static Quaternion identity() { return {}; }
+
+  /// From intrinsic Z-Y-X Euler angles (yaw, pitch, roll), radians.
+  static Quaternion from_euler(double roll, double pitch, double yaw);
+
+  /// From a rotation matrix (Shepperd's method, numerically robust).
+  static Quaternion from_matrix(const Mat3& m);
+
+  /// Axis-angle constructor; axis need not be normalised.
+  static Quaternion from_axis_angle(const Vec3& axis, double angle);
+
+  Quaternion operator*(const Quaternion& o) const;
+  Quaternion conjugate() const { return {w, -x, -y, -z}; }
+  double norm() const;
+  Quaternion normalized() const;
+
+  /// Rotates a vector by this quaternion.
+  Vec3 rotate(const Vec3& v) const;
+
+  /// Back to a rotation matrix.
+  Mat3 to_matrix() const;
+
+  /// Euler Z-Y-X (returns roll, pitch, yaw in radians).
+  void to_euler(double& roll, double& pitch, double& yaw) const;
+
+  /// Angular distance to another quaternion in radians.
+  double angle_to(const Quaternion& o) const;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,110 @@
+// Full robotic-cell simulator: the substitute for the paper's physical
+// testbed (KUKA LBR iiwa + 7 IMUs + energy meter).
+//
+// Per 200 Hz step the simulator:
+//   1. looks up the active action and its joint references,
+//   2. queries the collision schedule for disturbance torques,
+//   3. integrates the PD-controlled joint dynamics,
+//   4. computes link kinematics (poses, angular velocities) and sensor-point
+//      linear accelerations by finite differences,
+//   5. samples the 7 IMU models and the power meter,
+//   6. assembles the 86-channel record (Table 1 order) with its ground-truth
+//      collision label.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "varade/data/timeseries.hpp"
+#include "varade/robot/anomaly.hpp"
+#include "varade/robot/dynamics.hpp"
+#include "varade/robot/imu.hpp"
+#include "varade/robot/power_meter.hpp"
+#include "varade/robot/trajectory.hpp"
+
+namespace varade::robot {
+
+struct SimulatorConfig {
+  int n_actions = 30;             // paper: 30 unique machine services
+  double sample_rate_hz = 200.0;  // paper: IMU rate
+  std::uint64_t seed = 42;        // determines the action library
+  /// Sensor-noise seed; 0 derives it from `seed`. Distinct values let train
+  /// and test recordings share the action library but not the noise draws.
+  std::uint64_t noise_seed = 0;
+  /// Execution-to-execution variability: a smooth multi-sine dither added to
+  /// the joint references so no two cycles repeat exactly (real pick-and-
+  /// place varies with payload and placement; a detector must not be able to
+  /// memorise the cycle). Amplitude in radians.
+  double reference_dither_rad = 0.03;
+  double dither_min_freq_hz = 0.05;
+  double dither_max_freq_hz = 0.4;
+  /// Benign unlabeled micro-disturbances present in normal operation.
+  bool enable_micro_disturbances = true;
+  MicroDisturbanceConfig micro;
+  ImuConfig imu;
+  PowerMeterConfig power;
+  JointDynamicsConfig dynamics;
+};
+
+/// One assembled 86-channel sample.
+struct RobotSample {
+  std::vector<float> channels;  // size 86, Table 1 order
+  int label = 0;                // 1 while a collision is active
+  double time = 0.0;            // [s]
+};
+
+class RobotCellSimulator {
+ public:
+  explicit RobotCellSimulator(SimulatorConfig config);
+
+  /// Installs a collision schedule (empty schedule = normal operation).
+  void set_collision_schedule(CollisionSchedule schedule);
+
+  /// Advances one sample period and returns the new sample.
+  RobotSample step();
+
+  /// Runs for `duration_s` seconds, appending samples to a series.
+  data::MultivariateSeries record(double duration_s);
+
+  double time() const { return time_; }
+  double dt() const { return dt_; }
+  const ActionSchedule& schedule() const { return schedule_; }
+  const JointDynamics& dynamics() const { return dynamics_; }
+
+ private:
+  SimulatorConfig config_;
+  double dt_;
+  double time_ = 0.0;
+  ActionLibrary library_;
+  ActionSchedule schedule_;
+  ForwardKinematics kinematics_;
+  JointDynamics dynamics_;
+  CollisionSchedule collisions_;
+  std::unique_ptr<MicroDisturbanceGenerator> micro_;
+  std::vector<ImuSensor> imus_;
+  PowerMeter power_meter_;
+
+  // Reference dither: per-joint sums of low-frequency sinusoids.
+  struct DitherComponent {
+    double amplitude = 0.0;
+    double freq_hz = 0.0;
+    double phase = 0.0;
+  };
+  std::array<std::array<DitherComponent, 3>, kNumJoints> dither_{};
+  std::array<JointRef, kNumJoints> dithered_refs(
+      const std::array<JointRef, kNumJoints>& refs) const;
+
+  // Protective-stop state: reference frozen at the hold position until the
+  // controller resumes.
+  bool holding_ = false;
+  std::array<JointRef, kNumJoints> held_refs_{};
+
+  // Finite-difference state for sensor-point linear accelerations.
+  bool have_prev_ = false;
+  std::array<Vec3, kNumJoints> prev_positions_{};
+  std::array<Vec3, kNumJoints> prev_velocities_{};
+  bool have_prev_vel_ = false;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,102 @@
+// Joint-space trajectory generation.
+//
+// Each robot action (machine service) is a sequence of joint waypoints joined
+// by quintic polynomial segments with zero boundary velocity/acceleration —
+// the smooth profiles industrial controllers produce. The ActionLibrary
+// deterministically generates the paper's 30 unique pick-and-place actions
+// (section 4.3) from a seed, and the ActionSchedule cycles through them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "varade/robot/kinematics.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+
+/// Position / velocity / acceleration sample of one joint.
+struct JointRef {
+  double position = 0.0;
+  double velocity = 0.0;
+  double acceleration = 0.0;
+};
+
+/// Quintic polynomial from (p0, 0, 0) to (p1, 0, 0) over [0, duration].
+class QuinticSegment {
+ public:
+  QuinticSegment(double p0, double p1, double duration);
+
+  JointRef sample(double t) const;
+  double duration() const { return duration_; }
+
+ private:
+  double p0_;
+  double duration_;
+  std::array<double, 6> coeff_;
+};
+
+/// A named action: synchronous quintic trajectories for all joints through a
+/// shared sequence of waypoints.
+class Action {
+ public:
+  Action(int id, std::vector<std::array<double, kNumJoints>> waypoints,
+         std::vector<double> segment_durations);
+
+  int id() const { return id_; }
+  double duration() const { return total_duration_; }
+  std::size_t n_waypoints() const { return waypoints_.size(); }
+
+  /// Reference for every joint at local time t (clamped to [0, duration]).
+  std::array<JointRef, kNumJoints> sample(double t) const;
+
+  /// First waypoint (where the action starts).
+  const std::array<double, kNumJoints>& start_configuration() const { return waypoints_.front(); }
+  /// Last waypoint (where the action ends).
+  const std::array<double, kNumJoints>& end_configuration() const { return waypoints_.back(); }
+
+ private:
+  int id_;
+  std::vector<std::array<double, kNumJoints>> waypoints_;
+  std::vector<double> segment_durations_;
+  std::vector<std::array<QuinticSegment, kNumJoints>> segments_;
+  double total_duration_ = 0.0;
+};
+
+/// Deterministically generates a set of unique actions. All actions start and
+/// end at the home configuration so any cyclic order is continuous.
+class ActionLibrary {
+ public:
+  ActionLibrary(int n_actions, std::uint64_t seed);
+
+  int size() const { return static_cast<int>(actions_.size()); }
+  const Action& action(int id) const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+/// Cycles through all actions of a library in a fixed order, as the paper's
+/// dataset does ("30 unique actions executed in a cycle").
+class ActionSchedule {
+ public:
+  explicit ActionSchedule(const ActionLibrary& library);
+
+  /// Advances to time t (monotone) and reports the active action and its
+  /// local time.
+  struct Cursor {
+    int action_id = 0;
+    double local_time = 0.0;
+  };
+  Cursor at(double t) const;
+
+  double cycle_duration() const { return cycle_duration_; }
+
+ private:
+  const ActionLibrary* library_;
+  std::vector<double> start_times_;  // start time of each action within a cycle
+  double cycle_duration_ = 0.0;
+};
+
+}  // namespace varade::robot

@@ -1,0 +1,50 @@
+#include "varade/robot/kalman.hpp"
+
+namespace varade::robot {
+
+ScalarKalman::ScalarKalman(double process_noise, double measurement_noise)
+    : q_(process_noise), r_(measurement_noise) {
+  check(process_noise > 0.0, "process noise must be positive");
+  check(measurement_noise > 0.0, "measurement noise must be positive");
+}
+
+double ScalarKalman::update(double measurement) {
+  if (!initialized_) {
+    x_ = measurement;
+    p_ = r_;
+    initialized_ = true;
+    return x_;
+  }
+  // Predict: random walk keeps x, inflates covariance.
+  p_ += q_;
+  // Update.
+  k_ = p_ / (p_ + r_);
+  x_ += k_ * (measurement - x_);
+  p_ *= (1.0 - k_);
+  return x_;
+}
+
+void ScalarKalman::reset() {
+  x_ = 0.0;
+  p_ = 1.0;
+  k_ = 0.0;
+  initialized_ = false;
+}
+
+KalmanBank::KalmanBank(int n_channels, double process_noise, double measurement_noise) {
+  check(n_channels > 0, "KalmanBank needs at least one channel");
+  filters_.reserve(static_cast<std::size_t>(n_channels));
+  for (int i = 0; i < n_channels; ++i) filters_.emplace_back(process_noise, measurement_noise);
+}
+
+void KalmanBank::update(double* values, int n) {
+  check(n == size(), "KalmanBank update size mismatch");
+  for (int i = 0; i < n; ++i) values[i] = filters_[static_cast<std::size_t>(i)].update(values[i]);
+}
+
+const ScalarKalman& KalmanBank::filter(int i) const {
+  check(i >= 0 && i < size(), "filter index out of range");
+  return filters_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace varade::robot

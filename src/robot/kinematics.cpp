@@ -1,0 +1,70 @@
+#include "varade/robot/kinematics.hpp"
+
+namespace varade::robot {
+
+std::array<double, kNumJoints> iiwa_joint_limits_deg() {
+  // A1..A7 limits of the LBR iiwa 14 R820 data sheet.
+  return {170.0, 120.0, 170.0, 120.0, 170.0, 120.0, 175.0};
+}
+
+std::array<DhRow, kNumJoints> iiwa_dh_table() {
+  const double half_pi = kPi / 2.0;
+  return {{
+      {0.0, -half_pi, 0.360, 0.0},
+      {0.0, half_pi, 0.0, 0.0},
+      {0.0, half_pi, 0.420, 0.0},
+      {0.0, -half_pi, 0.0, 0.0},
+      {0.0, -half_pi, 0.400, 0.0},
+      {0.0, half_pi, 0.0, 0.0},
+      {0.0, 0.0, 0.126, 0.0},
+  }};
+}
+
+Transform ForwardKinematics::joint_transform(int joint, double q) const {
+  const DhRow& row = dh_[static_cast<std::size_t>(joint)];
+  // Standard DH: Rz(theta+q) * Tz(d) * Tx(a) * Rx(alpha).
+  // Rotation composes to Rz*Rx; the translation is d along the (invariant)
+  // z axis plus a along the rotated x axis: (a cos, a sin, d).
+  Transform t;
+  const double angle = row.theta + q;
+  t.rotation = Mat3::rot_z(angle) * Mat3::rot_x(row.alpha);
+  t.translation = Vec3{row.a * std::cos(angle), row.a * std::sin(angle), row.d};
+  return t;
+}
+
+std::array<Transform, kNumJoints> ForwardKinematics::link_poses(
+    const std::array<double, kNumJoints>& q) const {
+  std::array<Transform, kNumJoints> poses;
+  Transform acc;  // identity = world/base frame
+  for (int j = 0; j < kNumJoints; ++j) {
+    acc = acc * joint_transform(j, q[static_cast<std::size_t>(j)]);
+    poses[static_cast<std::size_t>(j)] = acc;
+  }
+  return poses;
+}
+
+std::array<LinkState, kNumJoints> ForwardKinematics::link_states(
+    const std::array<double, kNumJoints>& q, const std::array<double, kNumJoints>& qd) const {
+  std::array<LinkState, kNumJoints> states;
+  const auto poses = link_poses(q);
+
+  // Joint j rotates about the z axis of frame j-1 (world z for j = 0).
+  Vec3 omega{0.0, 0.0, 0.0};
+  for (int j = 0; j < kNumJoints; ++j) {
+    Vec3 axis{0.0, 0.0, 1.0};
+    if (j > 0) {
+      const Mat3& r_prev = poses[static_cast<std::size_t>(j - 1)].rotation;
+      axis = Vec3{r_prev(0, 2), r_prev(1, 2), r_prev(2, 2)};
+    }
+    omega += axis * qd[static_cast<std::size_t>(j)];
+    states[static_cast<std::size_t>(j)].pose = poses[static_cast<std::size_t>(j)];
+    states[static_cast<std::size_t>(j)].angular_velocity = omega;
+  }
+  return states;
+}
+
+Transform ForwardKinematics::end_effector(const std::array<double, kNumJoints>& q) const {
+  return link_poses(q)[kNumJoints - 1];
+}
+
+}  // namespace varade::robot

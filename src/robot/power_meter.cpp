@@ -1,0 +1,63 @@
+#include "varade/robot/power_meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "varade/robot/geometry.hpp"
+
+namespace varade::robot {
+
+PowerMeter::PowerMeter(PowerMeterConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  check(config_.motor_efficiency > 0.0 && config_.motor_efficiency <= 1.0,
+        "motor efficiency must be in (0, 1]");
+  check(config_.rated_power_w > config_.idle_power_w, "rated power must exceed idle power");
+  check(config_.pf_idle > 0.0 && config_.pf_full <= 1.0 && config_.pf_idle <= config_.pf_full,
+        "power factors must satisfy 0 < pf_idle <= pf_full <= 1");
+}
+
+PowerReading PowerMeter::sample(double mechanical_power_w, double dt) {
+  check(dt > 0.0, "dt must be positive");
+  check(mechanical_power_w >= 0.0, "mechanical power cannot be negative");
+
+  const double active = config_.idle_power_w + mechanical_power_w / config_.motor_efficiency +
+                        rng_.normal(0.0F, static_cast<float>(config_.power_noise_std));
+  const double p = std::max(active, 1.0);
+
+  const double load = std::clamp(p / config_.rated_power_w, 0.0, 1.0);
+  const double pf = config_.pf_idle + (config_.pf_full - config_.pf_idle) * load;
+
+  // Slight voltage sag with load, plus grid noise.
+  const double voltage = config_.nominal_voltage * (1.0 - 0.004 * load) +
+                         rng_.normal(0.0F, static_cast<float>(config_.voltage_noise_std));
+  const double frequency = config_.nominal_frequency +
+                           rng_.normal(0.0F, static_cast<float>(config_.frequency_noise_std));
+
+  const double phase_rad = std::acos(std::clamp(pf, 0.0, 1.0));
+  const double reactive = p * std::tan(phase_rad);
+  const double current = p / (voltage * pf);
+
+  energy_kwh_ += p * dt / 3.6e6;
+
+  PowerReading r;
+  r.current = static_cast<float>(current);
+  r.frequency = static_cast<float>(frequency);
+  r.phase_angle = static_cast<float>(rad_to_deg(phase_rad));
+  r.power = static_cast<float>(p);
+  r.power_factor = static_cast<float>(pf);
+  r.reactive_power = static_cast<float>(reactive);
+  r.voltage = static_cast<float>(voltage);
+  r.energy = static_cast<float>(energy_kwh_);
+
+  // Modbus register glitch: a one-sample spike on the power/current pair.
+  if (config_.spike_probability > 0.0 && rng_.bernoulli(config_.spike_probability)) {
+    const float factor =
+        1.0F + rng_.uniform(-static_cast<float>(config_.spike_max_fraction),
+                            static_cast<float>(config_.spike_max_fraction));
+    r.power *= factor;
+    r.current *= factor;
+  }
+  return r;
+}
+
+}  // namespace varade::robot

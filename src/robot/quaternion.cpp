@@ -1,0 +1,114 @@
+#include "varade/robot/quaternion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varade::robot {
+
+Quaternion Quaternion::from_euler(double roll, double pitch, double yaw) {
+  const double cr = std::cos(roll * 0.5);
+  const double sr = std::sin(roll * 0.5);
+  const double cp = std::cos(pitch * 0.5);
+  const double sp = std::sin(pitch * 0.5);
+  const double cy = std::cos(yaw * 0.5);
+  const double sy = std::sin(yaw * 0.5);
+  return {cr * cp * cy + sr * sp * sy, sr * cp * cy - cr * sp * sy,
+          cr * sp * cy + sr * cp * sy, cr * cp * sy - sr * sp * cy};
+}
+
+Quaternion Quaternion::from_matrix(const Mat3& m) {
+  Quaternion q;
+  const double trace = m(0, 0) + m(1, 1) + m(2, 2);
+  if (trace > 0.0) {
+    const double s = std::sqrt(trace + 1.0) * 2.0;
+    q.w = 0.25 * s;
+    q.x = (m(2, 1) - m(1, 2)) / s;
+    q.y = (m(0, 2) - m(2, 0)) / s;
+    q.z = (m(1, 0) - m(0, 1)) / s;
+  } else if (m(0, 0) > m(1, 1) && m(0, 0) > m(2, 2)) {
+    const double s = std::sqrt(1.0 + m(0, 0) - m(1, 1) - m(2, 2)) * 2.0;
+    q.w = (m(2, 1) - m(1, 2)) / s;
+    q.x = 0.25 * s;
+    q.y = (m(0, 1) + m(1, 0)) / s;
+    q.z = (m(0, 2) + m(2, 0)) / s;
+  } else if (m(1, 1) > m(2, 2)) {
+    const double s = std::sqrt(1.0 + m(1, 1) - m(0, 0) - m(2, 2)) * 2.0;
+    q.w = (m(0, 2) - m(2, 0)) / s;
+    q.x = (m(0, 1) + m(1, 0)) / s;
+    q.y = 0.25 * s;
+    q.z = (m(1, 2) + m(2, 1)) / s;
+  } else {
+    const double s = std::sqrt(1.0 + m(2, 2) - m(0, 0) - m(1, 1)) * 2.0;
+    q.w = (m(1, 0) - m(0, 1)) / s;
+    q.x = (m(0, 2) + m(2, 0)) / s;
+    q.y = (m(1, 2) + m(2, 1)) / s;
+    q.z = 0.25 * s;
+  }
+  return q.normalized();
+}
+
+Quaternion Quaternion::from_axis_angle(const Vec3& axis, double angle) {
+  const double n = axis.norm();
+  check(n > 0.0, "axis-angle quaternion needs a non-zero axis");
+  const double half = angle * 0.5;
+  const double s = std::sin(half) / n;
+  return {std::cos(half), axis.x * s, axis.y * s, axis.z * s};
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return {w * o.w - x * o.x - y * o.y - z * o.z, w * o.x + x * o.w + y * o.z - z * o.y,
+          w * o.y - x * o.z + y * o.w + z * o.x, w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+double Quaternion::norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  check(n > 0.0, "cannot normalize a zero quaternion");
+  return {w / n, x / n, y / n, z / n};
+}
+
+Vec3 Quaternion::rotate(const Vec3& v) const {
+  // v' = q * (0, v) * q^-1, expanded for efficiency.
+  const Vec3 u{x, y, z};
+  const Vec3 t = u.cross(v) * 2.0;
+  return v + t * w + u.cross(t);
+}
+
+Mat3 Quaternion::to_matrix() const {
+  Mat3 m;
+  const double xx = x * x;
+  const double yy = y * y;
+  const double zz = z * z;
+  const double xy = x * y;
+  const double xz = x * z;
+  const double yz = y * z;
+  const double wx = w * x;
+  const double wy = w * y;
+  const double wz = w * z;
+  m.m = {1 - 2 * (yy + zz), 2 * (xy - wz),     2 * (xz + wy),
+         2 * (xy + wz),     1 - 2 * (xx + zz), 2 * (yz - wx),
+         2 * (xz - wy),     2 * (yz + wx),     1 - 2 * (xx + yy)};
+  return m;
+}
+
+void Quaternion::to_euler(double& roll, double& pitch, double& yaw) const {
+  const double sinr_cosp = 2.0 * (w * x + y * z);
+  const double cosr_cosp = 1.0 - 2.0 * (x * x + y * y);
+  roll = std::atan2(sinr_cosp, cosr_cosp);
+
+  const double sinp = 2.0 * (w * y - z * x);
+  pitch = std::fabs(sinp) >= 1.0 ? std::copysign(kPi / 2.0, sinp) : std::asin(sinp);
+
+  const double siny_cosp = 2.0 * (w * z + x * y);
+  const double cosy_cosp = 1.0 - 2.0 * (y * y + z * z);
+  yaw = std::atan2(siny_cosp, cosy_cosp);
+}
+
+double Quaternion::angle_to(const Quaternion& o) const {
+  const Quaternion d = conjugate() * o;
+  const double c = std::clamp(std::fabs(d.w), 0.0, 1.0);
+  return 2.0 * std::acos(c);
+}
+
+}  // namespace varade::robot

@@ -1,0 +1,157 @@
+#include "varade/robot/simulator.hpp"
+
+#include <cmath>
+
+namespace varade::robot {
+
+RobotCellSimulator::RobotCellSimulator(SimulatorConfig config)
+    : config_(config),
+      dt_(1.0 / config.sample_rate_hz),
+      library_(config.n_actions, config.seed),
+      schedule_(library_),
+      dynamics_(config.dynamics),
+      power_meter_(config.power,
+                   (config.noise_seed != 0 ? config.noise_seed : config.seed) ^
+                       0x9E3779B97F4A7C15ULL) {
+  check(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  Rng seeder((config.noise_seed != 0 ? config.noise_seed : config.seed) ^
+             0xD1B54A32D192ED03ULL);
+  imus_.reserve(kNumJoints);
+  for (int j = 0; j < kNumJoints; ++j) imus_.emplace_back(config.imu, seeder.next_u64());
+  dynamics_.reseed_ripple(seeder.next_u64());
+  dynamics_.reset(library_.action(0).start_configuration());
+
+  if (config.enable_micro_disturbances)
+    micro_ = std::make_unique<MicroDisturbanceGenerator>(config.micro, seeder.next_u64());
+
+  Rng dither_rng(seeder.next_u64());
+  for (auto& joint_dither : dither_) {
+    for (auto& comp : joint_dither) {
+      comp.amplitude = config.reference_dither_rad *
+                       dither_rng.uniform(0.3F, 1.0F) / 3.0;
+      comp.freq_hz = dither_rng.uniform(static_cast<float>(config.dither_min_freq_hz),
+                                        static_cast<float>(config.dither_max_freq_hz));
+      comp.phase = dither_rng.uniform(0.0F, static_cast<float>(2.0 * kPi));
+    }
+  }
+}
+
+void RobotCellSimulator::set_collision_schedule(CollisionSchedule schedule) {
+  collisions_ = std::move(schedule);
+}
+
+std::array<JointRef, kNumJoints> RobotCellSimulator::dithered_refs(
+    const std::array<JointRef, kNumJoints>& refs) const {
+  std::array<JointRef, kNumJoints> out = refs;
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    for (const DitherComponent& c : dither_[js]) {
+      const double w = 2.0 * kPi * c.freq_hz;
+      out[js].position += c.amplitude * std::sin(w * time_ + c.phase);
+      out[js].velocity += c.amplitude * w * std::cos(w * time_ + c.phase);
+      out[js].acceleration -= c.amplitude * w * w * std::sin(w * time_ + c.phase);
+    }
+  }
+  return out;
+}
+
+RobotSample RobotCellSimulator::step() {
+  time_ += dt_;
+
+  const ActionSchedule::Cursor cursor = schedule_.at(time_);
+  const Action& action = library_.action(cursor.action_id);
+  auto refs = dithered_refs(action.sample(cursor.local_time));
+
+  // Protective stop: on detected contact the controller freezes the
+  // reference where it is (zero commanded velocity/acceleration) and resumes
+  // the running schedule when the hold clears — after which the PD pulls the
+  // arm back onto the advanced script (the catch-up transient).
+  if (collisions_.stop_hold_at(time_)) {
+    if (!holding_) {
+      held_refs_ = refs;
+      for (auto& r : held_refs_) {
+        r.velocity = 0.0;
+        r.acceleration = 0.0;
+      }
+      holding_ = true;
+    }
+    refs = held_refs_;
+  } else {
+    holding_ = false;
+  }
+
+  auto disturbance = collisions_.torque_at(time_);
+  if (micro_ != nullptr) {
+    const auto micro_tau = micro_->torque_at(time_);
+    for (int j = 0; j < kNumJoints; ++j)
+      disturbance[static_cast<std::size_t>(j)] += micro_tau[static_cast<std::size_t>(j)];
+  }
+
+  dynamics_.step(refs, disturbance, dt_);
+
+  const auto q = dynamics_.positions();
+  const auto qd = dynamics_.velocities();
+  const auto links = kinematics_.link_states(q, qd);
+
+  // Sensor-point linear accelerations by central-ish finite differences of the
+  // link origins; the first two samples fall back to zero acceleration.
+  std::array<Vec3, kNumJoints> accelerations{};
+  std::array<Vec3, kNumJoints> velocities{};
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    const Vec3 p = links[js].pose.translation;
+    if (have_prev_) velocities[js] = (p - prev_positions_[js]) / dt_;
+    if (have_prev_ && have_prev_vel_)
+      accelerations[js] = (velocities[js] - prev_velocities_[js]) / dt_;
+    prev_positions_[js] = p;
+  }
+  if (have_prev_) {
+    prev_velocities_ = velocities;
+    have_prev_vel_ = true;
+  }
+  have_prev_ = true;
+
+  RobotSample sample;
+  sample.time = time_;
+  sample.label = collisions_.active_at(time_) ? 1 : 0;
+  sample.channels.reserve(static_cast<std::size_t>(data::kKukaChannelCount));
+  sample.channels.push_back(static_cast<float>(cursor.action_id));
+
+  double mech_power = dynamics_.mechanical_power();
+  for (int j = 0; j < kNumJoints; ++j) {
+    auto js = static_cast<std::size_t>(j);
+    ImuInput input;
+    input.orientation = links[js].pose.rotation;
+    input.angular_velocity = links[js].angular_velocity;
+    input.linear_acceleration = accelerations[js];
+    input.motor_load =
+        std::fabs(dynamics_.joints()[js].motor_torque) / 20.0;  // ~rated torque scale
+    const ImuReading r = imus_[js].sample(input, dt_);
+    for (float v : r.accel) sample.channels.push_back(v);
+    for (float v : r.gyro) sample.channels.push_back(v);
+    for (float v : r.quat) sample.channels.push_back(v);
+    sample.channels.push_back(r.temperature);
+  }
+
+  const PowerReading pr = power_meter_.sample(mech_power, dt_);
+  for (float v : pr.as_array()) sample.channels.push_back(v);
+
+  check(static_cast<Index>(sample.channels.size()) == data::kKukaChannelCount,
+        "assembled sample must have 86 channels");
+  return sample;
+}
+
+data::MultivariateSeries RobotCellSimulator::record(double duration_s) {
+  check(duration_s > 0.0, "recording duration must be positive");
+  const auto n_samples = static_cast<Index>(duration_s * config_.sample_rate_hz);
+  check(n_samples > 0, "duration too short for one sample");
+  data::MultivariateSeries series(data::kKukaChannelCount, data::kuka_channel_schema());
+  series.set_sample_rate_hz(config_.sample_rate_hz);
+  for (Index i = 0; i < n_samples; ++i) {
+    const RobotSample s = step();
+    series.append(s.channels, s.label);
+  }
+  return series;
+}
+
+}  // namespace varade::robot

@@ -1,0 +1,128 @@
+#include "varade/robot/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varade::robot {
+
+QuinticSegment::QuinticSegment(double p0, double p1, double duration)
+    : p0_(p0), duration_(duration) {
+  check(duration > 0.0, "segment duration must be positive");
+  // Boundary conditions p(0)=p0, p(T)=p1, v(0)=v(T)=a(0)=a(T)=0 give the
+  // classic 10-15-6 quintic.
+  const double d = p1 - p0;
+  coeff_ = {p0, 0.0, 0.0, 10.0 * d, -15.0 * d, 6.0 * d};
+}
+
+JointRef QuinticSegment::sample(double t) const {
+  const double s = std::clamp(t / duration_, 0.0, 1.0);
+  const double s2 = s * s;
+  const double s3 = s2 * s;
+  const double s4 = s3 * s;
+  const double s5 = s4 * s;
+  JointRef ref;
+  ref.position = coeff_[0] + coeff_[3] * s3 + coeff_[4] * s4 + coeff_[5] * s5;
+  const double dpds = 3.0 * coeff_[3] * s2 + 4.0 * coeff_[4] * s3 + 5.0 * coeff_[5] * s4;
+  const double d2pds2 = 6.0 * coeff_[3] * s + 12.0 * coeff_[4] * s2 + 20.0 * coeff_[5] * s3;
+  ref.velocity = dpds / duration_;
+  ref.acceleration = d2pds2 / (duration_ * duration_);
+  return ref;
+}
+
+Action::Action(int id, std::vector<std::array<double, kNumJoints>> waypoints,
+               std::vector<double> segment_durations)
+    : id_(id), waypoints_(std::move(waypoints)), segment_durations_(std::move(segment_durations)) {
+  check(waypoints_.size() >= 2, "an action needs at least two waypoints");
+  check(segment_durations_.size() == waypoints_.size() - 1,
+        "need one duration per waypoint pair");
+  segments_.reserve(segment_durations_.size());
+  for (std::size_t s = 0; s < segment_durations_.size(); ++s) {
+    check(segment_durations_[s] > 0.0, "segment durations must be positive");
+    std::array<QuinticSegment, kNumJoints> row = {
+        QuinticSegment(waypoints_[s][0], waypoints_[s + 1][0], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][1], waypoints_[s + 1][1], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][2], waypoints_[s + 1][2], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][3], waypoints_[s + 1][3], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][4], waypoints_[s + 1][4], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][5], waypoints_[s + 1][5], segment_durations_[s]),
+        QuinticSegment(waypoints_[s][6], waypoints_[s + 1][6], segment_durations_[s]),
+    };
+    segments_.push_back(row);
+    total_duration_ += segment_durations_[s];
+  }
+}
+
+std::array<JointRef, kNumJoints> Action::sample(double t) const {
+  double local = std::clamp(t, 0.0, total_duration_);
+  std::size_t seg = 0;
+  while (seg + 1 < segments_.size() && local > segment_durations_[seg]) {
+    local -= segment_durations_[seg];
+    ++seg;
+  }
+  std::array<JointRef, kNumJoints> refs;
+  for (int j = 0; j < kNumJoints; ++j)
+    refs[static_cast<std::size_t>(j)] = segments_[seg][static_cast<std::size_t>(j)].sample(local);
+  return refs;
+}
+
+ActionLibrary::ActionLibrary(int n_actions, std::uint64_t seed) {
+  check(n_actions >= 1, "library needs at least one action");
+  Rng rng(seed);
+  const auto limits = iiwa_joint_limits_deg();
+  const std::array<double, kNumJoints> home{};  // all joints at zero
+
+  actions_.reserve(static_cast<std::size_t>(n_actions));
+  for (int a = 0; a < n_actions; ++a) {
+    // 3 to 6 intermediate waypoints between home and home; pick-and-place
+    // style moves use a moderate fraction of the joint range.
+    const int n_mid = rng.uniform_int(3, 6);
+    std::vector<std::array<double, kNumJoints>> waypoints;
+    waypoints.push_back(home);
+    for (int w = 0; w < n_mid; ++w) {
+      std::array<double, kNumJoints> wp{};
+      for (int j = 0; j < kNumJoints; ++j) {
+        const double limit = deg_to_rad(limits[static_cast<std::size_t>(j)]) * 0.5;
+        wp[static_cast<std::size_t>(j)] = rng.uniform(static_cast<float>(-limit),
+                                                      static_cast<float>(limit));
+      }
+      waypoints.push_back(wp);
+    }
+    waypoints.push_back(home);
+
+    std::vector<double> durations;
+    durations.reserve(waypoints.size() - 1);
+    for (std::size_t s = 0; s + 1 < waypoints.size(); ++s)
+      durations.push_back(rng.uniform(1.2F, 3.0F));
+
+    actions_.emplace_back(a, std::move(waypoints), std::move(durations));
+  }
+}
+
+const Action& ActionLibrary::action(int id) const {
+  check(id >= 0 && id < size(), "action id out of range");
+  return actions_[static_cast<std::size_t>(id)];
+}
+
+ActionSchedule::ActionSchedule(const ActionLibrary& library) : library_(&library) {
+  double t = 0.0;
+  for (int a = 0; a < library.size(); ++a) {
+    start_times_.push_back(t);
+    t += library.action(a).duration();
+  }
+  cycle_duration_ = t;
+  check(cycle_duration_ > 0.0, "schedule has zero duration");
+}
+
+ActionSchedule::Cursor ActionSchedule::at(double t) const {
+  check(t >= 0.0, "schedule time must be non-negative");
+  const double phase = std::fmod(t, cycle_duration_);
+  // Find the last action whose start time is <= phase.
+  auto it = std::upper_bound(start_times_.begin(), start_times_.end(), phase);
+  const auto idx = static_cast<int>(it - start_times_.begin()) - 1;
+  Cursor c;
+  c.action_id = idx;
+  c.local_time = phase - start_times_[static_cast<std::size_t>(idx)];
+  return c;
+}
+
+}  // namespace varade::robot

@@ -1,0 +1,117 @@
+#include "varade/trees/gbrf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace varade::trees {
+
+GradientBoostedRegressor::GradientBoostedRegressor(GbrfConfig config) : config_(config) {
+  check(config_.n_trees >= 1, "GBRF needs at least one tree");
+  check(config_.learning_rate > 0.0F && config_.learning_rate <= 1.0F,
+        "GBRF learning rate must be in (0, 1]");
+  check(config_.subsample > 0.0F && config_.subsample <= 1.0F,
+        "GBRF subsample must be in (0, 1]");
+}
+
+void GradientBoostedRegressor::fit(const Tensor& x, const Tensor& y) {
+  check(x.rank() == 2 && y.rank() == 1 && x.dim(0) == y.dim(0),
+        "GBRF fit expects X [n, d] and y [n]");
+  check(x.dim(0) > 0, "GBRF fit on empty dataset");
+  const Index n = x.dim(0);
+
+  base_ = y.mean();
+  Tensor residual = y;
+  residual -= base_;
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
+  Rng rng(config_.seed);
+
+  std::vector<Index> all_rows(static_cast<std::size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), Index{0});
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    TreeConfig tc = config_.tree;
+    tc.seed = rng.next_u64();
+    DecisionTreeRegressor tree(tc);
+    if (config_.subsample < 1.0F) {
+      std::vector<Index> rows = all_rows;
+      std::shuffle(rows.begin(), rows.end(), rng.engine());
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(config_.subsample * static_cast<float>(n)));
+      rows.resize(keep);
+      tree.fit_rows(x, residual, rows);
+    } else {
+      tree.fit(x, residual);
+    }
+    // Update residuals with the shrunken stage prediction.
+    for (Index i = 0; i < n; ++i)
+      residual[i] -= config_.learning_rate * tree.predict_one(x.data() + i * x.dim(1));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+float GradientBoostedRegressor::predict_one(const float* sample) const {
+  check(fitted_, "GBRF predict before fit");
+  double acc = base_;
+  for (const auto& tree : trees_)
+    acc += static_cast<double>(config_.learning_rate) * tree.predict_one(sample);
+  return static_cast<float>(acc);
+}
+
+float GradientBoostedRegressor::predict_one(const Tensor& sample) const {
+  check(sample.rank() == 1, "predict_one expects a rank-1 sample");
+  return predict_one(sample.data());
+}
+
+Tensor GradientBoostedRegressor::predict(const Tensor& x) const {
+  check(x.rank() == 2, "predict expects [n, d]");
+  const Index n = x.dim(0);
+  Tensor out({n});
+  for (Index i = 0; i < n; ++i) out[i] = predict_one(x.data() + i * x.dim(1));
+  return out;
+}
+
+MultiOutputGbrf::MultiOutputGbrf(GbrfConfig config) : config_(config) {}
+
+void MultiOutputGbrf::fit(const Tensor& x, const Tensor& y) {
+  check(x.rank() == 2 && y.rank() == 2 && x.dim(0) == y.dim(0),
+        "MultiOutputGbrf fit expects X [n, d] and Y [n, m]");
+  const Index m = y.dim(1);
+  const Index n = y.dim(0);
+  models_.clear();
+  models_.reserve(static_cast<std::size_t>(m));
+  Rng rng(config_.seed);
+  for (Index j = 0; j < m; ++j) {
+    Tensor col({n});
+    for (Index i = 0; i < n; ++i) col[i] = y[i * m + j];
+    GbrfConfig cfg = config_;
+    cfg.seed = rng.next_u64();
+    GradientBoostedRegressor model(cfg);
+    model.fit(x, col);
+    models_.push_back(std::move(model));
+  }
+}
+
+Tensor MultiOutputGbrf::predict_one(const Tensor& sample) const {
+  check(fitted(), "MultiOutputGbrf predict before fit");
+  Tensor out({n_outputs()});
+  for (Index j = 0; j < n_outputs(); ++j)
+    out[j] = models_[static_cast<std::size_t>(j)].predict_one(sample.data());
+  return out;
+}
+
+Tensor MultiOutputGbrf::predict(const Tensor& x) const {
+  check(fitted(), "MultiOutputGbrf predict before fit");
+  const Index n = x.dim(0);
+  const Index m = n_outputs();
+  Tensor out({n, m});
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < m; ++j)
+      out[i * m + j] = models_[static_cast<std::size_t>(j)].predict_one(x.data() + i * x.dim(1));
+  }
+  return out;
+}
+
+}  // namespace varade::trees

@@ -1,0 +1,62 @@
+// CART regression tree with the mean-squared-error criterion and recursive
+// binary splitting — the weak learner of the GBRF baseline (paper section 3.3,
+// following Huang et al. [9]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::trees {
+
+/// Hyperparameters for a single regression tree.
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Number of features examined per split; 0 means all features.
+  int max_features = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Binary regression tree, stored as a flat node array.
+class DecisionTreeRegressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig config = {});
+
+  /// Fits on features X [n, d] and targets y [n].
+  void fit(const Tensor& x, const Tensor& y);
+
+  /// Fits on a subset of rows (used by boosting/bagging); `rows` indexes X/y.
+  void fit_rows(const Tensor& x, const Tensor& y, const std::vector<Index>& rows);
+
+  /// Predicts a single sample [d].
+  float predict_one(const float* sample) const;
+  float predict_one(const Tensor& sample) const;
+
+  /// Predicts all rows of X [n, d] into a [n] tensor.
+  Tensor predict(const Tensor& x) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  int depth() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 marks a leaf
+    float threshold = 0.0F; // go left when x[feature] <= threshold
+    float value = 0.0F;     // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Tensor& x, const Tensor& y, std::vector<Index>& rows, Index begin, Index end,
+            int depth, Rng& rng);
+
+  TreeConfig config_;
+  Index n_features_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace varade::trees

@@ -1,0 +1,70 @@
+// Isolation Forest (Liu, Ting & Zhou [15]).
+//
+// The paper's configuration (section 3.3): 100 trees, anomaly score based on
+// the average path length, contamination 0.1 defining the decision threshold.
+// Trees are built on subsamples (default 256) with uniformly random
+// feature/threshold splits; the score of a point is
+//   s(x) = 2^{ -E[h(x)] / c(psi) }
+// where h is the path length (plus the standard c(size) adjustment at
+// unsplittable external nodes) and c(psi) the average unsuccessful-search
+// path length of a BST over psi points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::trees {
+
+struct IsolationForestConfig {
+  int n_trees = 100;       // paper: ensemble of 100 trees
+  Index subsample = 256;   // psi
+  float contamination = 0.1F;  // paper: recommended value from [15]
+  std::uint64_t seed = 0;
+};
+
+/// Average path length c(n) of an unsuccessful BST search over n points.
+double average_path_length(double n);
+
+class IsolationForest {
+ public:
+  explicit IsolationForest(IsolationForestConfig config = {});
+
+  /// Fits on X [n, d].
+  void fit(const Tensor& x);
+
+  /// Anomaly score in (0, 1); higher = more anomalous.
+  float score_one(const float* sample) const;
+  float score_one(const Tensor& sample) const;
+  Tensor score(const Tensor& x) const;
+
+  /// True when score exceeds the contamination-derived threshold.
+  bool is_anomaly(const Tensor& sample) const;
+
+  float threshold() const { return threshold_; }
+  bool fitted() const { return !trees_.empty(); }
+  Index n_features() const { return n_features_; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks an external node
+    float threshold = 0.0F;
+    int left = -1;
+    int right = -1;
+    Index size = 0;  // samples that reached this external node
+  };
+  using Tree = std::vector<Node>;
+
+  int build(Tree& tree, const Tensor& x, std::vector<Index>& rows, Index begin, Index end,
+            int depth, int max_depth, Rng& rng);
+  double path_length(const Tree& tree, const float* sample) const;
+
+  IsolationForestConfig config_;
+  Index n_features_ = 0;
+  double c_psi_ = 1.0;
+  float threshold_ = 0.5F;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace varade::trees

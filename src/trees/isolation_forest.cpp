@@ -1,0 +1,144 @@
+#include "varade/trees/isolation_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace varade::trees {
+
+double average_path_length(double n) {
+  if (n <= 1.0) return 0.0;
+  if (n == 2.0) return 1.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx.
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+IsolationForest::IsolationForest(IsolationForestConfig config) : config_(config) {
+  check(config_.n_trees >= 1, "IsolationForest needs at least one tree");
+  check(config_.subsample >= 2, "IsolationForest subsample must be >= 2");
+  check(config_.contamination > 0.0F && config_.contamination < 0.5F,
+        "contamination must be in (0, 0.5)");
+}
+
+void IsolationForest::fit(const Tensor& x) {
+  check(x.rank() == 2, "IsolationForest fit expects X [n, d]");
+  const Index n = x.dim(0);
+  check(n >= 2, "IsolationForest needs at least 2 samples");
+  n_features_ = x.dim(1);
+
+  const Index psi = std::min(config_.subsample, n);
+  c_psi_ = average_path_length(static_cast<double>(psi));
+  const int max_depth = static_cast<int>(std::ceil(std::log2(static_cast<double>(psi))));
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
+  std::vector<Index> all_rows(static_cast<std::size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), Index{0});
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    std::vector<Index> rows = all_rows;
+    std::shuffle(rows.begin(), rows.end(), rng.engine());
+    rows.resize(static_cast<std::size_t>(psi));
+    Tree tree;
+    tree.reserve(static_cast<std::size_t>(2 * psi));
+    build(tree, x, rows, 0, psi, 0, max_depth, rng);
+    trees_.push_back(std::move(tree));
+  }
+
+  // Contamination-derived threshold: the (1 - contamination) quantile of the
+  // training scores.
+  Tensor train_scores = score(x);
+  std::vector<float> s(train_scores.data(), train_scores.data() + train_scores.numel());
+  std::sort(s.begin(), s.end());
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(static_cast<double>(s.size()) * (1.0 - config_.contamination), 0.0,
+                 static_cast<double>(s.size() - 1)));
+  threshold_ = s[idx];
+}
+
+int IsolationForest::build(Tree& tree, const Tensor& x, std::vector<Index>& rows, Index begin,
+                           Index end, int depth, int max_depth, Rng& rng) {
+  const Index n = end - begin;
+  const Index d = n_features_;
+  const int node_id = static_cast<int>(tree.size());
+  tree.push_back(Node{});
+  tree.back().size = n;
+
+  if (n <= 1 || depth >= max_depth) return node_id;
+
+  // Pick a random feature with a non-degenerate value range.
+  Index feature = -1;
+  float lo = 0.0F;
+  float hi = 0.0F;
+  for (int attempt = 0; attempt < 8 && feature < 0; ++attempt) {
+    const Index f = rng.uniform_int(0, static_cast<int>(d) - 1);
+    float fmin = x[rows[static_cast<std::size_t>(begin)] * d + f];
+    float fmax = fmin;
+    for (Index i = begin + 1; i < end; ++i) {
+      const float v = x[rows[static_cast<std::size_t>(i)] * d + f];
+      fmin = std::min(fmin, v);
+      fmax = std::max(fmax, v);
+    }
+    if (fmax > fmin) {
+      feature = f;
+      lo = fmin;
+      hi = fmax;
+    }
+  }
+  if (feature < 0) return node_id;  // all candidate features constant
+
+  const float threshold = rng.uniform(lo, hi);
+  auto mid_it = std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                               rows.begin() + static_cast<std::ptrdiff_t>(end),
+                               [&](Index r) { return x[r * d + feature] < threshold; });
+  const Index mid = static_cast<Index>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  tree[static_cast<std::size_t>(node_id)].feature = static_cast<int>(feature);
+  tree[static_cast<std::size_t>(node_id)].threshold = threshold;
+  const int left = build(tree, x, rows, begin, mid, depth + 1, max_depth, rng);
+  const int right = build(tree, x, rows, mid, end, depth + 1, max_depth, rng);
+  tree[static_cast<std::size_t>(node_id)].left = left;
+  tree[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double IsolationForest::path_length(const Tree& tree, const float* sample) const {
+  int id = 0;
+  int depth = 0;
+  while (tree[static_cast<std::size_t>(id)].feature >= 0) {
+    const Node& nd = tree[static_cast<std::size_t>(id)];
+    id = sample[nd.feature] < nd.threshold ? nd.left : nd.right;
+    ++depth;
+  }
+  return depth + average_path_length(static_cast<double>(tree[static_cast<std::size_t>(id)].size));
+}
+
+float IsolationForest::score_one(const float* sample) const {
+  check(fitted(), "IsolationForest score before fit");
+  double sum = 0.0;
+  for (const Tree& tree : trees_) sum += path_length(tree, sample);
+  const double mean_path = sum / static_cast<double>(trees_.size());
+  return static_cast<float>(std::pow(2.0, -mean_path / c_psi_));
+}
+
+float IsolationForest::score_one(const Tensor& sample) const {
+  check(sample.rank() == 1 && sample.dim(0) == n_features_,
+        "score_one expects [" + std::to_string(n_features_) + "]");
+  return score_one(sample.data());
+}
+
+Tensor IsolationForest::score(const Tensor& x) const {
+  check(x.rank() == 2 && x.dim(1) == n_features_, "score expects [n, d]");
+  const Index n = x.dim(0);
+  Tensor out({n});
+  for (Index i = 0; i < n; ++i) out[i] = score_one(x.data() + i * n_features_);
+  return out;
+}
+
+bool IsolationForest::is_anomaly(const Tensor& sample) const {
+  return score_one(sample) > threshold_;
+}
+
+}  // namespace varade::trees

@@ -1,0 +1,68 @@
+// Finite-difference gradient checking utilities shared by the nn tests.
+//
+// For a module M and random projection R, defines the scalar loss
+//   L(x, theta) = sum(M.forward(x) * R)
+// whose analytic input gradient is M.backward(R) and whose parameter
+// gradients accumulate into the module's Parameter::grad. Both are compared
+// against central finite differences.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "varade/nn/module.hpp"
+
+namespace varade::testing {
+
+inline float projected_loss(nn::Module& module, const Tensor& x, const Tensor& projection) {
+  const Tensor y = module.forward(x);
+  EXPECT_TRUE(y.same_shape(projection)) << "projection shape mismatch";
+  return dot(y, projection);
+}
+
+/// Checks dL/dx returned by backward() against finite differences.
+inline void check_input_gradient(nn::Module& module, Tensor x, const Tensor& projection,
+                                 float eps = 1e-2F, float tol = 2e-2F) {
+  module.zero_grad();
+  module.forward(x);
+  const Tensor analytic = module.backward(projection);
+
+  for (Index i = 0; i < x.numel(); i += std::max<Index>(1, x.numel() / 64)) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = projected_loss(module, x, projection);
+    x[i] = orig - eps;
+    const float lm = projected_loss(module, x, projection);
+    x[i] = orig;
+    const float numeric = (lp - lm) / (2.0F * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0F, std::fabs(numeric)))
+        << "input gradient mismatch at flat index " << i;
+  }
+}
+
+/// Checks every parameter gradient against finite differences.
+inline void check_parameter_gradients(nn::Module& module, const Tensor& x,
+                                      const Tensor& projection, float eps = 1e-2F,
+                                      float tol = 2e-2F) {
+  module.zero_grad();
+  module.forward(x);
+  module.backward(projection);
+
+  for (nn::Parameter* p : module.parameters()) {
+    // Copy analytic grads before FD perturbs state.
+    const Tensor analytic = p->grad;
+    const Index hop = std::max<Index>(1, p->value.numel() / 48);
+    for (Index i = 0; i < p->value.numel(); i += hop) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = projected_loss(module, x, projection);
+      p->value[i] = orig - eps;
+      const float lm = projected_loss(module, x, projection);
+      p->value[i] = orig;
+      const float numeric = (lp - lm) / (2.0F * eps);
+      EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0F, std::fabs(numeric)))
+          << "parameter '" << p->name << "' gradient mismatch at flat index " << i;
+    }
+  }
+}
+
+}  // namespace varade::testing

@@ -1,0 +1,253 @@
+// Data-module tests: series container, Table 1 schema, normalizer,
+// windowing, CSV round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "varade/data/csv.hpp"
+#include "varade/data/normalize.hpp"
+#include "varade/data/timeseries.hpp"
+#include "varade/data/window.hpp"
+
+namespace varade::data {
+namespace {
+
+TEST(Schema, KukaChannelLayoutMatchesTable1) {
+  const auto schema = kuka_channel_schema();
+  ASSERT_EQ(static_cast<Index>(schema.size()), kKukaChannelCount);
+  EXPECT_EQ(schema[0].name, "action_id");
+  // Joint 0 block.
+  EXPECT_EQ(schema[1].name, "sensor_id_0_AccX");
+  EXPECT_EQ(schema[1].unit, "m/s^2");
+  EXPECT_EQ(schema[4].name, "sensor_id_0_GyroX");
+  EXPECT_EQ(schema[4].unit, "deg/s");
+  EXPECT_EQ(schema[7].name, "sensor_id_0_q1");
+  EXPECT_EQ(schema[11].name, "sensor_id_0_temp");
+  // Joint 6 block ends right before the power block.
+  EXPECT_EQ(schema[static_cast<std::size_t>(kuka_joint_channel_base(6)) + 10].name,
+            "sensor_id_6_temp");
+  const Index p = kuka_power_channel_base();
+  EXPECT_EQ(schema[static_cast<std::size_t>(p)].name, "current");
+  EXPECT_EQ(schema[static_cast<std::size_t>(p) + 6].name, "voltage");
+  EXPECT_EQ(schema[static_cast<std::size_t>(p) + 7].name, "energy");
+  EXPECT_EQ(p + kKukaPowerChannelCount, kKukaChannelCount);
+  // 1 + 7*11 + 8 = 86.
+  EXPECT_EQ(1 + kKukaJointCount * kKukaChannelsPerJoint + kKukaPowerChannelCount,
+            kKukaChannelCount);
+}
+
+TEST(Series, AppendAccessAndLabels) {
+  MultivariateSeries s(3);
+  s.append({1.0F, 2.0F, 3.0F}, 0);
+  s.append({4.0F, 5.0F, 6.0F}, 1);
+  EXPECT_EQ(s.length(), 2);
+  EXPECT_FLOAT_EQ(s.value(1, 2), 6.0F);
+  EXPECT_EQ(s.label(0), 0);
+  EXPECT_EQ(s.label(1), 1);
+  EXPECT_TRUE(s.has_anomalies());
+  EXPECT_EQ(s.count_anomalous_samples(), 1);
+  EXPECT_THROW(s.value(2, 0), Error);
+  EXPECT_THROW(s.value(0, 3), Error);
+  EXPECT_THROW(s.append({1.0F}, 0), Error);
+}
+
+TEST(Series, TensorConversionAndSlice) {
+  MultivariateSeries s(2);
+  for (int i = 0; i < 5; ++i)
+    s.append({static_cast<float>(i), static_cast<float>(10 * i)}, i == 3 ? 1 : 0);
+  const Tensor t = s.to_tensor();
+  EXPECT_EQ(t.shape(), (Shape{5, 2}));
+  EXPECT_FLOAT_EQ(t.at(3, 1), 30.0F);
+  const Tensor labels = s.labels_tensor();
+  EXPECT_FLOAT_EQ(labels.at(3), 1.0F);
+
+  const MultivariateSeries sub = s.slice(2, 4);
+  EXPECT_EQ(sub.length(), 2);
+  EXPECT_FLOAT_EQ(sub.value(0, 0), 2.0F);
+  EXPECT_EQ(sub.label(1), 1);
+  EXPECT_THROW(s.slice(4, 2), Error);
+}
+
+TEST(Normalizer, MapsTrainRangeToUnitInterval) {
+  MinMaxNormalizer norm;
+  Tensor x = Tensor::matrix({{0, 10}, {4, 20}, {2, 15}});
+  norm.fit(x);
+  const Tensor y = norm.transform(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), -1.0F);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1.0F);
+  EXPECT_FLOAT_EQ(y.at(2, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -1.0F);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 1.0F);
+}
+
+TEST(Normalizer, RoundTripProperty) {
+  Rng rng(1);
+  const Tensor x = Tensor::randn({50, 7}, rng, 5.0F, 2.0F);
+  MinMaxNormalizer norm;
+  norm.fit(x);
+  const Tensor back = norm.inverse_transform(norm.transform(x));
+  EXPECT_TRUE(allclose(back, x, 1e-3F));
+}
+
+TEST(Normalizer, ConstantChannelMapsToZero) {
+  MinMaxNormalizer norm;
+  const Tensor x = Tensor::matrix({{1, 5}, {1, 7}});
+  norm.fit(x);
+  const Tensor y = norm.transform(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.0F);
+}
+
+TEST(Normalizer, TestValuesMayExceedUnitRange) {
+  // Values outside the training range extrapolate beyond [-1, 1] (the paper
+  // normalises with train min/max; collision spikes exceed it).
+  MinMaxNormalizer norm;
+  norm.fit(Tensor::matrix({{0.0F}, {1.0F}}));
+  const Tensor y = norm.transform(Tensor::matrix({{2.0F}}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0F);
+}
+
+TEST(Normalizer, SeriesTransformKeepsLabelsAndMeta) {
+  MultivariateSeries s(2, {{"a", "", ""}, {"b", "", ""}});
+  s.set_sample_rate_hz(123.0);
+  s.append({0.0F, 0.0F}, 0);
+  s.append({2.0F, 4.0F}, 1);
+  MinMaxNormalizer norm;
+  norm.fit(s);
+  const MultivariateSeries t = norm.transform(s);
+  EXPECT_EQ(t.label(1), 1);
+  EXPECT_DOUBLE_EQ(t.sample_rate_hz(), 123.0);
+  EXPECT_EQ(t.channels()[0].name, "a");
+  EXPECT_FLOAT_EQ(t.value(1, 0), 1.0F);
+}
+
+TEST(Normalizer, SaveLoadRoundTrip) {
+  MinMaxNormalizer norm;
+  norm.fit(Tensor::matrix({{0, -5}, {10, 5}}));
+  std::stringstream buffer;
+  norm.save(buffer);
+  MinMaxNormalizer loaded;
+  loaded.load(buffer);
+  EXPECT_FLOAT_EQ(loaded.channel_min(1), -5.0F);
+  EXPECT_FLOAT_EQ(loaded.channel_max(0), 10.0F);
+  std::stringstream garbage("not a normalizer");
+  MinMaxNormalizer bad;
+  EXPECT_THROW(bad.load(garbage), Error);
+}
+
+TEST(Normalizer, ErrorsBeforeFit) {
+  MinMaxNormalizer norm;
+  EXPECT_THROW(norm.transform(Tensor({1, 2})), Error);
+  EXPECT_THROW(norm.fit(Tensor({0, 2})), Error);
+}
+
+MultivariateSeries ramp_series(Index length, Index channels) {
+  MultivariateSeries s(channels);
+  std::vector<float> row(static_cast<std::size_t>(channels));
+  for (Index t = 0; t < length; ++t) {
+    for (Index c = 0; c < channels; ++c)
+      row[static_cast<std::size_t>(c)] = static_cast<float>(t + 100 * c);
+    s.append(row, t == length - 1 ? 1 : 0);
+  }
+  return s;
+}
+
+TEST(WindowDataset, CountAndContents) {
+  const MultivariateSeries s = ramp_series(10, 2);
+  const WindowDataset ds(s, {.window = 4, .stride = 1});
+  // Starts 0..5 target 4..9 -> 6 windows.
+  EXPECT_EQ(ds.size(), 6);
+  const Tensor ctx = ds.context(0);
+  EXPECT_EQ(ctx.shape(), (Shape{2, 4}));
+  // Channels-first: channel 0 = 0,1,2,3; channel 1 = 100,101,102,103.
+  EXPECT_FLOAT_EQ(ctx[0], 0.0F);
+  EXPECT_FLOAT_EQ(ctx[3], 3.0F);
+  EXPECT_FLOAT_EQ(ctx[4], 100.0F);
+  const Tensor target = ds.target(0);
+  EXPECT_FLOAT_EQ(target.at(0), 4.0F);
+  EXPECT_FLOAT_EQ(target.at(1), 104.0F);
+  EXPECT_EQ(ds.target_time(5), 9);
+  EXPECT_EQ(ds.target_label(5), 1);
+}
+
+TEST(WindowDataset, StrideReducesCount) {
+  const MultivariateSeries s = ramp_series(20, 1);
+  EXPECT_EQ(WindowDataset(s, {.window = 4, .stride = 1}).size(), 16);
+  EXPECT_EQ(WindowDataset(s, {.window = 4, .stride = 4}).size(), 4);
+}
+
+TEST(WindowDataset, CoversEveryTargetOnceAtStrideOne) {
+  const MultivariateSeries s = ramp_series(12, 1);
+  const WindowDataset ds(s, {.window = 3, .stride = 1});
+  std::vector<bool> covered(12, false);
+  for (Index i = 0; i < ds.size(); ++i) covered[static_cast<std::size_t>(ds.target_time(i))] = true;
+  for (Index t = 3; t < 12; ++t) EXPECT_TRUE(covered[static_cast<std::size_t>(t)]) << t;
+  for (Index t = 0; t < 3; ++t) EXPECT_FALSE(covered[static_cast<std::size_t>(t)]);
+}
+
+TEST(WindowDataset, GatherBatches) {
+  const MultivariateSeries s = ramp_series(10, 2);
+  const WindowDataset ds(s, {.window = 4, .stride = 1});
+  Tensor contexts;
+  Tensor targets;
+  ds.gather({0, 2}, contexts, targets);
+  EXPECT_EQ(contexts.shape(), (Shape{2, 2, 4}));
+  EXPECT_EQ(targets.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(contexts.at(1, 0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(targets.at(1, 0), 6.0F);
+  EXPECT_THROW(ds.gather({99}, contexts, targets), Error);
+}
+
+TEST(WindowDataset, TooShortSeriesHasZeroWindows) {
+  const MultivariateSeries s = ramp_series(4, 1);
+  EXPECT_EQ(WindowDataset(s, {.window = 4, .stride = 1}).size(), 0);
+  EXPECT_EQ(WindowDataset(s, {.window = 8, .stride = 1}).size(), 0);
+}
+
+TEST(ExtractContext, MatchesWindowDataset) {
+  const MultivariateSeries s = ramp_series(10, 2);
+  const WindowDataset ds(s, {.window = 4, .stride = 1});
+  // Context of window 2 covers samples 2..5; extract ending at 5.
+  const Tensor a = ds.context(2);
+  const Tensor b = extract_context(s, 5, 4);
+  EXPECT_TRUE(allclose(a, b));
+  EXPECT_THROW(extract_context(s, 2, 4), Error);  // not enough history
+  EXPECT_THROW(extract_context(s, 99, 4), Error);
+}
+
+TEST(Csv, RoundTripPreservesValuesAndLabels) {
+  MultivariateSeries s(2, {{"alpha", "V", ""}, {"beta", "A", ""}});
+  s.append({1.5F, -2.25F}, 0);
+  s.append({3.0F, 0.125F}, 1);
+  std::stringstream buffer;
+  write_csv(s, buffer);
+  const MultivariateSeries back = read_csv(buffer);
+  ASSERT_EQ(back.length(), 2);
+  EXPECT_EQ(back.n_channels(), 2);
+  EXPECT_EQ(back.channels()[0].name, "alpha");
+  EXPECT_FLOAT_EQ(back.value(1, 1), 0.125F);
+  EXPECT_EQ(back.label(0), 0);
+  EXPECT_EQ(back.label(1), 1);
+}
+
+TEST(Csv, RejectsMalformedInput) {
+  {
+    std::stringstream empty("");
+    EXPECT_THROW(read_csv(empty), Error);
+  }
+  {
+    std::stringstream no_label("a,b\n1,2\n");
+    EXPECT_THROW(read_csv(no_label), Error);
+  }
+  {
+    std::stringstream bad_field("a,label\nxyz,0\n");
+    EXPECT_THROW(read_csv(bad_field), Error);
+  }
+  {
+    std::stringstream short_row("a,b,label\n1,0\n");
+    EXPECT_THROW(read_csv(short_row), Error);
+  }
+}
+
+}  // namespace
+}  // namespace varade::data

@@ -1,0 +1,217 @@
+// Edge-platform model tests: device specs against the paper's published idle
+// telemetry, roofline estimator behaviour, and the Table 2 orderings.
+#include <gtest/gtest.h>
+
+#include "varade/core/model_costs.hpp"
+#include "varade/edge/device.hpp"
+#include "varade/edge/profiler.hpp"
+
+namespace varade::edge {
+namespace {
+
+TEST(DeviceSpec, IdleRowsMatchPaperTable2) {
+  const DeviceSpec nx = jetson_xavier_nx();
+  EXPECT_NEAR(nx.idle_power_w, 5.851, 1e-6);
+  EXPECT_NEAR(nx.idle_cpu_util_pct, 36.465, 1e-6);
+  EXPECT_NEAR(nx.idle_gpu_util_pct, 52.100, 1e-6);
+  EXPECT_NEAR(nx.idle_ram_mb, 5130.219, 1e-6);
+  EXPECT_NEAR(nx.idle_gpu_ram_mb, 537.235, 1e-6);
+  EXPECT_EQ(nx.cpu_cores, 6);
+
+  const DeviceSpec orin = jetson_agx_orin();
+  EXPECT_NEAR(orin.idle_power_w, 7.522, 1e-6);
+  EXPECT_NEAR(orin.idle_cpu_util_pct, 4.875, 1e-6);
+  EXPECT_NEAR(orin.idle_gpu_util_pct, 0.0, 1e-6);
+  EXPECT_EQ(orin.cpu_cores, 12);
+  // Orin is the bigger board in every compute dimension.
+  EXPECT_GT(orin.gpu_gflops, nx.gpu_gflops);
+  EXPECT_GT(orin.mem_bandwidth_gbs, nx.mem_bandwidth_gbs);
+  EXPECT_LT(orin.gpu_dispatch_ms, nx.gpu_dispatch_ms);
+}
+
+ModelCost tiny_gpu_model() {
+  ModelCost c;
+  c.name = "tiny";
+  c.flops = 1e6;
+  c.param_bytes = 1e6;
+  c.activation_bytes = 1e5;
+  c.n_ops = 10;
+  c.runs_on_gpu = true;
+  c.parallel_efficiency = 0.8;
+  return c;
+}
+
+TEST(Profiler, LatencyIncreasesWithEveryCostComponent) {
+  const EdgeProfiler profiler(jetson_xavier_nx());
+  const ModelCost base = tiny_gpu_model();
+  const double base_latency = profiler.estimate(base).latency_ms;
+
+  ModelCost more_ops = base;
+  more_ops.n_ops = 50;
+  EXPECT_GT(profiler.estimate(more_ops).latency_ms, base_latency);
+
+  ModelCost more_flops = base;
+  more_flops.flops = 1e12;
+  EXPECT_GT(profiler.estimate(more_flops).latency_ms, base_latency);
+
+  ModelCost more_bytes = base;
+  more_bytes.ref_bytes = 1e10;
+  EXPECT_GT(profiler.estimate(more_bytes).latency_ms, base_latency);
+}
+
+TEST(Profiler, FrequencyIsInverseLatency) {
+  const EdgeProfiler profiler(jetson_agx_orin());
+  const EstimatedPerformance perf = profiler.estimate(tiny_gpu_model());
+  EXPECT_NEAR(perf.inference_hz * perf.latency_ms, 1000.0, 1e-6);
+}
+
+TEST(Profiler, PowerAtLeastIdleAndRamAtLeastBaseline) {
+  for (const DeviceSpec& spec : {jetson_xavier_nx(), jetson_agx_orin()}) {
+    const EdgeProfiler profiler(spec);
+    for (bool gpu : {false, true}) {
+      ModelCost c = tiny_gpu_model();
+      c.runs_on_gpu = gpu;
+      const EstimatedPerformance perf = profiler.estimate(c);
+      EXPECT_GE(perf.power_w, spec.idle_power_w);
+      EXPECT_GE(perf.ram_mb, spec.idle_ram_mb);
+      EXPECT_GE(perf.gpu_ram_mb, spec.idle_gpu_ram_mb);
+      EXPECT_LE(perf.cpu_util_pct, 100.0);
+      EXPECT_LE(perf.gpu_util_pct, 100.0);
+    }
+  }
+}
+
+TEST(Profiler, CpuModelDoesNotTouchGpu) {
+  const DeviceSpec spec = jetson_agx_orin();
+  const EdgeProfiler profiler(spec);
+  ModelCost c = tiny_gpu_model();
+  c.runs_on_gpu = false;
+  const EstimatedPerformance perf = profiler.estimate(c);
+  EXPECT_DOUBLE_EQ(perf.gpu_util_pct, spec.idle_gpu_util_pct);
+  EXPECT_DOUBLE_EQ(perf.gpu_ram_mb, spec.idle_gpu_ram_mb);
+}
+
+TEST(Profiler, SpinningRecurrentModelDrawsMorePower) {
+  const EdgeProfiler profiler(jetson_xavier_nx());
+  ModelCost plain = tiny_gpu_model();
+  ModelCost spinning = plain;
+  spinning.gpu_resident_spin = true;
+  EXPECT_GT(profiler.estimate(spinning).power_w, profiler.estimate(plain).power_w);
+  EXPECT_GT(profiler.estimate(spinning).gpu_util_pct, 90.0);
+}
+
+TEST(Profiler, RejectsInvalidCosts) {
+  const EdgeProfiler profiler(jetson_xavier_nx());
+  ModelCost c = tiny_gpu_model();
+  c.flops = -1.0;
+  EXPECT_THROW(profiler.estimate(c), Error);
+  c = tiny_gpu_model();
+  c.parallel_efficiency = 0.0;
+  EXPECT_THROW(profiler.estimate(c), Error);
+  c = tiny_gpu_model();
+  c.n_ops = 0;
+  EXPECT_THROW(profiler.estimate(c), Error);
+}
+
+// --- the reproduction targets: Table 2 orderings ----------------------------
+
+struct PaperRow {
+  const char* name;
+  double nx_hz;
+  double orin_hz;
+};
+
+// Published inference frequencies (paper Table 2).
+constexpr PaperRow kPaperRows[] = {
+    {"AR-LSTM", 5.200, 8.687},  {"GBRF", 20.575, 44.128},          {"AE", 2.247, 4.284},
+    {"kNN", 1.116, 4.754},      {"Isolation Forest", 4.568, 10.732}, {"VARADE", 14.937, 26.461},
+};
+
+TEST(PaperCosts, FrequencyOrderingMatchesTable2OnBothBoards) {
+  for (const DeviceSpec& spec : {jetson_xavier_nx(), jetson_agx_orin()}) {
+    const bool is_nx = spec.name == "Jetson Xavier NX";
+    const EdgeProfiler profiler(spec);
+    std::vector<std::pair<double, double>> pairs;  // (paper hz, estimated hz)
+    for (const PaperRow& row : kPaperRows) {
+      const EstimatedPerformance perf = profiler.estimate(core::paper_model_cost(row.name));
+      pairs.push_back({is_nx ? row.nx_hz : row.orin_hz, perf.inference_hz});
+    }
+    // Every pairwise ordering of the paper must be preserved.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+        const bool paper_faster = pairs[i].first > pairs[j].first;
+        const bool est_faster = pairs[i].second > pairs[j].second;
+        EXPECT_EQ(paper_faster, est_faster)
+            << spec.name << ": ordering of " << kPaperRows[i].name << " vs "
+            << kPaperRows[j].name;
+      }
+    }
+  }
+}
+
+TEST(PaperCosts, FrequenciesWithinFactorTwoOfTable2) {
+  for (const DeviceSpec& spec : {jetson_xavier_nx(), jetson_agx_orin()}) {
+    const bool is_nx = spec.name == "Jetson Xavier NX";
+    const EdgeProfiler profiler(spec);
+    for (const PaperRow& row : kPaperRows) {
+      const double est = profiler.estimate(core::paper_model_cost(row.name)).inference_hz;
+      const double paper = is_nx ? row.nx_hz : row.orin_hz;
+      EXPECT_GT(est, paper / 2.0) << spec.name << " " << row.name;
+      EXPECT_LT(est, paper * 2.0) << spec.name << " " << row.name;
+    }
+  }
+}
+
+TEST(PaperCosts, OrinIsFasterThanXavierForEveryModel) {
+  const EdgeProfiler nx(jetson_xavier_nx());
+  const EdgeProfiler orin(jetson_agx_orin());
+  for (const auto& cost : core::paper_model_costs()) {
+    EXPECT_GT(orin.estimate(cost).inference_hz, nx.estimate(cost).inference_hz) << cost.name;
+  }
+}
+
+TEST(PaperCosts, ArLstmDrawsTheMostPowerAmongGpuModels) {
+  // Paper section 4.4: AR-LSTM's high GPU usage leads to the highest power.
+  const EdgeProfiler nx(jetson_xavier_nx());
+  const double lstm_power = nx.estimate(core::paper_model_cost("AR-LSTM")).power_w;
+  for (const char* other : {"VARADE", "AE", "GBRF", "Isolation Forest"}) {
+    EXPECT_GT(lstm_power, nx.estimate(core::paper_model_cost(other)).power_w) << other;
+  }
+}
+
+TEST(PaperCosts, VaradeUsesTheMostGpuMemory) {
+  // Table 2: VARADE has the largest GPU RAM footprint (1005 MB on the NX).
+  const EdgeProfiler nx(jetson_xavier_nx());
+  const double varade = nx.estimate(core::paper_model_cost("VARADE")).gpu_ram_mb;
+  for (const char* other : {"AR-LSTM", "AE", "GBRF", "kNN", "Isolation Forest"}) {
+    EXPECT_GE(varade, nx.estimate(core::paper_model_cost(other)).gpu_ram_mb) << other;
+  }
+}
+
+TEST(PaperCosts, KnnBurnsCpuNotGpu) {
+  // Paper: kNN runs on the CPU with ~92% utilisation on both boards.
+  for (const DeviceSpec& spec : {jetson_xavier_nx(), jetson_agx_orin()}) {
+    const EdgeProfiler profiler(spec);
+    const EstimatedPerformance perf = profiler.estimate(core::paper_model_cost("kNN"));
+    EXPECT_GT(perf.cpu_util_pct, 80.0) << spec.name;
+    EXPECT_DOUBLE_EQ(perf.gpu_util_pct, spec.idle_gpu_util_pct);
+  }
+}
+
+TEST(PaperCosts, UnknownDetectorNameThrows) {
+  EXPECT_THROW(core::paper_model_cost("NoSuchModel"), Error);
+  EXPECT_THROW(core::paper_model_cost("VARADE", 0), Error);
+}
+
+TEST(PaperCosts, AllSixDetectorsPresent) {
+  const auto costs = core::paper_model_costs();
+  EXPECT_EQ(costs.size(), 6U);
+  for (const auto& c : costs) {
+    EXPECT_GT(c.flops, 0.0);
+    EXPECT_GE(c.param_bytes, 0.0);
+    EXPECT_GE(c.n_ops, 1);
+  }
+}
+
+}  // namespace
+}  // namespace varade::edge

@@ -1,0 +1,139 @@
+// Evaluation-metric tests: exact AUC on hand-built cases and metric
+// invariants.
+#include <gtest/gtest.h>
+
+#include "varade/eval/metrics.hpp"
+
+namespace varade::eval {
+namespace {
+
+TEST(AucRoc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(auc_roc({0.1F, 0.2F, 0.8F, 0.9F}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(auc_roc({0.9F, 0.8F, 0.2F, 0.1F}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucRoc, HandComputedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6)=1 (0.8>0.2)=1 (0.4<0.6)=0 (0.4>0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(auc_roc({0.8F, 0.4F, 0.6F, 0.2F}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucRoc, TiesGetHalfCredit) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(auc_roc({0.5F, 0.5F, 0.5F, 0.5F}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucRoc, InvariantUnderMonotoneTransform) {
+  Rng rng(1);
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.uniform(0.0F, 1.0F));
+    labels.push_back(rng.bernoulli(0.3) ? 1 : 0);
+  }
+  const double base = auc_roc(scores, labels);
+  std::vector<float> transformed;
+  for (float s : scores) transformed.push_back(std::exp(3.0F * s) + 7.0F);
+  EXPECT_NEAR(auc_roc(transformed, labels), base, 1e-9);
+}
+
+TEST(AucRoc, ComplementUnderLabelFlip) {
+  std::vector<float> scores{0.1F, 0.7F, 0.3F, 0.9F, 0.5F};
+  std::vector<int> labels{0, 1, 0, 1, 1};
+  std::vector<int> flipped{1, 0, 1, 0, 0};
+  EXPECT_NEAR(auc_roc(scores, labels) + auc_roc(scores, flipped), 1.0, 1e-9);
+}
+
+TEST(AucRoc, Errors) {
+  EXPECT_THROW(auc_roc(std::vector<float>{}, std::vector<int>{}), Error);
+  EXPECT_THROW(auc_roc({0.5F}, {1, 0}), Error);
+  EXPECT_THROW(auc_roc({0.5F, 0.6F}, {1, 1}), Error);  // single class
+  EXPECT_THROW(auc_roc({std::numeric_limits<float>::quiet_NaN(), 0.5F}, {1, 0}), Error);
+}
+
+TEST(AucRoc, TensorOverloadAgrees) {
+  const Tensor scores = Tensor::vector({0.8F, 0.4F, 0.6F, 0.2F});
+  const Tensor labels = Tensor::vector({1.0F, 1.0F, 0.0F, 0.0F});
+  EXPECT_DOUBLE_EQ(auc_roc(scores, labels), 0.75);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  std::vector<float> scores{0.9F, 0.7F, 0.5F, 0.3F, 0.1F};
+  std::vector<int> labels{1, 0, 1, 0, 0};
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2U);
+  EXPECT_FLOAT_EQ(curve.front().tpr, 0.0F);
+  EXPECT_FLOAT_EQ(curve.front().fpr, 0.0F);
+  EXPECT_FLOAT_EQ(curve.back().tpr, 1.0F);
+  EXPECT_FLOAT_EQ(curve.back().fpr, 1.0F);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+  }
+}
+
+TEST(Confusion, CountsAndDerivedMetrics) {
+  // threshold 0.5: predictions {1, 0, 1, 0}; labels {1, 1, 0, 0}.
+  const Confusion c = confusion_at({0.9F, 0.3F, 0.7F, 0.1F}, {1, 1, 0, 0}, 0.5F);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Confusion, DegenerateCasesDoNotDivideByZero) {
+  const Confusion c = confusion_at({0.1F, 0.2F}, {0, 1}, 0.9F);  // nothing predicted
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(BestF1, FindsPerfectThreshold) {
+  const BestF1 best = best_f1({0.1F, 0.2F, 0.8F, 0.9F}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_LT(best.threshold, 0.8F);
+  EXPECT_GE(best.threshold, 0.2F);
+}
+
+TEST(BestF1, AtLeastBaselineF1) {
+  // Predicting everything positive gives F1 = 2p/(p+1) with prevalence p.
+  std::vector<float> scores{0.5F, 0.4F, 0.6F, 0.3F, 0.2F};
+  std::vector<int> labels{1, 0, 0, 1, 0};
+  const double prevalence_f1 = 2.0 * 0.4 / 1.4;
+  EXPECT_GE(best_f1(scores, labels).f1, prevalence_f1 - 1e-9);
+}
+
+TEST(EventDetection, CountsEventsNotSamples) {
+  // Two events: samples 1-2 and 5. Scores catch only the first.
+  std::vector<int> labels{0, 1, 1, 0, 0, 1, 0};
+  std::vector<float> scores{0, 0, 9, 0, 0, 0, 0};
+  const EventStats stats = event_detection(scores, labels, 1.0F);
+  EXPECT_EQ(stats.total_events, 2);
+  EXPECT_EQ(stats.detected_events, 1);
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 0.5);
+}
+
+TEST(EventDetection, SingleSpikeAnywhereInEventCounts) {
+  std::vector<int> labels{1, 1, 1, 1};
+  for (std::size_t spike = 0; spike < 4; ++spike) {
+    std::vector<float> scores(4, 0.0F);
+    scores[spike] = 5.0F;
+    EXPECT_EQ(event_detection(scores, labels, 1.0F).detected_events, 1);
+  }
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Summary s = summarize(std::vector<float>{1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+  EXPECT_THROW(summarize(std::vector<float>{}), Error);
+}
+
+}  // namespace
+}  // namespace varade::eval

@@ -1,0 +1,133 @@
+// End-to-end integration test: simulate the robotic cell, train detectors,
+// score the collision experiment, and check the pipeline invariants — a
+// miniature of the Table 2 bench.
+#include <gtest/gtest.h>
+
+#include "varade/core/experiment.hpp"
+#include "varade/core/model_costs.hpp"
+#include "varade/edge/device.hpp"
+#include "varade/eval/metrics.hpp"
+
+namespace varade::core {
+namespace {
+
+Profile tiny_profile() {
+  Profile p = repro_profile();
+  p.sample_rate_hz = 50.0;
+  p.train_duration_s = 60.0;
+  p.test_duration_s = 50.0;
+  p.n_collisions = 6;
+  p.eval_stride = 5;
+  p.varade.window = 32;
+  p.varade.base_channels = 8;
+  p.varade.epochs = 3;
+  p.varade.train_stride = 8;
+  p.ar_lstm.window = 16;
+  p.ar_lstm.hidden = 12;
+  p.ar_lstm.n_layers = 1;
+  p.ar_lstm.epochs = 1;
+  p.ar_lstm.train_stride = 16;
+  p.gbrf.window = 32;
+  p.gbrf.feature_steps = 4;
+  p.gbrf.forest.n_trees = 5;
+  p.gbrf.forest.tree.max_depth = 3;
+  p.gbrf.forest.tree.max_features = 12;
+  p.gbrf.forest.subsample = 0.5F;
+  p.ae.window = 32;
+  p.ae.base_channels = 6;
+  p.ae.epochs = 2;
+  p.ae.train_stride = 8;
+  p.knn.max_reference_points = 500;
+  p.iforest.forest.n_trees = 30;
+  return p;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    profile_ = new Profile(tiny_profile());
+    data_ = new ExperimentData(generate_experiment_data(*profile_));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete profile_;
+    data_ = nullptr;
+    profile_ = nullptr;
+  }
+
+  static Profile* profile_;
+  static ExperimentData* data_;
+};
+
+Profile* IntegrationTest::profile_ = nullptr;
+ExperimentData* IntegrationTest::data_ = nullptr;
+
+TEST_F(IntegrationTest, DataGenerationInvariants) {
+  EXPECT_EQ(data_->train.n_channels(), data::kKukaChannelCount);
+  EXPECT_EQ(data_->test.n_channels(), data::kKukaChannelCount);
+  EXPECT_EQ(data_->train.length(), 3000);
+  EXPECT_EQ(data_->test.length(), 2500);
+  EXPECT_FALSE(data_->train.has_anomalies());
+  EXPECT_TRUE(data_->test.has_anomalies());
+  EXPECT_EQ(data_->n_collision_events, 6);
+  // Normalisation puts the training data into [-1, 1].
+  const Tensor train = data_->train.to_tensor();
+  EXPECT_GE(train.min(), -1.0F - 1e-5F);
+  EXPECT_LE(train.max(), 1.0F + 1e-5F);
+}
+
+TEST_F(IntegrationTest, AnomalousFractionIsReasonable) {
+  const double frac = static_cast<double>(data_->test.count_anomalous_samples()) /
+                      static_cast<double>(data_->test.length());
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.5);
+}
+
+TEST_F(IntegrationTest, EveryDetectorRunsAndBeatsChance) {
+  for (const std::string& name : detector_names()) {
+    const DetectorRun run = run_detector(name, *data_, *profile_);
+    EXPECT_EQ(run.detector, name);
+    EXPECT_GT(run.auc_roc, 0.5) << name << " must beat chance on collisions";
+    EXPECT_LE(run.auc_roc, 1.0) << name;
+    EXPECT_GT(run.host_inference_hz, 0.0) << name;
+    EXPECT_FALSE(run.scores.scores.empty()) << name;
+    for (float s : run.scores.scores) EXPECT_TRUE(std::isfinite(s)) << name;
+  }
+}
+
+TEST_F(IntegrationTest, EdgeEstimatesWorkForTrainedDetectors) {
+  const edge::EdgeProfiler nx(edge::jetson_xavier_nx());
+  auto det = make_detector(*profile_, "VARADE");
+  det->fit(data_->train);
+  const edge::EstimatedPerformance perf = nx.estimate(det->cost());
+  EXPECT_GT(perf.inference_hz, 0.0);
+  EXPECT_GE(perf.power_w, edge::jetson_xavier_nx().idle_power_w);
+}
+
+TEST_F(IntegrationTest, ScoresAlignWithTestLabels) {
+  auto det = make_detector(*profile_, "kNN");
+  det->fit(data_->train);
+  const SeriesScores scores = det->score_series(data_->test, profile_->eval_stride);
+  for (std::size_t i = 0; i < scores.times.size(); ++i)
+    EXPECT_EQ(scores.labels[i], data_->test.label(scores.times[i]));
+}
+
+TEST(IntegrationSmall, DeterministicExperimentData) {
+  Profile p = tiny_profile();
+  p.train_duration_s = 20.0;
+  p.test_duration_s = 20.0;
+  p.n_collisions = 2;
+  const ExperimentData a = generate_experiment_data(p);
+  const ExperimentData b = generate_experiment_data(p);
+  EXPECT_TRUE(allclose(a.train.to_tensor(), b.train.to_tensor()));
+  EXPECT_TRUE(allclose(a.test.to_tensor(), b.test.to_tensor()));
+}
+
+TEST(IntegrationSmall, RejectsBadDurations) {
+  Profile p = tiny_profile();
+  p.train_duration_s = -1.0;
+  EXPECT_THROW(generate_experiment_data(p), Error);
+}
+
+}  // namespace
+}  // namespace varade::core

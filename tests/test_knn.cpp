@@ -1,0 +1,153 @@
+// kNN substrate tests: kd-tree vs brute force equivalence and anomaly scores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "varade/knn/kdtree.hpp"
+#include "varade/knn/knn.hpp"
+
+namespace varade::knn {
+namespace {
+
+TEST(KdTree, FindsExactNearestNeighbour) {
+  Tensor pts = Tensor::matrix({{0, 0}, {1, 0}, {0, 1}, {5, 5}});
+  KdTree tree;
+  tree.build(pts);
+  const auto nbs = tree.query(Tensor::vector({0.9F, 0.1F}), 1);
+  ASSERT_EQ(nbs.size(), 1U);
+  EXPECT_EQ(nbs[0].index, 1);
+}
+
+TEST(KdTree, ReturnsSortedDistances) {
+  Rng rng(1);
+  const Tensor pts = Tensor::randn({100, 3}, rng);
+  KdTree tree;
+  tree.build(pts);
+  const Tensor q = Tensor::randn({3}, rng);
+  const auto nbs = tree.query(q, 10);
+  ASSERT_EQ(nbs.size(), 10U);
+  for (std::size_t i = 1; i < nbs.size(); ++i) EXPECT_LE(nbs[i - 1].dist_sq, nbs[i].dist_sq);
+}
+
+TEST(KdTree, ErrorsOnMisuse) {
+  KdTree tree;
+  EXPECT_THROW(tree.query(Tensor::vector({1.0F}), 1), Error);
+  EXPECT_THROW(tree.build(Tensor({3})), Error);
+  tree.build(Tensor::matrix({{1, 2}, {3, 4}}));
+  EXPECT_THROW(tree.query(Tensor::vector({1.0F}), 1), Error);  // wrong dim
+  EXPECT_THROW(tree.query(Tensor::vector({1.0F, 2.0F}), 0), Error);
+}
+
+// Property: the kd-tree and brute force must return identical neighbour sets.
+class KdTreeVsBruteForce : public ::testing::TestWithParam<std::tuple<Index, Index, int>> {};
+
+TEST_P(KdTreeVsBruteForce, IdenticalResults) {
+  const auto [n, d, k] = GetParam();
+  Rng rng(42 + n + d);
+  const Tensor pts = Tensor::randn({n, d}, rng);
+  KdTree tree;
+  tree.build(pts);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor q = Tensor::randn({d}, rng);
+    const auto fast = tree.query(q, k);
+
+    // Brute-force reference.
+    std::vector<Neighbor> ref;
+    for (Index i = 0; i < n; ++i) {
+      float dist = 0.0F;
+      for (Index j = 0; j < d; ++j) {
+        const float diff = q[j] - pts[i * d + j];
+        dist += diff * diff;
+      }
+      ref.push_back({dist, i});
+    }
+    std::sort(ref.begin(), ref.end());
+    ref.resize(static_cast<std::size_t>(k));
+
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_NEAR(fast[i].dist_sq, ref[i].dist_sq, 1e-5F) << "trial " << trial << " rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KdTreeVsBruteForce,
+                         ::testing::Values(std::tuple<Index, Index, int>{50, 2, 5},
+                                           std::tuple<Index, Index, int>{200, 3, 1},
+                                           std::tuple<Index, Index, int>{100, 5, 7},
+                                           std::tuple<Index, Index, int>{64, 8, 3}));
+
+TEST(KnnScorer, BackendsAgree) {
+  Rng rng(7);
+  const Tensor ref = Tensor::randn({200, 4}, rng);
+
+  KnnConfig tree_cfg;
+  tree_cfg.kdtree_max_dims = 16;  // forces kd-tree for 4 dims
+  KnnAnomalyScorer with_tree(tree_cfg);
+  with_tree.fit(ref);
+  EXPECT_TRUE(with_tree.using_kdtree());
+
+  KnnConfig brute_cfg;
+  brute_cfg.kdtree_max_dims = 0;  // forces brute force
+  KnnAnomalyScorer brute(brute_cfg);
+  brute.fit(ref);
+  EXPECT_FALSE(brute.using_kdtree());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const Tensor q = Tensor::randn({4}, rng);
+    EXPECT_NEAR(with_tree.score_one(q), brute.score_one(q), 1e-4F);
+  }
+}
+
+TEST(KnnScorer, OutlierScoresHigherThanInlier) {
+  Rng rng(8);
+  const Tensor ref = Tensor::randn({500, 3}, rng);
+  KnnAnomalyScorer scorer({.k = 5});
+  scorer.fit(ref);
+  const float inlier = scorer.score_one(Tensor::vector({0.0F, 0.0F, 0.0F}));
+  const float outlier = scorer.score_one(Tensor::vector({10.0F, 10.0F, 10.0F}));
+  EXPECT_GT(outlier, 5.0F * inlier);
+}
+
+TEST(KnnScorer, MaxVsMeanDistance) {
+  // Max distance (paper default) is >= mean distance for any query.
+  Rng rng(9);
+  const Tensor ref = Tensor::randn({100, 2}, rng);
+  KnnAnomalyScorer max_scorer({.k = 5, .score = KnnScore::kMaxDistance});
+  KnnAnomalyScorer mean_scorer({.k = 5, .score = KnnScore::kMeanDistance});
+  max_scorer.fit(ref);
+  mean_scorer.fit(ref);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tensor q = Tensor::randn({2}, rng);
+    EXPECT_GE(max_scorer.score_one(q), mean_scorer.score_one(q) - 1e-6F);
+  }
+}
+
+TEST(KnnScorer, SubsamplingBoundsReferenceSize) {
+  Rng rng(10);
+  const Tensor ref = Tensor::randn({1000, 2}, rng);
+  KnnConfig cfg;
+  cfg.max_reference_points = 128;
+  KnnAnomalyScorer scorer(cfg);
+  scorer.fit(ref);
+  EXPECT_EQ(scorer.reference_size(), 128);
+}
+
+TEST(KnnScorer, TrainingPointScoresNearZeroWithKOne) {
+  Rng rng(11);
+  const Tensor ref = Tensor::randn({50, 2}, rng);
+  KnnAnomalyScorer scorer({.k = 1});
+  scorer.fit(ref);
+  // A reference point's own nearest neighbour is itself.
+  EXPECT_NEAR(scorer.score_one(ref.row(7)), 0.0F, 1e-5F);
+}
+
+TEST(KnnScorer, ErrorsOnMisuse) {
+  KnnAnomalyScorer scorer({.k = 5});
+  EXPECT_THROW(scorer.score_one(Tensor::vector({1.0F})), Error);
+  EXPECT_THROW(scorer.fit(Tensor({3, 2})), Error);  // fewer rows than k
+  EXPECT_THROW(KnnAnomalyScorer({.k = 0}), Error);
+}
+
+}  // namespace
+}  // namespace varade::knn

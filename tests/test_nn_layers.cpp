@@ -1,0 +1,275 @@
+// Layer tests: exact forward semantics plus finite-difference gradient checks
+// over parameterised shape sweeps.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "varade/nn/layers.hpp"
+
+namespace varade {
+namespace {
+
+using nn::Conv1d;
+using nn::ConvTranspose1d;
+using nn::Flatten;
+using nn::LastTimeStep;
+using nn::Linear;
+using nn::ReLU;
+using nn::ResidualBlock1d;
+using nn::Tanh;
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 3, rng);
+  layer.weight().value = Tensor::matrix({{1, 0}, {0, 1}, {1, 1}});
+  layer.bias().value = Tensor::vector({0.5F, -0.5F, 0});
+  const Tensor x = Tensor::matrix({{2, 3}});
+  const Tensor y = layer.forward(x);
+  EXPECT_TRUE(allclose(y, Tensor::matrix({{2.5F, 2.5F, 5}})));
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Rng rng(1);
+  Linear layer(4, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 3})), Error);
+  EXPECT_THROW(layer.forward(Tensor({4})), Error);
+}
+
+TEST(Linear, OutputShapeAndFlops) {
+  Rng rng(1);
+  Linear layer(8, 5, rng);
+  EXPECT_EQ(layer.output_shape({8}), (Shape{5}));
+  EXPECT_EQ(layer.flops({8}), 2 * 8 * 5);
+  EXPECT_EQ(layer.num_params(), 8 * 5 + 5);
+}
+
+TEST(ReLU, ForwardAndBackward) {
+  ReLU relu;
+  const Tensor x = Tensor::vector({-1, 0, 2});
+  EXPECT_EQ(relu.forward(x), Tensor::vector({0, 0, 2}));
+  const Tensor g = relu.backward(Tensor::vector({1, 1, 1}));
+  EXPECT_EQ(g, Tensor::vector({0, 0, 1}));
+}
+
+TEST(Tanh, ForwardAndBackward) {
+  Tanh tanh_layer;
+  const Tensor x = Tensor::vector({0.0F, 1.0F});
+  const Tensor y = tanh_layer.forward(x);
+  EXPECT_NEAR(y.at(0), 0.0F, 1e-6);
+  EXPECT_NEAR(y.at(1), std::tanh(1.0F), 1e-6);
+  const Tensor g = tanh_layer.backward(Tensor::vector({1, 1}));
+  EXPECT_NEAR(g.at(0), 1.0F, 1e-6);  // 1 - tanh(0)^2
+}
+
+TEST(Conv1d, OutLengthGeometry) {
+  Rng rng(1);
+  Conv1d c(1, 1, 2, 2, 0, rng);
+  EXPECT_EQ(c.out_length(8), 4);
+  EXPECT_EQ(c.out_length(9), 4);
+  Conv1d same(1, 1, 3, 1, 1, rng);
+  EXPECT_EQ(same.out_length(8), 8);
+  EXPECT_THROW(Conv1d(1, 1, 4, 1, 0, rng).out_length(2), Error);
+}
+
+TEST(Conv1d, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Conv1d c(1, 1, 2, 2, 0, rng);
+  c.parameters()[0]->value = Tensor({1, 1, 2}, std::vector<float>{1.0F, -1.0F});
+  c.parameters()[1]->value = Tensor::vector({0.5F});
+  const Tensor x({1, 1, 4}, std::vector<float>{1, 2, 3, 5});
+  const Tensor y = c.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 1.0F - 2.0F + 0.5F);
+  EXPECT_FLOAT_EQ(y[1], 3.0F - 5.0F + 0.5F);
+}
+
+TEST(Conv1d, PaddingPreservesLength) {
+  Rng rng(2);
+  Conv1d c(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 6}, rng);
+  EXPECT_EQ(c.forward(x).shape(), (Shape{2, 3, 6}));
+}
+
+TEST(ConvTranspose1d, ForwardGeometryAndValues) {
+  Rng rng(1);
+  ConvTranspose1d c(1, 1, 2, 2, rng);
+  c.parameters()[0]->value = Tensor({1, 1, 2}, std::vector<float>{1.0F, 2.0F});
+  c.parameters()[1]->value = Tensor::vector({0.0F});
+  const Tensor x({1, 1, 2}, std::vector<float>{3, 4});
+  const Tensor y = c.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4}));
+  EXPECT_FLOAT_EQ(y[0], 3.0F);
+  EXPECT_FLOAT_EQ(y[1], 6.0F);
+  EXPECT_FLOAT_EQ(y[2], 4.0F);
+  EXPECT_FLOAT_EQ(y[3], 8.0F);
+}
+
+TEST(ConvTranspose1d, InvertsConvGeometry) {
+  Rng rng(3);
+  Conv1d down(4, 8, 2, 2, 0, rng);
+  ConvTranspose1d up(8, 4, 2, 2, rng);
+  const Tensor x = Tensor::randn({1, 4, 16}, rng);
+  const Tensor encoded = down.forward(x);
+  EXPECT_EQ(encoded.shape(), (Shape{1, 8, 8}));
+  EXPECT_EQ(up.forward(encoded).shape(), x.shape());
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Rng rng(1);
+  const Tensor x = Tensor::randn({2, 3, 4}, rng);
+  const Tensor y = f.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 12}));
+  const Tensor g = f.backward(y);
+  EXPECT_TRUE(allclose(g, x));
+}
+
+TEST(LastTimeStep, SelectsFinalColumn) {
+  LastTimeStep l;
+  const Tensor x({1, 2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor y = l.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 3.0F);
+  EXPECT_FLOAT_EQ(y[1], 6.0F);
+  const Tensor g = l.backward(Tensor::matrix({{1.0F, 2.0F}}));
+  EXPECT_FLOAT_EQ(g[2], 1.0F);
+  EXPECT_FLOAT_EQ(g[5], 2.0F);
+  EXPECT_FLOAT_EQ(g[0], 0.0F);
+}
+
+TEST(ResidualBlock1d, PreservesShapeAndSkip) {
+  Rng rng(4);
+  ResidualBlock1d block(3, rng);
+  const Tensor x = Tensor::randn({2, 3, 8}, rng);
+  EXPECT_EQ(block.forward(x).shape(), x.shape());
+  // Zeroing all conv weights must reduce the block to identity.
+  for (nn::Parameter* p : block.parameters()) p->value.zero();
+  EXPECT_TRUE(allclose(block.forward(x), x));
+}
+
+TEST(Sequential, ChainsShapesAndFlops) {
+  Rng rng(5);
+  nn::Sequential net;
+  net.emplace<Conv1d>(2, 4, 2, 2, 0, rng);
+  net.emplace<ReLU>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(4 * 4, 3, rng);
+  EXPECT_EQ(net.output_shape({2, 8}), (Shape{3}));
+  EXPECT_GT(net.flops({2, 8}), 0);
+  const Tensor x = Tensor::randn({2, 2, 8}, rng);
+  EXPECT_EQ(net.forward(x).shape(), (Shape{2, 3}));
+  EXPECT_EQ(net.size(), 4U);
+}
+
+// --- finite-difference gradient checks (parameterised shape sweeps) ---------
+
+struct ConvCase {
+  Index in_ch;
+  Index out_ch;
+  Index kernel;
+  Index stride;
+  Index padding;
+  Index length;
+  Index batch;
+};
+
+class Conv1dGradCheck : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv1dGradCheck, MatchesFiniteDifferences) {
+  const ConvCase c = GetParam();
+  Rng rng(11);
+  Conv1d layer(c.in_ch, c.out_ch, c.kernel, c.stride, c.padding, rng);
+  const Tensor x = Tensor::randn({c.batch, c.in_ch, c.length}, rng);
+  const Shape out = {c.batch, c.out_ch, layer.out_length(c.length)};
+  const Tensor projection = Tensor::randn(out, rng);
+  testing::check_input_gradient(layer, x, projection);
+  testing::check_parameter_gradients(layer, x, projection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Conv1dGradCheck,
+                         ::testing::Values(ConvCase{1, 1, 2, 2, 0, 8, 1},
+                                           ConvCase{3, 5, 2, 2, 0, 16, 2},
+                                           ConvCase{2, 4, 3, 1, 1, 10, 2},
+                                           ConvCase{4, 2, 5, 2, 2, 12, 1},
+                                           ConvCase{2, 2, 1, 1, 0, 6, 3}));
+
+struct TransposeCase {
+  Index in_ch;
+  Index out_ch;
+  Index kernel;
+  Index stride;
+  Index length;
+  Index batch;
+};
+
+class ConvTranspose1dGradCheck : public ::testing::TestWithParam<TransposeCase> {};
+
+TEST_P(ConvTranspose1dGradCheck, MatchesFiniteDifferences) {
+  const TransposeCase c = GetParam();
+  Rng rng(13);
+  ConvTranspose1d layer(c.in_ch, c.out_ch, c.kernel, c.stride, rng);
+  const Tensor x = Tensor::randn({c.batch, c.in_ch, c.length}, rng);
+  const Shape out = {c.batch, c.out_ch, (c.length - 1) * c.stride + c.kernel};
+  const Tensor projection = Tensor::randn(out, rng);
+  testing::check_input_gradient(layer, x, projection);
+  testing::check_parameter_gradients(layer, x, projection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvTranspose1dGradCheck,
+                         ::testing::Values(TransposeCase{1, 1, 2, 2, 4, 1},
+                                           TransposeCase{4, 2, 2, 2, 8, 2},
+                                           TransposeCase{2, 3, 3, 2, 5, 2}));
+
+struct LinearCase {
+  Index in;
+  Index out;
+  Index batch;
+};
+
+class LinearGradCheck : public ::testing::TestWithParam<LinearCase> {};
+
+TEST_P(LinearGradCheck, MatchesFiniteDifferences) {
+  const LinearCase c = GetParam();
+  Rng rng(17);
+  Linear layer(c.in, c.out, rng);
+  const Tensor x = Tensor::randn({c.batch, c.in}, rng);
+  const Tensor projection = Tensor::randn({c.batch, c.out}, rng);
+  testing::check_input_gradient(layer, x, projection);
+  testing::check_parameter_gradients(layer, x, projection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearGradCheck,
+                         ::testing::Values(LinearCase{1, 1, 1}, LinearCase{4, 7, 2},
+                                           LinearCase{16, 3, 5}));
+
+TEST(ResidualBlock1dGrad, MatchesFiniteDifferences) {
+  Rng rng(19);
+  ResidualBlock1d block(2, rng);
+  // Zero-initialised biases can land inner conv outputs exactly on the ReLU
+  // kink (all taps zeroed by the preceding ReLU), where the loss is not
+  // differentiable and finite differences measure the average of the two
+  // one-sided slopes. Nudge the biases off the kink before checking.
+  for (nn::Parameter* p : block.parameters())
+    if (p->name == "bias")
+      for (Index i = 0; i < p->value.numel(); ++i) p->value[i] = rng.normal(0.0F, 0.05F);
+  const Tensor x = Tensor::randn({2, 2, 6}, rng);
+  const Tensor projection = Tensor::randn({2, 2, 6}, rng);
+  // Small step: larger ones cross ReLU kinks inside the two-conv composition.
+  testing::check_input_gradient(block, x, projection, 1e-3F, 2e-2F);
+  testing::check_parameter_gradients(block, x, projection, 1e-3F, 2e-2F);
+}
+
+TEST(SequentialGrad, MatchesFiniteDifferences) {
+  Rng rng(23);
+  nn::Sequential net;
+  net.emplace<Conv1d>(2, 3, 2, 2, 0, rng);
+  net.emplace<ReLU>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(3 * 4, 2, rng);
+  const Tensor x = Tensor::randn({2, 2, 8}, rng);
+  const Tensor projection = Tensor::randn({2, 2}, rng);
+  testing::check_input_gradient(net, x, projection);
+  testing::check_parameter_gradients(net, x, projection);
+}
+
+}  // namespace
+}  // namespace varade

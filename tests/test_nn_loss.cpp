@@ -1,0 +1,152 @@
+// Loss-function tests: closed-form values (paper equations 5-7) and analytic
+// gradients against finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "varade/nn/loss.hpp"
+
+namespace varade {
+namespace {
+
+TEST(MseLoss, ClosedForm) {
+  const Tensor pred = Tensor::vector({1, 2, 3});
+  const Tensor target = Tensor::vector({1, 0, 6});
+  const nn::LossResult r = nn::mse_loss(pred, target);
+  EXPECT_NEAR(r.value, (0.0F + 4.0F + 9.0F) / 3.0F, 1e-6);
+  // grad = 2(pred-target)/n
+  EXPECT_NEAR(r.grad.at(0), 0.0F, 1e-6);
+  EXPECT_NEAR(r.grad.at(1), 4.0F / 3.0F, 1e-6);
+  EXPECT_NEAR(r.grad.at(2), -2.0F, 1e-6);
+}
+
+TEST(MseLoss, Errors) {
+  EXPECT_THROW(nn::mse_loss(Tensor({2}), Tensor({3})), Error);
+  EXPECT_THROW(nn::mse_loss(Tensor({0}), Tensor({0})), Error);
+}
+
+TEST(GaussianNll, MatchesPaperEquation5) {
+  // NLL = 1/2 (log sigma^2 + (y-mu)^2 / sigma^2), constant dropped.
+  const Tensor mu = Tensor::vector({0.0F});
+  const Tensor logvar = Tensor::vector({0.0F});  // sigma^2 = 1
+  const Tensor y = Tensor::vector({2.0F});
+  const nn::VariationalLossResult r = nn::gaussian_nll(mu, logvar, y);
+  EXPECT_NEAR(r.value, 0.5F * (0.0F + 4.0F), 1e-6);
+  // d/dmu = -(y-mu)/var = -2 ; d/dlogvar = 1/2 (1 - (y-mu)^2/var) = -1.5
+  EXPECT_NEAR(r.grad_mu.at(0), -2.0F, 1e-6);
+  EXPECT_NEAR(r.grad_logvar.at(0), -1.5F, 1e-6);
+}
+
+TEST(GaussianNll, PerfectPredictionPenalisesOnlyVariance) {
+  const Tensor mu = Tensor::vector({3.0F});
+  const Tensor y = Tensor::vector({3.0F});
+  const Tensor logvar = Tensor::vector({-2.0F});
+  const nn::VariationalLossResult r = nn::gaussian_nll(mu, logvar, y);
+  EXPECT_NEAR(r.value, 0.5F * -2.0F, 1e-6);
+  EXPECT_NEAR(r.grad_mu.at(0), 0.0F, 1e-6);
+  EXPECT_NEAR(r.grad_logvar.at(0), 0.5F, 1e-6);  // shrink variance further
+}
+
+TEST(KlStandardNormal, MatchesPaperEquation6) {
+  // D_KL = -1/2 (1 + logvar - mu^2 - var); zero exactly at mu=0, var=1.
+  const nn::VariationalLossResult zero =
+      nn::kl_standard_normal(Tensor::vector({0.0F}), Tensor::vector({0.0F}));
+  EXPECT_NEAR(zero.value, 0.0F, 1e-7);
+  EXPECT_NEAR(zero.grad_mu.at(0), 0.0F, 1e-7);
+  EXPECT_NEAR(zero.grad_logvar.at(0), 0.0F, 1e-7);
+
+  const nn::VariationalLossResult r =
+      nn::kl_standard_normal(Tensor::vector({1.0F}), Tensor::vector({std::log(2.0F)}));
+  EXPECT_NEAR(r.value, -0.5F * (1.0F + std::log(2.0F) - 1.0F - 2.0F), 1e-6);
+  EXPECT_NEAR(r.grad_mu.at(0), 1.0F, 1e-6);              // mu
+  EXPECT_NEAR(r.grad_logvar.at(0), 0.5F * (2.0F - 1.0F), 1e-6);  // (var-1)/2
+}
+
+TEST(KlStandardNormal, AlwaysNonNegative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Tensor mu = Tensor::randn({10}, rng, 2.0F);
+    const Tensor logvar = Tensor::randn({10}, rng, 1.0F);
+    EXPECT_GE(nn::kl_standard_normal(mu, logvar).value, -1e-5F);
+  }
+}
+
+TEST(ElboLoss, IsWeightedSumOfParts) {
+  Rng rng(2);
+  const Tensor mu = Tensor::randn({8}, rng);
+  const Tensor logvar = Tensor::randn({8}, rng, 0.3F);
+  const Tensor y = Tensor::randn({8}, rng);
+  const float lambda = 0.37F;
+
+  const auto recon = nn::gaussian_nll(mu, logvar, y);
+  const auto kl = nn::kl_standard_normal(mu, logvar);
+  const auto elbo = nn::elbo_loss(mu, logvar, y, lambda);
+
+  EXPECT_NEAR(elbo.value, recon.value + lambda * kl.value, 1e-5);
+  for (Index i = 0; i < 8; ++i) {
+    EXPECT_NEAR(elbo.grad_mu[i], recon.grad_mu[i] + lambda * kl.grad_mu[i], 1e-6);
+    EXPECT_NEAR(elbo.grad_logvar[i], recon.grad_logvar[i] + lambda * kl.grad_logvar[i], 1e-6);
+  }
+}
+
+TEST(ElboLoss, LambdaZeroReducesToNll) {
+  Rng rng(3);
+  const Tensor mu = Tensor::randn({4}, rng);
+  const Tensor logvar = Tensor::randn({4}, rng);
+  const Tensor y = Tensor::randn({4}, rng);
+  const auto elbo = nn::elbo_loss(mu, logvar, y, 0.0F);
+  const auto nll = nn::gaussian_nll(mu, logvar, y);
+  EXPECT_NEAR(elbo.value, nll.value, 1e-6);
+}
+
+// Parameterised finite-difference check over all three variational losses.
+class VariationalGradCheck : public ::testing::TestWithParam<float> {};
+
+TEST_P(VariationalGradCheck, GradientsMatchFiniteDifferences) {
+  const float lambda = GetParam();
+  Rng rng(5);
+  Tensor mu = Tensor::randn({6}, rng);
+  Tensor logvar = Tensor::randn({6}, rng, 0.5F);
+  const Tensor y = Tensor::randn({6}, rng);
+  const auto analytic = nn::elbo_loss(mu, logvar, y, lambda);
+
+  const float eps = 1e-3F;
+  for (Index i = 0; i < 6; ++i) {
+    {
+      const float orig = mu[i];
+      mu[i] = orig + eps;
+      const float lp = nn::elbo_loss(mu, logvar, y, lambda).value;
+      mu[i] = orig - eps;
+      const float lm = nn::elbo_loss(mu, logvar, y, lambda).value;
+      mu[i] = orig;
+      EXPECT_NEAR(analytic.grad_mu[i], (lp - lm) / (2 * eps), 2e-3F);
+    }
+    {
+      const float orig = logvar[i];
+      logvar[i] = orig + eps;
+      const float lp = nn::elbo_loss(mu, logvar, y, lambda).value;
+      logvar[i] = orig - eps;
+      const float lm = nn::elbo_loss(mu, logvar, y, lambda).value;
+      logvar[i] = orig;
+      EXPECT_NEAR(analytic.grad_logvar[i], (lp - lm) / (2 * eps), 2e-3F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, VariationalGradCheck,
+                         ::testing::Values(0.0F, 0.01F, 0.1F, 1.0F));
+
+TEST(GaussianNll, OptimalLogvarEqualsLogResidualSquared) {
+  // Minimising over logvar: d/dlogvar = 0 => var = (y-mu)^2.
+  const Tensor mu = Tensor::vector({0.0F});
+  const Tensor y = Tensor::vector({0.5F});
+  const float opt = std::log(0.25F);
+  const float below = nn::gaussian_nll(mu, Tensor::vector({opt - 0.3F}), y).value;
+  const float at = nn::gaussian_nll(mu, Tensor::vector({opt}), y).value;
+  const float above = nn::gaussian_nll(mu, Tensor::vector({opt + 0.3F}), y).value;
+  EXPECT_LT(at, below);
+  EXPECT_LT(at, above);
+}
+
+}  // namespace
+}  // namespace varade

@@ -1,0 +1,116 @@
+// LSTM tests: shape semantics, gate behaviour, and BPTT gradient checks.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "varade/nn/layers.hpp"
+#include "varade/nn/lstm.hpp"
+
+namespace varade {
+namespace {
+
+TEST(Lstm, OutputShape) {
+  Rng rng(1);
+  nn::Lstm lstm(3, 5, rng);
+  const Tensor x = Tensor::randn({2, 3, 7}, rng);
+  const Tensor y = lstm.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 7}));
+  EXPECT_EQ(lstm.output_shape({3, 7}), (Shape{5, 7}));
+}
+
+TEST(Lstm, RejectsWrongChannelCount) {
+  Rng rng(1);
+  nn::Lstm lstm(3, 5, rng);
+  EXPECT_THROW(lstm.forward(Tensor({2, 4, 7})), Error);
+  EXPECT_THROW(lstm.forward(Tensor({2, 3})), Error);
+}
+
+TEST(Lstm, HiddenStateIsBounded) {
+  // h = o * tanh(c) with o in (0,1) and tanh in (-1,1).
+  Rng rng(2);
+  nn::Lstm lstm(2, 4, rng);
+  const Tensor x = Tensor::randn({1, 2, 20}, rng, 3.0F);
+  const Tensor y = lstm.forward(x);
+  EXPECT_LE(y.max(), 1.0F);
+  EXPECT_GE(y.min(), -1.0F);
+}
+
+TEST(Lstm, ZeroWeightsGiveConstantOutput) {
+  Rng rng(3);
+  nn::Lstm lstm(2, 3, rng);
+  for (nn::Parameter* p : lstm.parameters()) p->value.zero();
+  const Tensor x = Tensor::randn({1, 2, 5}, rng);
+  const Tensor y = lstm.forward(x);
+  // With all weights and biases zero: i=f=o=0.5, g=0, c stays 0, h stays 0.
+  EXPECT_NEAR(y.max(), 0.0F, 1e-6);
+  EXPECT_NEAR(y.min(), 0.0F, 1e-6);
+}
+
+TEST(Lstm, StatePropagatesAcrossTime) {
+  // The same input at every step must produce evolving hidden states while
+  // the cell saturates (outputs differ between early and late steps).
+  Rng rng(4);
+  nn::Lstm lstm(1, 4, rng);
+  Tensor x({1, 1, 10}, std::vector<float>(10, 1.0F));
+  const Tensor y = lstm.forward(x);
+  float first = 0.0F;
+  float last = 0.0F;
+  for (Index h = 0; h < 4; ++h) {
+    first += std::fabs(y[h * 10 + 0]);
+    last += std::fabs(y[h * 10 + 9]);
+  }
+  EXPECT_GT(std::fabs(first - last), 1e-4F);
+}
+
+TEST(Lstm, ForgetGateBiasInitialisedToOne) {
+  Rng rng(5);
+  nn::Lstm lstm(2, 3, rng);
+  const Tensor& bias = lstm.parameters()[2]->value;
+  for (Index h = 0; h < 3; ++h) EXPECT_FLOAT_EQ(bias[3 + h], 1.0F);  // forget block
+  for (Index h = 0; h < 3; ++h) EXPECT_FLOAT_EQ(bias[h], 0.0F);      // input block
+}
+
+struct LstmCase {
+  Index input;
+  Index hidden;
+  Index length;
+  Index batch;
+};
+
+class LstmGradCheck : public ::testing::TestWithParam<LstmCase> {};
+
+TEST_P(LstmGradCheck, MatchesFiniteDifferences) {
+  const LstmCase c = GetParam();
+  Rng rng(31);
+  nn::Lstm lstm(c.input, c.hidden, rng);
+  const Tensor x = Tensor::randn({c.batch, c.input, c.length}, rng);
+  const Tensor projection = Tensor::randn({c.batch, c.hidden, c.length}, rng);
+  testing::check_input_gradient(lstm, x, projection, 1e-2F, 3e-2F);
+  testing::check_parameter_gradients(lstm, x, projection, 1e-2F, 3e-2F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LstmGradCheck,
+                         ::testing::Values(LstmCase{1, 2, 3, 1}, LstmCase{2, 3, 5, 2},
+                                           LstmCase{3, 4, 4, 1}));
+
+TEST(LstmStack, GradCheckThroughTwoLayersAndHead) {
+  Rng rng(37);
+  nn::Sequential net;
+  net.emplace<nn::Lstm>(2, 3, rng);
+  net.emplace<nn::Lstm>(3, 3, rng);
+  net.emplace<nn::LastTimeStep>();
+  net.emplace<nn::Linear>(3, 2, rng);
+  const Tensor x = Tensor::randn({2, 2, 4}, rng);
+  const Tensor projection = Tensor::randn({2, 2}, rng);
+  testing::check_input_gradient(net, x, projection, 1e-2F, 3e-2F);
+  testing::check_parameter_gradients(net, x, projection, 1e-2F, 3e-2F);
+}
+
+TEST(Lstm, FlopsScaleWithLength) {
+  Rng rng(6);
+  nn::Lstm lstm(3, 8, rng);
+  EXPECT_EQ(lstm.flops({3, 10}), 2 * lstm.flops({3, 5}));
+  EXPECT_GT(lstm.flops({3, 1}), 0);
+}
+
+}  // namespace
+}  // namespace varade

@@ -1,0 +1,184 @@
+// Geometry and kinematics tests: quaternion algebra properties, rotation
+// round trips, and forward-kinematics sanity for the iiwa-like chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "varade/robot/kinematics.hpp"
+#include "varade/robot/quaternion.hpp"
+#include "varade/tensor/rng.hpp"
+
+namespace varade::robot {
+namespace {
+
+TEST(Vec3, BasicOps) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3.0);
+  EXPECT_DOUBLE_EQ(c.y, 6.0);
+  EXPECT_DOUBLE_EQ(c.z, -3.0);
+  EXPECT_NEAR(a.norm(), std::sqrt(14.0), 1e-12);
+}
+
+TEST(Mat3, RotationComposition) {
+  const Mat3 rz = Mat3::rot_z(kPi / 2.0);
+  const Vec3 x{1, 0, 0};
+  const Vec3 y = rz * x;
+  EXPECT_NEAR(y.x, 0.0, 1e-12);
+  EXPECT_NEAR(y.y, 1.0, 1e-12);
+  // R * R^T = I.
+  const Mat3 prod = rz * rz.transposed();
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Quaternion, IdentityAndNorm) {
+  const Quaternion q = Quaternion::identity();
+  EXPECT_DOUBLE_EQ(q.norm(), 1.0);
+  const Vec3 v{1, 2, 3};
+  const Vec3 r = q.rotate(v);
+  EXPECT_NEAR(r.x, v.x, 1e-12);
+  EXPECT_NEAR(r.y, v.y, 1e-12);
+  EXPECT_NEAR(r.z, v.z, 1e-12);
+}
+
+TEST(Quaternion, EulerRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double roll = rng.uniform(-3.0F, 3.0F);
+    const double pitch = rng.uniform(-1.4F, 1.4F);  // avoid gimbal lock
+    const double yaw = rng.uniform(-3.0F, 3.0F);
+    const Quaternion q = Quaternion::from_euler(roll, pitch, yaw);
+    EXPECT_NEAR(q.norm(), 1.0, 1e-9);
+    double r2 = 0;
+    double p2 = 0;
+    double y2 = 0;
+    q.to_euler(r2, p2, y2);
+    EXPECT_NEAR(r2, roll, 1e-6);
+    EXPECT_NEAR(p2, pitch, 1e-6);
+    EXPECT_NEAR(y2, yaw, 1e-6);
+  }
+}
+
+TEST(Quaternion, MatrixRoundTrip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Quaternion q =
+        Quaternion::from_euler(rng.uniform(-3.0F, 3.0F), rng.uniform(-1.5F, 1.5F),
+                               rng.uniform(-3.0F, 3.0F));
+    const Quaternion back = Quaternion::from_matrix(q.to_matrix());
+    // q and -q encode the same rotation.
+    EXPECT_NEAR(back.angle_to(q), 0.0, 1e-6);
+  }
+}
+
+TEST(Quaternion, RotationMatchesMatrix) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Quaternion q = Quaternion::from_axis_angle(
+        {rng.normal(), rng.normal(), rng.normal()}, rng.uniform(-3.0F, 3.0F));
+    const Vec3 v{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 via_quat = q.rotate(v);
+    const Vec3 via_mat = q.to_matrix() * v;
+    EXPECT_NEAR(via_quat.x, via_mat.x, 1e-9);
+    EXPECT_NEAR(via_quat.y, via_mat.y, 1e-9);
+    EXPECT_NEAR(via_quat.z, via_mat.z, 1e-9);
+  }
+}
+
+TEST(Quaternion, CompositionMatchesMatrixProduct) {
+  const Quaternion a = Quaternion::from_euler(0.3, -0.2, 0.9);
+  const Quaternion b = Quaternion::from_euler(-1.1, 0.4, 0.2);
+  const Quaternion ab = a * b;
+  const Mat3 mab = a.to_matrix() * b.to_matrix();
+  const Quaternion q_mab = Quaternion::from_matrix(mab);
+  EXPECT_NEAR(ab.angle_to(q_mab), 0.0, 1e-9);
+}
+
+TEST(Quaternion, RotationPreservesNorm) {
+  Rng rng(4);
+  const Quaternion q = Quaternion::from_euler(0.5, 0.3, -0.7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 v{rng.normal(), rng.normal(), rng.normal()};
+    EXPECT_NEAR(q.rotate(v).norm(), v.norm(), 1e-9);
+  }
+}
+
+TEST(Quaternion, AxisAngleErrorsOnZeroAxis) {
+  EXPECT_THROW(Quaternion::from_axis_angle({0, 0, 0}, 1.0), Error);
+}
+
+TEST(ForwardKinematics, HomePoseIsDeterministicAndReachable) {
+  ForwardKinematics fk;
+  const std::array<double, kNumJoints> home{};
+  const Transform ee = fk.end_effector(home);
+  // At home the iiwa-like chain points straight up: x = y = 0,
+  // z = d1 + d3 + d5 + d7.
+  EXPECT_NEAR(ee.translation.x, 0.0, 1e-9);
+  EXPECT_NEAR(ee.translation.y, 0.0, 1e-9);
+  EXPECT_NEAR(ee.translation.z, 0.360 + 0.420 + 0.400 + 0.126, 1e-9);
+}
+
+TEST(ForwardKinematics, RotationsStayOrthonormal) {
+  ForwardKinematics fk;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::array<double, kNumJoints> q{};
+    for (auto& v : q) v = rng.uniform(-2.0F, 2.0F);
+    const auto poses = fk.link_poses(q);
+    for (const Transform& t : poses) {
+      const Mat3 prod = t.rotation * t.rotation.transposed();
+      for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c) EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(ForwardKinematics, ReachIsBoundedByLinkLengths) {
+  ForwardKinematics fk;
+  Rng rng(6);
+  const double max_reach = 0.360 + 0.420 + 0.400 + 0.126 + 1e-9;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<double, kNumJoints> q{};
+    for (auto& v : q) v = rng.uniform(-3.0F, 3.0F);
+    EXPECT_LE(fk.end_effector(q).translation.norm(), max_reach);
+  }
+}
+
+TEST(ForwardKinematics, FirstJointRotatesAboutWorldZ) {
+  ForwardKinematics fk;
+  std::array<double, kNumJoints> q{};
+  q[1] = 0.7;  // bend joint 2 so the arm leaves the z axis
+  const Vec3 p0 = fk.end_effector(q).translation;
+  q[0] = kPi / 2.0;
+  const Vec3 p1 = fk.end_effector(q).translation;
+  // Rotating joint 1 by 90 degrees about world z maps (x,y) -> (-y,x).
+  EXPECT_NEAR(p1.x, -p0.y, 1e-9);
+  EXPECT_NEAR(p1.y, p0.x, 1e-9);
+  EXPECT_NEAR(p1.z, p0.z, 1e-9);
+}
+
+TEST(ForwardKinematics, AngularVelocityAccumulatesAlongChain) {
+  ForwardKinematics fk;
+  const std::array<double, kNumJoints> q{};
+  std::array<double, kNumJoints> qd{};
+  qd[0] = 1.0;  // only the base joint spins (about world z)
+  const auto states = fk.link_states(q, qd);
+  for (const LinkState& s : states) {
+    EXPECT_NEAR(s.angular_velocity.x, 0.0, 1e-9);
+    EXPECT_NEAR(s.angular_velocity.y, 0.0, 1e-9);
+    EXPECT_NEAR(s.angular_velocity.z, 1.0, 1e-9);
+  }
+}
+
+TEST(ForwardKinematics, JointLimitsAreIiwaLike) {
+  const auto limits = iiwa_joint_limits_deg();
+  EXPECT_DOUBLE_EQ(limits[0], 170.0);
+  EXPECT_DOUBLE_EQ(limits[1], 120.0);
+  EXPECT_DOUBLE_EQ(limits[6], 175.0);
+}
+
+}  // namespace
+}  // namespace varade::robot

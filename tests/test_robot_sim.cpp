@@ -1,0 +1,474 @@
+// Simulator substrate tests: trajectories, dynamics, sensors, anomaly
+// injection, and the assembled 86-channel stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "varade/robot/anomaly.hpp"
+#include "varade/robot/dynamics.hpp"
+#include "varade/robot/imu.hpp"
+#include "varade/robot/kalman.hpp"
+#include "varade/robot/power_meter.hpp"
+#include "varade/robot/simulator.hpp"
+#include "varade/robot/trajectory.hpp"
+
+namespace varade::robot {
+namespace {
+
+TEST(QuinticSegment, BoundaryConditions) {
+  const QuinticSegment seg(1.0, 3.0, 2.0);
+  EXPECT_NEAR(seg.sample(0.0).position, 1.0, 1e-12);
+  EXPECT_NEAR(seg.sample(2.0).position, 3.0, 1e-12);
+  EXPECT_NEAR(seg.sample(0.0).velocity, 0.0, 1e-12);
+  EXPECT_NEAR(seg.sample(2.0).velocity, 0.0, 1e-12);
+  EXPECT_NEAR(seg.sample(0.0).acceleration, 0.0, 1e-12);
+  EXPECT_NEAR(seg.sample(2.0).acceleration, 0.0, 1e-12);
+  // Midpoint position is the mean; peak velocity = 15/8 * d/T.
+  EXPECT_NEAR(seg.sample(1.0).position, 2.0, 1e-12);
+  EXPECT_NEAR(seg.sample(1.0).velocity, 15.0 / 8.0 * 2.0 / 2.0, 1e-9);
+  EXPECT_THROW(QuinticSegment(0.0, 1.0, 0.0), Error);
+}
+
+TEST(QuinticSegment, VelocityConsistentWithPositionDerivative) {
+  const QuinticSegment seg(-1.0, 2.0, 1.5);
+  const double h = 1e-6;
+  for (double t : {0.2, 0.7, 1.1}) {
+    const double numeric = (seg.sample(t + h).position - seg.sample(t - h).position) / (2 * h);
+    EXPECT_NEAR(seg.sample(t).velocity, numeric, 1e-5);
+  }
+}
+
+TEST(Action, WaypointInterpolationIsContinuous) {
+  std::vector<std::array<double, kNumJoints>> wps(3);
+  wps[1].fill(0.5);
+  wps[2].fill(0.0);
+  Action action(0, wps, {1.0, 1.0});
+  EXPECT_NEAR(action.duration(), 2.0, 1e-12);
+  // Continuity across the segment boundary.
+  const auto before = action.sample(1.0 - 1e-6);
+  const auto after = action.sample(1.0 + 1e-6);
+  for (int j = 0; j < kNumJoints; ++j)
+    EXPECT_NEAR(before[static_cast<std::size_t>(j)].position,
+                after[static_cast<std::size_t>(j)].position, 1e-4);
+  EXPECT_THROW(Action(0, {wps[0]}, {}), Error);
+}
+
+TEST(ActionLibrary, DeterministicAndCyclic) {
+  ActionLibrary a(30, 99);
+  ActionLibrary b(30, 99);
+  EXPECT_EQ(a.size(), 30);
+  for (int id : {0, 7, 29}) {
+    EXPECT_DOUBLE_EQ(a.action(id).duration(), b.action(id).duration());
+    // All actions start and end at home so the cycle is continuous.
+    for (int j = 0; j < kNumJoints; ++j) {
+      EXPECT_DOUBLE_EQ(a.action(id).start_configuration()[static_cast<std::size_t>(j)], 0.0);
+      EXPECT_DOUBLE_EQ(a.action(id).end_configuration()[static_cast<std::size_t>(j)], 0.0);
+    }
+  }
+  ActionLibrary c(30, 100);
+  EXPECT_NE(a.action(0).duration(), c.action(0).duration());
+  EXPECT_THROW(a.action(30), Error);
+}
+
+TEST(ActionSchedule, WrapsCyclically) {
+  ActionLibrary lib(3, 1);
+  ActionSchedule sched(lib);
+  const double cycle = sched.cycle_duration();
+  EXPECT_GT(cycle, 0.0);
+  const auto c0 = sched.at(0.1);
+  EXPECT_EQ(c0.action_id, 0);
+  const auto wrapped = sched.at(0.1 + cycle);
+  EXPECT_EQ(wrapped.action_id, 0);
+  EXPECT_NEAR(wrapped.local_time, c0.local_time, 1e-9);
+  // Late in the cycle the last action is running.
+  const auto late = sched.at(cycle - 0.01);
+  EXPECT_EQ(late.action_id, 2);
+  EXPECT_THROW(sched.at(-1.0), Error);
+}
+
+TEST(JointDynamics, TracksConstantReference) {
+  JointDynamicsConfig cfg;
+  cfg.torque_ripple = 0.0;
+  cfg.velocity_ripple = 0.0;
+  JointDynamics dyn(cfg);
+  std::array<double, kNumJoints> start{};
+  dyn.reset(start);
+  std::array<JointRef, kNumJoints> refs{};
+  for (auto& r : refs) r.position = 0.3;
+  const std::array<double, kNumJoints> no_torque{};
+  for (int step = 0; step < 2000; ++step) dyn.step(refs, no_torque, 0.005);
+  for (int j = 0; j < kNumJoints; ++j)
+    EXPECT_NEAR(dyn.joints()[static_cast<std::size_t>(j)].position, 0.3, 1e-2);
+  EXPECT_LT(dyn.tracking_error(refs), 0.07);
+}
+
+TEST(JointDynamics, DisturbanceDeflectsAndRecovers) {
+  JointDynamicsConfig cfg;
+  cfg.torque_ripple = 0.0;
+  cfg.velocity_ripple = 0.0;
+  JointDynamics dyn(cfg);
+  dyn.reset({});
+  std::array<JointRef, kNumJoints> refs{};  // hold zero
+  std::array<double, kNumJoints> torque{};
+
+  // Push joint 2 for 0.3 s.
+  torque[2] = 8.0;
+  double max_deflection = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    dyn.step(refs, torque, 0.005);
+    max_deflection = std::max(max_deflection, std::fabs(dyn.joints()[2].position));
+  }
+  EXPECT_GT(max_deflection, 0.1);  // compliant arm visibly yields
+
+  // Release and let it ring down.
+  torque[2] = 0.0;
+  for (int step = 0; step < 2000; ++step) dyn.step(refs, torque, 0.005);
+  EXPECT_NEAR(dyn.joints()[2].position, 0.0, 2e-2);
+}
+
+TEST(JointDynamics, MechanicalPowerNonNegativeAndRisesUnderLoad) {
+  JointDynamics dyn;
+  dyn.reset({});
+  std::array<JointRef, kNumJoints> refs{};
+  std::array<double, kNumJoints> no_torque{};
+  dyn.step(refs, no_torque, 0.005);
+  EXPECT_GE(dyn.mechanical_power(), 0.0);
+
+  // A moving reference demands power.
+  for (auto& r : refs) {
+    r.position = 1.0;
+    r.velocity = 2.0;
+  }
+  double peak = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    dyn.step(refs, no_torque, 0.005);
+    peak = std::max(peak, dyn.mechanical_power());
+  }
+  EXPECT_GT(peak, 1.0);
+}
+
+TEST(ScalarKalman, ConvergesToConstantSignal) {
+  ScalarKalman filter(0.01, 1.0);
+  double estimate = 0.0;
+  for (int i = 0; i < 200; ++i) estimate = filter.update(5.0);
+  EXPECT_NEAR(estimate, 5.0, 1e-3);
+  EXPECT_LT(filter.variance(), 0.2);
+}
+
+TEST(ScalarKalman, GainBalancesNoiseRatio) {
+  // High process noise / low measurement noise => trust measurements (gain
+  // near 1); the reverse => heavy smoothing (small gain).
+  ScalarKalman trusting(1.0, 0.01);
+  ScalarKalman smoothing(0.01, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    trusting.update(static_cast<double>(i % 5));
+    smoothing.update(static_cast<double>(i % 5));
+  }
+  EXPECT_GT(trusting.gain(), 0.8);
+  EXPECT_LT(smoothing.gain(), 0.2);
+}
+
+TEST(ScalarKalman, SmoothsWhiteNoise) {
+  Rng rng(3);
+  ScalarKalman filter(0.05, 1.0);
+  double raw_ss = 0.0;
+  double filt_ss = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double noisy = rng.normal(0.0F, 1.0F);
+    const double filtered = filter.update(noisy);
+    raw_ss += noisy * noisy;
+    filt_ss += filtered * filtered;
+  }
+  EXPECT_LT(filt_ss, raw_ss * 0.5);  // variance reduced by the filter
+  EXPECT_THROW(ScalarKalman(0.0, 1.0), Error);
+}
+
+TEST(KalmanBank, FiltersIndependentChannels) {
+  KalmanBank bank(3, 0.05, 0.01);
+  double values[3] = {1.0, -2.0, 3.0};
+  bank.update(values, 3);
+  EXPECT_NEAR(values[0], 1.0, 1e-9);  // first sample initialises
+  EXPECT_THROW(bank.update(values, 2), Error);
+  EXPECT_THROW(KalmanBank(0, 0.1, 0.1), Error);
+}
+
+TEST(Imu, GravityVisibleAtRest) {
+  ImuConfig cfg;
+  cfg.accel_noise_std = 1e-6;
+  cfg.accel_bias_std = 0.0;
+  cfg.gyro_bias_std = 0.0;
+  ImuSensor imu(cfg, 1);
+  ImuInput input;  // identity orientation, at rest
+  ImuReading r{};
+  for (int i = 0; i < 50; ++i) r = imu.sample(input, 0.005);
+  EXPECT_NEAR(r.accel[0], 0.0, 1e-2);
+  EXPECT_NEAR(r.accel[1], 0.0, 1e-2);
+  EXPECT_NEAR(r.accel[2], kGravity, 5e-2);
+}
+
+TEST(Imu, QuaternionIsUnitNormAndHemisphereStable) {
+  ImuConfig cfg;
+  ImuSensor imu(cfg, 2);
+  ImuInput input;
+  input.orientation = Mat3::rot_z(0.4) * Mat3::rot_x(-0.2);
+  for (int i = 0; i < 100; ++i) {
+    const ImuReading r = imu.sample(input, 0.005);
+    const double norm = std::sqrt(r.quat[0] * r.quat[0] + r.quat[1] * r.quat[1] +
+                                  r.quat[2] * r.quat[2] + r.quat[3] * r.quat[3]);
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+    EXPECT_GE(r.quat[0], 0.0F);  // w kept non-negative
+  }
+}
+
+TEST(Imu, GyroMeasuresBodyRate) {
+  ImuConfig cfg;
+  cfg.gyro_noise_std = 1e-6;
+  cfg.gyro_bias_std = 0.0;
+  ImuSensor imu(cfg, 3);
+  ImuInput input;
+  input.angular_velocity = {0.0, 0.0, 1.0};  // 1 rad/s about world z
+  ImuReading r{};
+  for (int i = 0; i < 50; ++i) r = imu.sample(input, 0.005);
+  EXPECT_NEAR(r.gyro[2], rad_to_deg(1.0), 0.5);
+}
+
+TEST(Imu, TemperatureRisesWithLoad) {
+  ImuConfig cfg;
+  cfg.temp_noise_std = 0.0;
+  ImuSensor imu(cfg, 4);
+  ImuInput idle;
+  idle.motor_load = 0.0;
+  ImuInput loaded;
+  loaded.motor_load = 1.0;
+  for (int i = 0; i < 400; ++i) imu.sample(loaded, 0.05);
+  const float hot = imu.sample(loaded, 0.05).temperature;
+  EXPECT_GT(hot, cfg.ambient_temp + 1.0);
+}
+
+TEST(PowerMeter, PhysicalRelationsHold) {
+  PowerMeterConfig cfg;
+  cfg.power_noise_std = 0.0;
+  cfg.voltage_noise_std = 0.0;
+  cfg.frequency_noise_std = 0.0;
+  PowerMeter meter(cfg, 5);
+  const PowerReading r = meter.sample(300.0, 0.005);
+  // P = V * I * pf.
+  EXPECT_NEAR(r.power, r.voltage * r.current * r.power_factor, 1.0);
+  // Q = P * tan(phi) with phi = acos(pf).
+  EXPECT_NEAR(r.reactive_power,
+              r.power * std::tan(std::acos(r.power_factor)), 1.0);
+  EXPECT_NEAR(r.phase_angle, rad_to_deg(std::acos(r.power_factor)), 0.1);
+  EXPECT_GT(r.power, cfg.idle_power_w);  // includes the idle floor
+}
+
+TEST(PowerMeter, EnergyAccumulates) {
+  PowerMeterConfig cfg;
+  cfg.power_noise_std = 0.0;
+  PowerMeter meter(cfg, 6);
+  for (int i = 0; i < 720; ++i) meter.sample(840.0, 5.0);  // 1 h at ~1.16 kW
+  const double expected_kwh = (cfg.idle_power_w + 840.0 / cfg.motor_efficiency) * 3600.0 / 3.6e6;
+  EXPECT_NEAR(meter.energy_kwh(), expected_kwh, 0.05);
+  EXPECT_THROW(meter.sample(-1.0, 0.005), Error);
+}
+
+TEST(PowerMeter, PowerFactorImprovesWithLoad) {
+  PowerMeterConfig cfg;
+  cfg.power_noise_std = 0.0;
+  PowerMeter meter(cfg, 7);
+  const PowerReading idle = meter.sample(0.0, 0.005);
+  const PowerReading loaded = meter.sample(700.0, 0.005);
+  EXPECT_GT(loaded.power_factor, idle.power_factor);
+  EXPECT_LT(loaded.voltage, idle.voltage + 1.0);  // slight sag
+}
+
+TEST(CollisionSchedule, EventCountSeparationAndDurations) {
+  CollisionScheduleConfig cfg;
+  cfg.n_events = 25;
+  cfg.experiment_duration = 300.0;
+  cfg.seed = 11;
+  const CollisionSchedule sched(cfg);
+  ASSERT_EQ(sched.size(), 25U);
+  const auto& events = sched.events();
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].start_time - events[i - 1].start_time, cfg.min_separation - 1e-9);
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.duration, cfg.min_duration);
+    EXPECT_LE(ev.duration, cfg.max_duration);
+    for (double tau : ev.peak_torque)
+      EXPECT_GE(std::fabs(tau), cfg.min_peak_torque);
+  }
+}
+
+TEST(CollisionSchedule, TorqueOnlyInsideEventsAndLabelCoversRecovery) {
+  CollisionScheduleConfig cfg;
+  cfg.n_events = 5;
+  cfg.experiment_duration = 100.0;
+  cfg.seed = 12;
+  const CollisionSchedule sched(cfg);
+  const auto& ev = sched.events().front();
+
+  const auto before = sched.torque_at(ev.start_time - 0.5);
+  for (double tau : before) EXPECT_DOUBLE_EQ(tau, 0.0);
+
+  const auto mid = sched.torque_at(ev.start_time + ev.duration / 2.0);
+  double total = 0.0;
+  for (double tau : mid) total += std::fabs(tau);
+  EXPECT_GT(total, cfg.min_peak_torque * 0.4);
+
+  EXPECT_FALSE(sched.active_at(ev.start_time - 0.01));
+  EXPECT_TRUE(sched.active_at(ev.start_time + ev.duration / 2.0));
+  // Protective stop and recovery are labelled although no torque is applied.
+  const double label_end = ev.start_time + ev.duration + ev.stop_duration + cfg.recovery_label_s;
+  EXPECT_TRUE(sched.active_at(label_end - 0.01));
+  EXPECT_FALSE(sched.active_at(label_end + 0.1));
+  // The controller holds the trajectory after the detection delay.
+  EXPECT_TRUE(sched.stop_hold_at(ev.start_time + cfg.stop_detection_delay + 0.01));
+  EXPECT_FALSE(sched.stop_hold_at(ev.start_time + ev.duration + ev.stop_duration + 0.05));
+}
+
+TEST(CollisionSchedule, EmptyScheduleIsInert) {
+  const CollisionSchedule sched;
+  EXPECT_FALSE(sched.active_at(1.0));
+  for (double tau : sched.torque_at(1.0)) EXPECT_DOUBLE_EQ(tau, 0.0);
+}
+
+TEST(CollisionSchedule, RejectsImpossibleConfigs) {
+  CollisionScheduleConfig cfg;
+  cfg.n_events = 100;
+  cfg.experiment_duration = 10.0;  // cannot fit 100 separated events
+  EXPECT_THROW(CollisionSchedule{cfg}, Error);
+}
+
+TEST(MicroDisturbances, BoundedAndIntermittent) {
+  MicroDisturbanceConfig cfg;
+  MicroDisturbanceGenerator gen(cfg, 21);
+  int active_steps = 0;
+  const int n_steps = 20000;  // 100 s at 200 Hz
+  for (int i = 1; i <= n_steps; ++i) {
+    const auto tau = gen.torque_at(i * 0.005);
+    double total = 0.0;
+    for (double v : tau) total += std::fabs(v);
+    // Envelope bound: peak * (1 + chatter).
+    EXPECT_LE(total, cfg.max_peak_torque * (1.0 + cfg.chatter_amplitude) + 1e-9);
+    if (total > 0.0) ++active_steps;
+  }
+  const double duty = static_cast<double>(active_steps) / n_steps;
+  // Expected duty ~ mean_duration / (mean_interval + mean_duration).
+  EXPECT_GT(duty, 0.02);
+  EXPECT_LT(duty, 0.25);
+}
+
+TEST(Simulator, StreamHas86ChannelsAndSchema) {
+  SimulatorConfig cfg;
+  cfg.sample_rate_hz = 100.0;
+  cfg.n_actions = 3;
+  RobotCellSimulator sim(cfg);
+  const data::MultivariateSeries series = sim.record(2.0);
+  EXPECT_EQ(series.n_channels(), data::kKukaChannelCount);
+  EXPECT_EQ(series.length(), 200);
+  EXPECT_EQ(series.channels().size(), 86U);
+  EXPECT_FALSE(series.has_anomalies());
+  EXPECT_DOUBLE_EQ(series.sample_rate_hz(), 100.0);
+}
+
+TEST(Simulator, ActionIdChannelIsValid) {
+  SimulatorConfig cfg;
+  cfg.sample_rate_hz = 50.0;
+  cfg.n_actions = 4;
+  RobotCellSimulator sim(cfg);
+  const auto series = sim.record(30.0);
+  for (Index t = 0; t < series.length(); ++t) {
+    const float id = series.value(t, 0);
+    EXPECT_GE(id, 0.0F);
+    EXPECT_LT(id, 4.0F);
+    EXPECT_FLOAT_EQ(id, std::floor(id));
+  }
+}
+
+TEST(Simulator, QuaternionChannelsStayNormalised) {
+  SimulatorConfig cfg;
+  cfg.sample_rate_hz = 50.0;
+  RobotCellSimulator sim(cfg);
+  const auto series = sim.record(3.0);
+  for (Index t = 0; t < series.length(); t += 7) {
+    for (Index j = 0; j < data::kKukaJointCount; ++j) {
+      const Index base = data::kuka_joint_channel_base(j) + 6;
+      double norm = 0.0;
+      for (Index k = 0; k < 4; ++k) {
+        const double v = series.value(t, base + k);
+        norm += v * v;
+      }
+      EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(Simulator, CollisionsAreLabelledAndPerturbPower) {
+  SimulatorConfig cfg;
+  cfg.sample_rate_hz = 50.0;
+  cfg.seed = 31;
+  RobotCellSimulator sim(cfg);
+  CollisionScheduleConfig coll;
+  coll.n_events = 5;
+  coll.experiment_duration = 60.0;
+  coll.seed = 32;
+  sim.set_collision_schedule(CollisionSchedule(coll));
+  const auto series = sim.record(60.0);
+  EXPECT_TRUE(series.has_anomalies());
+  const Index n_anom = series.count_anomalous_samples();
+  EXPECT_GT(n_anom, 50);
+  EXPECT_LT(n_anom, series.length() / 2);
+
+  // Mean |power - idle| is larger inside labelled regions.
+  const Index power_ch = data::kuka_power_channel_base() + 3;
+  double anom_power = 0.0;
+  double norm_power = 0.0;
+  Index na = 0;
+  Index nn = 0;
+  for (Index t = 0; t < series.length(); ++t) {
+    if (series.label(t)) {
+      anom_power += series.value(t, power_ch);
+      ++na;
+    } else {
+      norm_power += series.value(t, power_ch);
+      ++nn;
+    }
+  }
+  EXPECT_GT(anom_power / na, norm_power / nn);
+}
+
+TEST(Simulator, NoiseSeedChangesDataButNotActions) {
+  SimulatorConfig a;
+  a.sample_rate_hz = 50.0;
+  a.seed = 7;
+  a.noise_seed = 100;
+  SimulatorConfig b = a;
+  b.noise_seed = 200;
+  RobotCellSimulator sim_a(a);
+  RobotCellSimulator sim_b(b);
+  const auto sa = sim_a.record(5.0);
+  const auto sb = sim_b.record(5.0);
+  // Same schedule: action IDs match everywhere.
+  for (Index t = 0; t < sa.length(); t += 13)
+    EXPECT_FLOAT_EQ(sa.value(t, 0), sb.value(t, 0));
+  // But the sensor values differ.
+  double diff = 0.0;
+  for (Index t = 0; t < sa.length(); ++t) diff += std::fabs(sa.value(t, 5) - sb.value(t, 5));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Simulator, DeterministicGivenSeeds) {
+  SimulatorConfig cfg;
+  cfg.sample_rate_hz = 50.0;
+  cfg.seed = 9;
+  RobotCellSimulator a(cfg);
+  RobotCellSimulator b(cfg);
+  const auto sa = a.record(3.0);
+  const auto sb = b.record(3.0);
+  for (Index t = 0; t < sa.length(); t += 11)
+    for (Index c = 0; c < sa.n_channels(); c += 7)
+      EXPECT_FLOAT_EQ(sa.value(t, c), sb.value(t, c));
+}
+
+}  // namespace
+}  // namespace varade::robot
