@@ -1,0 +1,39 @@
+# Resolve GoogleTest, in order of preference:
+#  1. an installed package (find_package(GTest)) — covers CI images and the
+#     edge build containers, which bake in libgtest;
+#  2. the distro source tree (/usr/src/googletest, Debian/Ubuntu
+#     `googletest` package) built in-tree;
+#  3. FetchContent from upstream — requires network, last resort so a clean
+#     offline checkout still configures.
+# Each path ends with GTest::gtest and GTest::gtest_main defined.
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest)
+  set(_varade_gtest_src "/usr/src/googletest")
+  if(EXISTS "${_varade_gtest_src}/CMakeLists.txt")
+    message(STATUS "GTest package not found; building from ${_varade_gtest_src}")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory("${_varade_gtest_src}" "${CMAKE_BINARY_DIR}/_gtest" EXCLUDE_FROM_ALL)
+  else()
+    message(STATUS "GTest not found locally; fetching from upstream")
+    include(FetchContent)
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+      URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+  # The source builds export plain `gtest` / `gtest_main` targets.
+  if(NOT TARGET GTest::gtest AND TARGET gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest)
+  message(FATAL_ERROR "Could not resolve GoogleTest via package, system source, or FetchContent")
+endif()

@@ -1,0 +1,18 @@
+# Helper for declaring one static library per src/ module with the shared
+# warning set and public include directory convention
+# (src/<module>/include/varade/<module>/...).
+
+set(VARADE_WARNING_FLAGS -Wall -Wextra)
+
+# varade_add_module(<name> <sources...>)
+# Creates static library varade_<name> with alias varade::<name>.
+function(varade_add_module name)
+  add_library(varade_${name} STATIC ${ARGN})
+  add_library(varade::${name} ALIAS varade_${name})
+  target_include_directories(varade_${name}
+    PUBLIC ${CMAKE_CURRENT_SOURCE_DIR}/include)
+  target_compile_options(varade_${name} PRIVATE ${VARADE_WARNING_FLAGS})
+  if(VARADE_WERROR)
+    target_compile_options(varade_${name} PRIVATE -Werror)
+  endif()
+endfunction()

@@ -33,12 +33,50 @@ struct MonitorConfig {
   Index calibration_stride = 4;
 };
 
+/// Throws on out-of-range fields; shared by every monitor frontend.
+void validate(const MonitorConfig& config);
+
 /// One detected anomaly event.
 struct AnomalyEvent {
   Index onset_sample = 0;   // stream index where the alarm was raised
   Index last_sample = 0;    // last sample that extended the event
   float peak_score = 0.0F;
 };
+
+/// The debounce/hold-off alarm state machine, factored out of OnlineMonitor
+/// so other frontends (the serve::ScoringEngine multiplexing many streams)
+/// raise bit-identical events from the same score sequence.
+class AlarmTracker {
+ public:
+  AlarmTracker() = default;
+  explicit AlarmTracker(const MonitorConfig& config) : config_(config) {}
+
+  /// Updates the alarm state with the score of stream sample `sample_index`
+  /// (0-based position in the stream). Returns true when a new event was
+  /// raised by this update.
+  bool update(float score, float threshold, Index sample_index);
+
+  bool in_alarm() const { return in_alarm_; }
+  const std::vector<AnomalyEvent>& events() const { return events_; }
+
+ private:
+  MonitorConfig config_;
+  int consecutive_over_ = 0;
+  int since_last_over_ = 0;
+  bool in_alarm_ = false;
+  std::vector<AnomalyEvent> events_;
+};
+
+/// Quantile-based alarm threshold over strided training scores — the shared
+/// calibration rule of OnlineMonitor and serve::ScoringEngine.
+float calibrate_threshold(AnomalyDetector& detector, const data::MultivariateSeries& train,
+                          const MonitorConfig& config);
+
+/// Writes a normalising ring buffer (oldest sample first) as a channels-major
+/// [C, T] context into `dst` — the one place that fixes the context memory
+/// layout for both OnlineMonitor and serve::ScoringEngine.
+void write_context(const std::deque<std::vector<float>>& ring, Index channels, Index window,
+                   float* dst);
 
 class OnlineMonitor {
  public:
@@ -62,10 +100,10 @@ class OnlineMonitor {
   float push(const std::vector<float>& raw_sample);
 
   /// True while an anomaly event is open.
-  bool in_alarm() const { return in_alarm_; }
+  bool in_alarm() const { return tracker_.in_alarm(); }
 
   /// Completed + open events so far.
-  const std::vector<AnomalyEvent>& events() const { return events_; }
+  const std::vector<AnomalyEvent>& events() const { return tracker_.events(); }
 
   /// Number of samples consumed.
   Index samples_seen() const { return samples_seen_; }
@@ -88,10 +126,7 @@ class OnlineMonitor {
   std::vector<float> scratch_;
   Index samples_seen_ = 0;
 
-  int consecutive_over_ = 0;
-  int since_last_over_ = 0;
-  bool in_alarm_ = false;
-  std::vector<AnomalyEvent> events_;
+  AlarmTracker tracker_;
   std::function<void(const AnomalyEvent&)> callback_;
 
   Tensor context_tensor() const;

@@ -100,6 +100,11 @@ class VaradeDetector : public AnomalyDetector {
   /// anomaly score.
   float variance_score(const Tensor& context);
 
+  /// The scoring rule itself: mean exp(logvar) over `n` log-variance values.
+  /// Shared by variance_score and the serve::ScoringEngine batched path so
+  /// both stay bit-identical by construction.
+  static float score_from_logvar(const float* logvar, Index n);
+
   /// Forecast-error score ||observed - mu||_2 on the same model; used by the
   /// score-function ablation (bench_ablation_score).
   float forecast_error_score(const Tensor& context, const Tensor& observed);

@@ -6,36 +6,85 @@
 
 namespace varade::core {
 
-OnlineMonitor::OnlineMonitor(AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
-                             MonitorConfig config)
-    : detector_(&detector), normalizer_(&normalizer), config_(config) {
-  check(detector.fitted(), "OnlineMonitor requires a fitted detector");
-  check(normalizer.fitted(), "OnlineMonitor requires a fitted normalizer");
-  check(config_.threshold_quantile > 0.0 && config_.threshold_quantile < 1.0,
+void validate(const MonitorConfig& config) {
+  check(config.threshold_quantile > 0.0 && config.threshold_quantile < 1.0,
         "threshold quantile must be in (0, 1)");
-  check(config_.debounce_samples >= 1, "debounce must be >= 1");
-  check(config_.holdoff_samples >= 0, "holdoff must be >= 0");
-  check(config_.calibration_stride >= 1, "calibration stride must be >= 1");
-  scratch_.resize(static_cast<std::size_t>(normalizer.n_channels()));
+  check(config.debounce_samples >= 1, "debounce must be >= 1");
+  check(config.holdoff_samples >= 0, "holdoff must be >= 0");
+  check(config.calibration_stride >= 1, "calibration stride must be >= 1");
 }
 
-void OnlineMonitor::calibrate(const data::MultivariateSeries& train) {
-  const Index window = detector_->context_window();
+void write_context(const std::deque<std::vector<float>>& ring, Index channels, Index window,
+                   float* dst) {
+  for (Index t = 0; t < window; ++t) {
+    const std::vector<float>& sample = ring[static_cast<std::size_t>(t)];
+    for (Index ch = 0; ch < channels; ++ch)
+      dst[ch * window + t] = sample[static_cast<std::size_t>(ch)];
+  }
+}
+
+bool AlarmTracker::update(float score, float threshold, Index sample_index) {
+  // Alarm logic: debounce, then hold events open across brief dips.
+  const bool over = score > threshold;
+  if (over) {
+    ++consecutive_over_;
+    since_last_over_ = 0;
+  } else {
+    consecutive_over_ = 0;
+    ++since_last_over_;
+  }
+
+  if (!in_alarm_ && consecutive_over_ >= config_.debounce_samples) {
+    in_alarm_ = true;
+    AnomalyEvent ev;
+    ev.onset_sample = sample_index;
+    ev.last_sample = sample_index;
+    ev.peak_score = score;
+    events_.push_back(ev);
+    return true;
+  }
+  if (in_alarm_) {
+    if (over) {
+      events_.back().last_sample = sample_index;
+      events_.back().peak_score = std::max(events_.back().peak_score, score);
+    } else if (since_last_over_ > config_.holdoff_samples) {
+      in_alarm_ = false;
+    }
+  }
+  return false;
+}
+
+float calibrate_threshold(AnomalyDetector& detector, const data::MultivariateSeries& train,
+                          const MonitorConfig& config) {
+  const Index window = detector.context_window();
   check(train.length() > window, "calibration series shorter than the context window");
   std::vector<float> scores;
   Tensor observed({train.n_channels()});
-  for (Index t = window; t < train.length(); t += config_.calibration_stride) {
+  for (Index t = window; t < train.length(); t += config.calibration_stride) {
     const Tensor context = data::extract_context(train, t - 1, window);
     const float* s = train.sample(t);
     for (Index c = 0; c < train.n_channels(); ++c) observed[c] = s[c];
-    scores.push_back(detector_->score_step(context, observed));
+    scores.push_back(detector.score_step(context, observed));
   }
   check(!scores.empty(), "no calibration scores produced");
   std::sort(scores.begin(), scores.end());
   const auto idx = static_cast<std::size_t>(
       std::min<double>(static_cast<double>(scores.size()) - 1.0,
-                       config_.threshold_quantile * static_cast<double>(scores.size())));
-  threshold_ = scores[idx];
+                       config.threshold_quantile * static_cast<double>(scores.size())));
+  return scores[idx];
+}
+
+OnlineMonitor::OnlineMonitor(AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+                             MonitorConfig config)
+    : detector_(&detector), normalizer_(&normalizer), config_(config), tracker_(config) {
+  check(detector.fitted(), "OnlineMonitor requires a fitted detector");
+  check(normalizer.fitted(), "OnlineMonitor requires a fitted normalizer");
+  validate(config_);
+  scratch_.resize(static_cast<std::size_t>(normalizer.n_channels()));
+}
+
+void OnlineMonitor::calibrate(const data::MultivariateSeries& train) {
+  threshold_ = calibrate_threshold(*detector_, train, config_);
   calibrated_ = true;
 }
 
@@ -48,11 +97,7 @@ Tensor OnlineMonitor::context_tensor() const {
   const Index c = normalizer_->n_channels();
   const Index window = detector_->context_window();
   Tensor out({c, window});
-  for (Index t = 0; t < window; ++t) {
-    const auto& sample = ring_[static_cast<std::size_t>(t)];
-    for (Index ch = 0; ch < c; ++ch)
-      out[ch * window + t] = sample[static_cast<std::size_t>(ch)];
-  }
+  write_context(ring_, c, window, out.data());
   return out;
 }
 
@@ -74,32 +119,8 @@ float OnlineMonitor::push(const float* raw_sample) {
       observed[c] = scratch_[static_cast<std::size_t>(c)];
     score = detector_->score_step(context, observed);
 
-    // Alarm logic: debounce, then hold events open across brief dips.
-    const bool over = score > threshold_;
-    if (over) {
-      ++consecutive_over_;
-      since_last_over_ = 0;
-    } else {
-      consecutive_over_ = 0;
-      ++since_last_over_;
-    }
-
-    if (!in_alarm_ && consecutive_over_ >= config_.debounce_samples) {
-      in_alarm_ = true;
-      AnomalyEvent ev;
-      ev.onset_sample = samples_seen_ - 1;
-      ev.last_sample = samples_seen_ - 1;
-      ev.peak_score = score;
-      events_.push_back(ev);
-      if (callback_) callback_(events_.back());
-    } else if (in_alarm_) {
-      if (over) {
-        events_.back().last_sample = samples_seen_ - 1;
-        events_.back().peak_score = std::max(events_.back().peak_score, score);
-      } else if (since_last_over_ > config_.holdoff_samples) {
-        in_alarm_ = false;
-      }
-    }
+    if (tracker_.update(score, threshold_, samples_seen_ - 1) && callback_)
+      callback_(tracker_.events().back());
   }
 
   ring_.push_back(scratch_);

@@ -168,15 +168,19 @@ void VaradeDetector::fit(const data::MultivariateSeries& train) {
   }
 }
 
+float VaradeDetector::score_from_logvar(const float* logvar, Index n) {
+  // Mean predicted variance (section 3.2: "the variance is directly used as
+  // an anomaly score").
+  double acc = 0.0;
+  for (Index i = 0; i < n; ++i) acc += std::exp(logvar[i]);
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
 float VaradeDetector::variance_score(const Tensor& context) {
   check(fitted(), "VARADE scoring before fit");
   const Tensor batch = context.reshaped({1, context.dim(0), context.dim(1)});
   const VaradeModel::Output out = model_->forward(batch);
-  // Mean predicted variance across channels (section 3.2: "the variance is
-  // directly used as an anomaly score").
-  double acc = 0.0;
-  for (Index i = 0; i < out.logvar.numel(); ++i) acc += std::exp(out.logvar[i]);
-  return static_cast<float>(acc / static_cast<double>(out.logvar.numel()));
+  return score_from_logvar(out.logvar.data(), out.logvar.numel());
 }
 
 float VaradeDetector::forecast_error_score(const Tensor& context, const Tensor& observed) {

@@ -1,0 +1,126 @@
+// Multi-stream batched scoring engine: the serving layer of the reproduction.
+//
+// Turns the per-sample OnlineMonitor loop into a throughput-oriented
+// frontend: N independent streams — each with its own normalizing ring
+// buffer, warm-up state, and debounce/hold-off alarm state machine — are
+// multiplexed onto one fitted VaradeDetector. step() drains buffered samples
+// round by round (one sample per stream per round): worker threads normalise
+// samples and assemble ready contexts into an [B, C, T] batch, the batch
+// runs through the model's batched forward path (optionally sharded across
+// per-worker weight replicas), and the per-stream alarm logic is applied.
+//
+// Determinism: every layer of the model processes batch rows independently
+// with a fixed accumulation order, per-stream state is only ever touched by
+// the one task that owns the stream in a given phase, and replicas carry
+// identical weights — so scores and alarm events are bit-for-bit identical
+// to running one OnlineMonitor per stream sequentially, at any thread count
+// or batch size.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "varade/core/monitor.hpp"
+#include "varade/core/varade.hpp"
+#include "varade/serve/thread_pool.hpp"
+
+namespace varade::serve {
+
+struct ScoringEngineConfig {
+  /// Worker threads for normalisation / context assembly / alarm updates and
+  /// (with shard_forward) batched-forward shards. 0 = hardware concurrency.
+  int n_threads = 1;
+  /// Maximum contexts per batched forward call.
+  Index max_batch = 32;
+  /// Shard each round's batch across per-worker model replicas (identical
+  /// weights, so results are unchanged). Only takes effect with n_threads > 1.
+  bool shard_forward = true;
+  /// Alarm behaviour shared by every stream.
+  core::MonitorConfig monitor;
+};
+
+/// Score of one (stream, sample) pair produced by step().
+struct StreamScore {
+  Index stream = 0;
+  Index sample = 0;     // 0-based position within the stream
+  float score = -1.0F;  // negative while the stream's ring is warming up
+};
+
+class ScoringEngine {
+ public:
+  /// The detector must already be fitted and the normalizer must carry the
+  /// training statistics; both are borrowed and must outlive the engine.
+  ScoringEngine(core::VaradeDetector& detector, const data::MinMaxNormalizer& normalizer,
+                ScoringEngineConfig config = {});
+
+  /// Registers a new independent stream; returns its id (dense, from 0).
+  Index add_stream();
+  Index add_streams(Index n);
+  Index n_streams() const { return static_cast<Index>(streams_.size()); }
+
+  /// Calibrates the shared alarm threshold on a normalised training series
+  /// (same quantile rule as OnlineMonitor::calibrate). Also re-syncs forward
+  /// replicas with the detector's current weights, so a detector refitted
+  /// after engine construction takes effect here.
+  void calibrate(const data::MultivariateSeries& train);
+  void set_threshold(float threshold);
+  float threshold() const { return threshold_; }
+  bool calibrated() const { return calibrated_; }
+
+  /// Buffers one raw (unnormalised) sample for a stream; scored at the next
+  /// step().
+  void push(Index stream, const float* raw_sample);
+  void push(Index stream, const std::vector<float>& raw_sample);
+
+  /// Drains every buffered sample; returns scores ordered chronologically
+  /// per stream (round by round, stream id ascending within a round).
+  std::vector<StreamScore> step();
+
+  bool in_alarm(Index stream) const;
+  /// Reference stays valid across add_stream()/push()/step() (streams live
+  /// in a deque); it is appended to by subsequent step() calls.
+  const std::vector<core::AnomalyEvent>& events(Index stream) const;
+  Index samples_seen(Index stream) const;
+
+  /// Batched forward calls issued so far (throughput accounting).
+  long forward_calls() const { return forward_calls_; }
+  /// Workers in the pool (including the calling thread).
+  int n_threads() const { return pool_.size(); }
+  const ScoringEngineConfig& config() const { return config_; }
+
+ private:
+  struct StreamState {
+    std::deque<std::vector<float>> ring;     // last `window` normalised samples
+    std::deque<std::vector<float>> pending;  // raw samples awaiting step()
+    core::AlarmTracker alarm;
+    std::vector<float> scratch;  // normalised sample of the current round
+    Index samples_seen = 0;
+    bool ready = false;   // ring was full at the start of this round
+    float score = -1.0F;  // this round's score
+  };
+
+  const StreamState& stream_at(Index id) const;
+  /// Copies the detector's current weights into every forward replica.
+  void sync_replicas();
+  /// Forwards the per-chunk context batches (chunk ci holds the contexts of
+  /// streams ready[ci*max_batch ...]) and writes each row's score into its
+  /// stream.
+  void score_chunks(const std::vector<Tensor>& chunks, const std::vector<Index>& ready);
+
+  core::VaradeDetector* detector_;
+  const data::MinMaxNormalizer* normalizer_;
+  ScoringEngineConfig config_;
+  ThreadPool pool_;
+  /// Weight replicas for workers 1..n-1 (worker 0 uses the detector's model).
+  std::vector<std::unique_ptr<core::VaradeModel>> replicas_;
+
+  float threshold_ = 0.0F;
+  bool calibrated_ = false;
+  std::atomic<long> forward_calls_{0};
+  /// Deque, not vector: references handed out by events() must survive
+  /// add_stream().
+  std::deque<StreamState> streams_;
+};
+
+}  // namespace varade::serve

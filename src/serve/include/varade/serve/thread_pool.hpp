@@ -1,0 +1,67 @@
+// Minimal persistent worker pool for the serving layer.
+//
+// One pool instance owns size()-1 background threads; the caller participates
+// in every parallel_for as worker 0, so a pool of size 1 runs everything
+// inline with zero synchronisation. Tasks are claimed dynamically from a
+// per-job atomic counter, and each task callback receives its worker index so
+// callers can keep per-worker scratch state (e.g. model replicas) without
+// locking. Job bookkeeping lives in a shared_ptr per submission: a worker
+// that wakes late (or lingers past the barrier) holds the old job whose
+// counter is already exhausted, so it can never touch a newer job's tasks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::serve {
+
+class ThreadPool {
+ public:
+  /// n_threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(task, worker) for every task in [0, n); blocks until all tasks
+  /// finish. Worker indices are in [0, size()); the caller is worker 0. The
+  /// first exception thrown by a task is rethrown here after the barrier.
+  void parallel_for(Index n, const std::function<void(Index, int)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(Index, int)>* fn = nullptr;
+    Index size = 0;
+    std::atomic<Index> next{0};
+    std::atomic<Index> remaining{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  void worker_loop(int worker);
+  void run_tasks(Job& job, int worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace varade::serve

@@ -1,0 +1,215 @@
+#include "varade/serve/scoring_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varade::serve {
+
+namespace {
+
+/// Fresh model with the same architecture and weights as `src`.
+std::unique_ptr<core::VaradeModel> clone_model(core::VaradeModel& src,
+                                               const core::VaradeConfig& config) {
+  Rng rng(config.seed);
+  auto replica = std::make_unique<core::VaradeModel>(src.in_channels(), config, rng);
+  const std::vector<nn::Parameter*> from = src.parameters();
+  const std::vector<nn::Parameter*> to = replica->parameters();
+  check(from.size() == to.size(), "replica parameter count mismatch");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    check(from[i]->value.same_shape(to[i]->value), "replica parameter shape mismatch");
+    to[i]->value = from[i]->value;
+  }
+  return replica;
+}
+
+}  // namespace
+
+ScoringEngine::ScoringEngine(core::VaradeDetector& detector,
+                             const data::MinMaxNormalizer& normalizer,
+                             ScoringEngineConfig config)
+    : detector_(&detector),
+      normalizer_(&normalizer),
+      config_(config),
+      pool_(config.n_threads) {
+  check(detector.fitted(), "ScoringEngine requires a fitted detector");
+  check(normalizer.fitted(), "ScoringEngine requires a fitted normalizer");
+  check(config_.max_batch >= 1, "max_batch must be >= 1");
+  core::validate(config_.monitor);
+
+  if (config_.shard_forward && pool_.size() > 1) {
+    replicas_.reserve(static_cast<std::size_t>(pool_.size() - 1));
+    for (int w = 1; w < pool_.size(); ++w)
+      replicas_.push_back(clone_model(*detector_->model(), detector_->config()));
+  }
+}
+
+Index ScoringEngine::add_stream() {
+  StreamState state;
+  state.alarm = core::AlarmTracker(config_.monitor);
+  state.scratch.resize(static_cast<std::size_t>(normalizer_->n_channels()));
+  streams_.push_back(std::move(state));
+  return n_streams() - 1;
+}
+
+Index ScoringEngine::add_streams(Index n) {
+  check(n >= 1, "add_streams needs n >= 1");
+  const Index first = n_streams();
+  for (Index i = 0; i < n; ++i) add_stream();
+  return first;
+}
+
+void ScoringEngine::sync_replicas() {
+  const std::vector<nn::Parameter*> src = detector_->model()->parameters();
+  for (auto& replica : replicas_) {
+    const std::vector<nn::Parameter*> dst = replica->parameters();
+    check(src.size() == dst.size(),
+          "replica architecture mismatch (detector refitted with different config?)");
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      check(src[i]->value.same_shape(dst[i]->value),
+            "replica architecture mismatch (detector refitted with different config?)");
+      dst[i]->value = src[i]->value;
+    }
+  }
+}
+
+void ScoringEngine::calibrate(const data::MultivariateSeries& train) {
+  threshold_ = core::calibrate_threshold(*detector_, train, config_.monitor);
+  sync_replicas();
+  calibrated_ = true;
+}
+
+void ScoringEngine::set_threshold(float threshold) {
+  threshold_ = threshold;
+  sync_replicas();
+  calibrated_ = true;
+}
+
+const ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) const {
+  check(id >= 0 && id < n_streams(), "stream id out of range");
+  return streams_[static_cast<std::size_t>(id)];
+}
+
+void ScoringEngine::push(Index stream, const float* raw_sample) {
+  check(stream >= 0 && stream < n_streams(), "stream id out of range");
+  const auto n = static_cast<std::size_t>(normalizer_->n_channels());
+  streams_[static_cast<std::size_t>(stream)].pending.emplace_back(raw_sample, raw_sample + n);
+}
+
+void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
+  check(static_cast<Index>(raw_sample.size()) == normalizer_->n_channels(),
+        "sample channel count mismatch");
+  push(stream, raw_sample.data());
+}
+
+void ScoringEngine::score_chunks(const std::vector<Tensor>& chunks,
+                                 const std::vector<Index>& ready) {
+  const Index channels = normalizer_->n_channels();
+
+  auto score_rows = [&](core::VaradeModel& model, const Tensor& slice, Index row_offset) {
+    const core::VaradeModel::Output out = model.forward(slice);
+    const Index rows = slice.dim(0);
+    for (Index r = 0; r < rows; ++r) {
+      streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(row_offset + r)])]
+          .score = core::VaradeDetector::score_from_logvar(
+              out.logvar.data() + r * channels, channels);
+    }
+  };
+
+  if (replicas_.empty()) {
+    // Single model: run the chunks sequentially on the caller thread.
+    Index row_offset = 0;
+    for (const Tensor& chunk : chunks) {
+      score_rows(*detector_->model(), chunk, row_offset);
+      row_offset += chunk.dim(0);
+      forward_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  // Sharded: each worker scores chunks on its own weight replica. All chunks
+  // except the last hold exactly max_batch rows.
+  pool_.parallel_for(static_cast<Index>(chunks.size()), [&](Index ci, int worker) {
+    core::VaradeModel& model =
+        (worker == 0) ? *detector_->model()
+                      : *replicas_[static_cast<std::size_t>(worker - 1)];
+    score_rows(model, chunks[static_cast<std::size_t>(ci)], ci * config_.max_batch);
+    forward_calls_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+std::vector<StreamScore> ScoringEngine::step() {
+  check(calibrated_, "ScoringEngine::step before calibrate()/set_threshold()");
+  const Index window = detector_->context_window();
+  const Index channels = normalizer_->n_channels();
+
+  std::vector<StreamScore> out;
+  std::vector<Index> active;
+  std::vector<Index> ready;
+
+  for (;;) {
+    active.clear();
+    for (Index s = 0; s < n_streams(); ++s)
+      if (!streams_[static_cast<std::size_t>(s)].pending.empty()) active.push_back(s);
+    if (active.empty()) break;
+
+    // Phase 1 (parallel over streams): normalise this round's sample and
+    // flag streams whose ring already holds a full context.
+    pool_.parallel_for(static_cast<Index>(active.size()), [&](Index i, int) {
+      StreamState& st = streams_[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])];
+      const std::vector<float>& raw = st.pending.front();
+      normalizer_->transform_sample(raw.data(), st.scratch.data());
+      st.ready = static_cast<Index>(st.ring.size()) == window;
+      st.score = -1.0F;
+    });
+
+    ready.clear();
+    for (Index s : active)
+      if (streams_[static_cast<std::size_t>(s)].ready) ready.push_back(s);
+
+    if (!ready.empty()) {
+      // Phase 2a (parallel over ready streams): gather contexts straight
+      // into per-chunk [rows, C, T] batches; rows are disjoint slices.
+      const auto n_ready = static_cast<Index>(ready.size());
+      std::vector<Tensor> chunks;
+      for (Index b = 0; b < n_ready; b += config_.max_batch)
+        chunks.emplace_back(Shape{std::min(config_.max_batch, n_ready - b), channels, window});
+      pool_.parallel_for(n_ready, [&](Index i, int) {
+        const StreamState& st =
+            streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(i)])];
+        Tensor& chunk = chunks[static_cast<std::size_t>(i / config_.max_batch)];
+        core::write_context(st.ring, channels, window,
+                            chunk.data() + (i % config_.max_batch) * channels * window);
+      });
+
+      // Phase 2b: batched forward (chunked by max_batch, sharded when
+      // replicas are available).
+      score_chunks(chunks, ready);
+    }
+
+    // Phase 3 (parallel over streams): alarm update and ring advance.
+    pool_.parallel_for(static_cast<Index>(active.size()), [&](Index i, int) {
+      StreamState& st = streams_[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])];
+      ++st.samples_seen;
+      if (st.ready) st.alarm.update(st.score, threshold_, st.samples_seen - 1);
+      st.ring.push_back(st.scratch);
+      if (static_cast<Index>(st.ring.size()) > window) st.ring.pop_front();
+      st.pending.pop_front();
+    });
+
+    for (Index s : active) {
+      const StreamState& st = streams_[static_cast<std::size_t>(s)];
+      out.push_back({s, st.samples_seen - 1, st.score});
+    }
+  }
+  return out;
+}
+
+bool ScoringEngine::in_alarm(Index stream) const { return stream_at(stream).alarm.in_alarm(); }
+
+const std::vector<core::AnomalyEvent>& ScoringEngine::events(Index stream) const {
+  return stream_at(stream).alarm.events();
+}
+
+Index ScoringEngine::samples_seen(Index stream) const { return stream_at(stream).samples_seen; }
+
+}  // namespace varade::serve

@@ -1,0 +1,95 @@
+#include "varade/serve/thread_pool.hpp"
+
+namespace varade::serve {
+
+ThreadPool::ThreadPool(int n_threads) {
+  if (n_threads <= 0) n_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (n_threads < 1) n_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(n_threads - 1));
+  for (int w = 1; w < n_threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_tasks(Job& job, int worker) {
+  for (;;) {
+    const Index task = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= job.size) break;
+    try {
+      (*job.fn)(task, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task: take the pool lock so the waiter cannot miss the
+      // notification between its predicate check and going to sleep.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    if (job) run_tasks(*job, worker);
+  }
+}
+
+void ThreadPool::parallel_for(Index n, const std::function<void(Index, int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    // Same exception contract as the threaded path: every task runs, the
+    // first failure is rethrown after the barrier.
+    std::exception_ptr error;
+    for (Index i = 0; i < n; ++i) {
+      try {
+        fn(i, 0);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->size = n;
+  job->remaining.store(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  run_tasks(*job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock,
+                  [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
+    if (job_ == job) job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace varade::serve

@@ -1,0 +1,109 @@
+// Finite-difference gradient checks pinning the VARADE ELBO backward path:
+// the conv trunk layers, the mu/logvar heads, and the full model backward
+// through elbo_loss, all at a small window (T = 16) so central differences
+// stay cheap and well-conditioned.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "varade/core/varade.hpp"
+#include "varade/nn/loss.hpp"
+
+namespace varade::core {
+namespace {
+
+constexpr Index kChannels = 2;
+
+VaradeConfig tiny_config() {
+  VaradeConfig cfg;
+  cfg.window = 16;  // 3 conv layers: 16 -> 8 -> 4 -> 2
+  cfg.base_channels = 4;
+  return cfg;
+}
+
+TEST(VaradeGradcheck, TrunkConvLayersMatchFiniteDifferences) {
+  Rng rng(11);
+  VaradeConfig cfg = tiny_config();
+  VaradeModel model(kChannels, cfg, rng);
+  ASSERT_EQ(model.n_layers(), 3);
+
+  // Layer 0 is the first Conv1d of the trunk (layers alternate conv/relu).
+  auto& conv0 = dynamic_cast<nn::Conv1d&>(model.trunk().layer(0));
+  {
+    const Tensor x = Tensor::randn({2, kChannels, cfg.window}, rng, 0.5F);
+    const Shape out_shape{2, conv0.out_channels(), conv0.out_length(cfg.window)};
+    const Tensor projection = Tensor::randn(out_shape, rng);
+    varade::testing::check_input_gradient(conv0, x, projection);
+    varade::testing::check_parameter_gradients(conv0, x, projection);
+  }
+
+  // Deepest conv (layer index 4 = third conv) sees the doubled channel width.
+  auto& conv2 = dynamic_cast<nn::Conv1d&>(model.trunk().layer(4));
+  {
+    const Tensor x = Tensor::randn({2, conv2.in_channels(), 4}, rng, 0.5F);
+    const Shape out_shape{2, conv2.out_channels(), conv2.out_length(4)};
+    const Tensor projection = Tensor::randn(out_shape, rng);
+    varade::testing::check_input_gradient(conv2, x, projection);
+    varade::testing::check_parameter_gradients(conv2, x, projection);
+  }
+}
+
+TEST(VaradeGradcheck, MuAndLogvarHeadsMatchFiniteDifferences) {
+  Rng rng(12);
+  VaradeModel model(kChannels, tiny_config(), rng);
+
+  const Index feature_dim = model.mu_head().in_features();
+  const Tensor x = Tensor::randn({3, feature_dim}, rng, 0.5F);
+  const Tensor projection = Tensor::randn({3, kChannels}, rng);
+
+  varade::testing::check_input_gradient(model.mu_head(), x, projection);
+  varade::testing::check_parameter_gradients(model.mu_head(), x, projection);
+  varade::testing::check_input_gradient(model.logvar_head(), x, projection);
+  varade::testing::check_parameter_gradients(model.logvar_head(), x, projection);
+}
+
+// Full-model check: d(ELBO)/d(theta) via VaradeModel::backward against
+// central finite differences of the scalar loss. This pins the exact
+// composition used in VaradeDetector::fit (trunk -> heads -> elbo_loss).
+TEST(VaradeGradcheck, FullModelElboBackwardMatchesFiniteDifferences) {
+  Rng rng(13);
+  VaradeConfig cfg = tiny_config();
+  VaradeModel model(kChannels, cfg, rng);
+
+  const Tensor x = Tensor::randn({3, kChannels, cfg.window}, rng, 0.5F);
+  const Tensor target = Tensor::randn({3, kChannels}, rng, 0.5F);
+  const float lambda = cfg.lambda;
+
+  auto loss_value = [&] {
+    const VaradeModel::Output out = model.forward(x);
+    return nn::elbo_loss(out.mu, out.logvar, target, lambda).value;
+  };
+
+  model.zero_grad();
+  const VaradeModel::Output out = model.forward(x);
+  const nn::VariationalLossResult loss = nn::elbo_loss(out.mu, out.logvar, target, lambda);
+  ASSERT_TRUE(std::isfinite(loss.value));
+  model.backward(loss.grad_mu, loss.grad_logvar);
+
+  constexpr float kEps = 1e-2F;
+  constexpr float kTol = 2e-2F;
+  for (nn::Parameter* p : model.parameters()) {
+    const Tensor analytic = p->grad;
+    const Index hop = std::max<Index>(1, p->value.numel() / 24);
+    for (Index i = 0; i < p->value.numel(); i += hop) {
+      const float orig = p->value[i];
+      p->value[i] = orig + kEps;
+      const float lp = loss_value();
+      p->value[i] = orig - kEps;
+      const float lm = loss_value();
+      p->value[i] = orig;
+      const float numeric = (lp - lm) / (2.0F * kEps);
+      EXPECT_NEAR(analytic[i], numeric, kTol * std::max(1.0F, std::fabs(numeric)))
+          << "parameter '" << p->name << "' flat index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace varade::core
