@@ -1,34 +1,39 @@
 #!/usr/bin/env bash
 # Local CI: exactly what .github/workflows/ci.yml runs.
 #
-# Configure Release, build everything with -j, run the full CTest suite, and
-# fail on any compiler warning in src/serve (that target is compiled with
-# -Werror unconditionally, so a warning there breaks the build itself).
+# Configure the Release preset, build everything with -j, run the fast CTest
+# preset (everything except LABELS slow), then run the batched-vs-sequential
+# parity suites explicitly by label, and finish with a serve throughput smoke
+# run covering all six detectors. src/core and src/serve are compiled with
+# -Werror unconditionally, so a warning in either breaks the build itself.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
-BUILD_DIR="${BUILD_DIR:-build-ci}"
+BUILD_DIR="build"
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== configure (Release) =="
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+echo "== configure (Release preset) =="
+cmake --preset default
 
 echo "== build (-j$JOBS) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" 2>&1 | tee "$BUILD_DIR/build.log"
 
-# src/serve is compiled -Werror, so any warning already failed the build.
-# Surface warnings elsewhere in the tree without failing (informational).
+# src/core and src/serve are compiled -Werror, so any warning there already
+# failed the build. Surface warnings elsewhere without failing (informational).
 if grep -E "warning:" "$BUILD_DIR/build.log" | grep -v "_deps" > "$BUILD_DIR/warnings.log"; then
   echo "-- warnings outside -Werror scope:"
   cat "$BUILD_DIR/warnings.log"
 fi
 
-echo "== test =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "== test (fast preset: -LE slow) =="
+ctest --preset fast
 
-echo "== smoke: serve throughput bench (quick) =="
+echo "== test (parity label: batched == sequential, all six detectors) =="
+ctest --test-dir "$BUILD_DIR" -L parity --output-on-failure -j "$JOBS"
+
+echo "== smoke: serve throughput bench (quick, all six detectors) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
-"$BUILD_DIR/bench/bench_serve_throughput" --quick
+"$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all
 
 echo "CI OK"

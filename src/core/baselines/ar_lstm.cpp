@@ -14,20 +14,35 @@ ArLstmDetector::ArLstmDetector(ArLstmConfig config) : config_(config) {
   check(config_.hidden >= 1, "AR-LSTM hidden size must be positive");
 }
 
+std::unique_ptr<nn::Sequential> ArLstmDetector::build_model(Index n_channels, Rng& rng) const {
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Lstm>(n_channels, config_.hidden, rng);
+  for (int l = 1; l < config_.n_layers; ++l)
+    model->emplace<nn::Lstm>(config_.hidden, config_.hidden, rng);
+  model->emplace<nn::LastTimeStep>();
+  // Two fully connected layers as per the paper.
+  model->emplace<nn::Linear>(config_.hidden, config_.hidden / 2, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Linear>(config_.hidden / 2, n_channels, rng);
+  return model;
+}
+
+std::unique_ptr<AnomalyDetector> ArLstmDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted AR-LSTM detector");
+  auto clone = std::make_unique<ArLstmDetector>(config_);
+  clone->n_channels_ = n_channels_;
+  Rng rng(config_.seed);
+  clone->model_ = build_model(n_channels_, rng);
+  nn::copy_parameter_values(model_->parameters(), clone->model_->parameters());
+  clone->loss_history_ = loss_history_;
+  return clone;
+}
+
 void ArLstmDetector::fit(const data::MultivariateSeries& train) {
   check(train.length() > config_.window + 1, "AR-LSTM training series shorter than one window");
   n_channels_ = train.n_channels();
   Rng rng(config_.seed);
-
-  model_ = std::make_unique<nn::Sequential>();
-  model_->emplace<nn::Lstm>(n_channels_, config_.hidden, rng);
-  for (int l = 1; l < config_.n_layers; ++l)
-    model_->emplace<nn::Lstm>(config_.hidden, config_.hidden, rng);
-  model_->emplace<nn::LastTimeStep>();
-  // Two fully connected layers as per the paper.
-  model_->emplace<nn::Linear>(config_.hidden, config_.hidden / 2, rng);
-  model_->emplace<nn::ReLU>();
-  model_->emplace<nn::Linear>(config_.hidden / 2, n_channels_, rng);
+  model_ = build_model(n_channels_, rng);
 
   const data::WindowDataset dataset(train, {config_.window, config_.train_stride});
   check(dataset.size() > 0, "no training windows available");

@@ -15,25 +15,41 @@ AutoencoderDetector::AutoencoderDetector(AutoencoderConfig config) : config_(con
   check(config_.base_channels >= 1, "base_channels must be positive");
 }
 
+std::unique_ptr<nn::Sequential> AutoencoderDetector::build_model(Index n_channels,
+                                                                 Rng& rng) const {
+  const Index f = config_.base_channels;
+  auto model = std::make_unique<nn::Sequential>();
+  // Encoder.
+  model->emplace<nn::Conv1d>(n_channels, f, 2, 2, 0, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::Conv1d>(f, 2 * f, 2, 2, 0, rng);
+  // Decoder (mirror).
+  model->emplace<nn::ConvTranspose1d>(2 * f, f, 2, 2, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::ResidualBlock1d>(f, rng);
+  model->emplace<nn::ConvTranspose1d>(f, n_channels, 2, 2, rng);
+  return model;
+}
+
+std::unique_ptr<AnomalyDetector> AutoencoderDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted AE detector");
+  auto clone = std::make_unique<AutoencoderDetector>(config_);
+  clone->n_channels_ = n_channels_;
+  Rng rng(config_.seed);
+  clone->model_ = build_model(n_channels_, rng);
+  nn::copy_parameter_values(model_->parameters(), clone->model_->parameters());
+  clone->loss_history_ = loss_history_;
+  return clone;
+}
+
 void AutoencoderDetector::fit(const data::MultivariateSeries& train) {
   check(train.length() > config_.window + 1, "AE training series shorter than one window");
   n_channels_ = train.n_channels();
   Rng rng(config_.seed);
-  const Index f = config_.base_channels;
-
-  model_ = std::make_unique<nn::Sequential>();
-  // Encoder.
-  model_->emplace<nn::Conv1d>(n_channels_, f, 2, 2, 0, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::Conv1d>(f, 2 * f, 2, 2, 0, rng);
-  // Decoder (mirror).
-  model_->emplace<nn::ConvTranspose1d>(2 * f, f, 2, 2, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::ResidualBlock1d>(f, rng);
-  model_->emplace<nn::ConvTranspose1d>(f, n_channels_, 2, 2, rng);
+  model_ = build_model(n_channels_, rng);
 
   const data::WindowDataset dataset(train, {config_.window, config_.train_stride});
   check(dataset.size() > 0, "no training windows available");

@@ -55,6 +55,14 @@ Tensor GbrfDetector::forecast(const Tensor& context) const {
   return forest_.predict_one(features_from_context(context));
 }
 
+std::unique_ptr<AnomalyDetector> GbrfDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted GBRF detector");
+  auto clone = std::make_unique<GbrfDetector>(config_);
+  clone->n_channels_ = n_channels_;
+  clone->forest_ = forest_;
+  return clone;
+}
+
 float GbrfDetector::score_step(const Tensor& context, const Tensor& observed) {
   const Tensor pred = forecast(context);
   double acc = 0.0;

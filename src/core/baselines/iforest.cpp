@@ -18,6 +18,24 @@ float IForestDetector::score_step(const Tensor& /*context*/, const Tensor& obser
   return forest_.score_one(observed);
 }
 
+void IForestDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), "Isolation Forest scoring before fit");
+  check_batch_args(contexts, observed);
+  const Index c = observed.dim(1);
+  check(c == forest_.n_features(),
+        "Isolation Forest score_batch expects " + std::to_string(forest_.n_features()) +
+            " channels, got " + std::to_string(c));
+  for (Index r = 0; r < observed.dim(0); ++r) out[r] = forest_.score_one(observed.data() + r * c);
+}
+
+std::unique_ptr<AnomalyDetector> IForestDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted Isolation Forest detector");
+  auto clone = std::make_unique<IForestDetector>(config_);
+  clone->n_channels_ = n_channels_;
+  clone->forest_ = forest_;
+  return clone;
+}
+
 edge::ModelCost IForestDetector::cost() const {
   check(fitted(), "Isolation Forest cost before fit");
   edge::ModelCost cost;

@@ -20,6 +20,24 @@ float KnnDetector::score_step(const Tensor& /*context*/, const Tensor& observed)
   return scorer_.score_one(observed);
 }
 
+void KnnDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), "kNN scoring before fit");
+  check_batch_args(contexts, observed);
+  const Index c = observed.dim(1);
+  check(c == scorer_.n_features(),
+        "kNN score_batch expects " + std::to_string(scorer_.n_features()) +
+            " channels, got " + std::to_string(c));
+  for (Index r = 0; r < observed.dim(0); ++r) out[r] = scorer_.score_one(observed.data() + r * c);
+}
+
+std::unique_ptr<AnomalyDetector> KnnDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted kNN detector");
+  auto clone = std::make_unique<KnnDetector>(config_);
+  clone->n_channels_ = n_channels_;
+  clone->scorer_ = scorer_;
+  return clone;
+}
+
 edge::ModelCost KnnDetector::cost() const {
   check(fitted(), "kNN cost before fit");
   edge::ModelCost cost;

@@ -1,41 +1,77 @@
 #include "varade/core/detector.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "varade/data/window.hpp"
 
 namespace varade::core {
 
-SeriesScores AnomalyDetector::score_series(const data::MultivariateSeries& test, Index stride) {
+void AnomalyDetector::check_batch_args(const Tensor& contexts, const Tensor& observed) const {
+  check(contexts.rank() == 3,
+        name() + ": score_batch expects contexts [B, C, T], got " +
+            shape_to_string(contexts.shape()));
+  check(contexts.dim(2) == context_window(),
+        name() + ": score_batch context length " + std::to_string(contexts.dim(2)) +
+            " != context window " + std::to_string(context_window()));
+  check(observed.rank() == 2 && observed.dim(0) == contexts.dim(0) &&
+            observed.dim(1) == contexts.dim(1),
+        name() + ": score_batch expects observed [" + std::to_string(contexts.dim(0)) + ", " +
+            std::to_string(contexts.dim(1)) + "], got " + shape_to_string(observed.shape()));
+}
+
+void AnomalyDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), name() + ": score_batch before fit");
+  check_batch_args(contexts, observed);
+  const Index b = contexts.dim(0);
+  const Index c = contexts.dim(1);
+  const Index t = contexts.dim(2);
+  Tensor context({c, t});
+  Tensor sample({c});
+  for (Index i = 0; i < b; ++i) {
+    std::copy_n(contexts.data() + i * c * t, static_cast<std::size_t>(c * t), context.data());
+    std::copy_n(observed.data() + i * c, static_cast<std::size_t>(c), sample.data());
+    out[i] = score_step(context, sample);
+  }
+}
+
+SeriesScores AnomalyDetector::score_series(const data::MultivariateSeries& test, Index stride,
+                                           Index batch) {
   check(fitted(), name() + ": score_series before fit");
   check(stride >= 1, "stride must be >= 1");
+  check(batch >= 1, "batch must be >= 1");
   const Index window = context_window();
   check(test.length() > window, name() + ": test series shorter than context window");
 
   SeriesScores out;
-  const Index c = test.n_channels();
-  Tensor observed({c});
+  for (Index t = window; t < test.length(); t += stride) out.times.push_back(t);
+  const auto n_scores = static_cast<Index>(out.times.size());
+  out.scores.resize(out.times.size());
+  out.labels.reserve(out.times.size());
+  for (Index t : out.times) out.labels.push_back(test.label(t));
 
+  const Index c = test.n_channels();
   using Clock = std::chrono::steady_clock;
   double total_ms = 0.0;
-  long calls = 0;
 
-  for (Index t = window; t < test.length(); t += stride) {
-    const Tensor context = data::extract_context(test, t - 1, window);
-    const float* s = test.sample(t);
-    for (Index ch = 0; ch < c; ++ch) observed[ch] = s[ch];
+  for (Index begin = 0; begin < n_scores; begin += batch) {
+    const Index rows = std::min(batch, n_scores - begin);
+    Tensor contexts({rows, c, window});
+    Tensor observed({rows, c});
+    for (Index r = 0; r < rows; ++r) {
+      const Index t = out.times[static_cast<std::size_t>(begin + r)];
+      const Tensor context = data::extract_context(test, t - 1, window);
+      std::copy_n(context.data(), static_cast<std::size_t>(c * window),
+                  contexts.data() + r * c * window);
+      std::copy_n(test.sample(t), static_cast<std::size_t>(c), observed.data() + r * c);
+    }
 
     const auto t0 = Clock::now();
-    const float score = score_step(context, observed);
+    score_batch(contexts, observed, out.scores.data() + begin);
     const auto t1 = Clock::now();
     total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-    ++calls;
-
-    out.scores.push_back(score);
-    out.labels.push_back(test.label(t));
-    out.times.push_back(t);
   }
-  out.mean_latency_ms = calls > 0 ? total_ms / static_cast<double>(calls) : 0.0;
+  out.mean_latency_ms = n_scores > 0 ? total_ms / static_cast<double>(n_scores) : 0.0;
   return out;
 }
 

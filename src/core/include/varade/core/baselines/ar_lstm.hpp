@@ -36,6 +36,8 @@ class ArLstmDetector : public AnomalyDetector {
   std::string name() const override { return "AR-LSTM"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Fresh detector with the same architecture and a deep copy of the weights.
+  std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return config_.window; }
   edge::ModelCost cost() const override;
   bool fitted() const override { return model_ != nullptr; }
@@ -47,6 +49,10 @@ class ArLstmDetector : public AnomalyDetector {
   nn::Sequential* model() { return model_.get(); }
 
  private:
+  /// The untrained architecture for `n_channels` inputs (shared by fit and
+  /// clone_fitted so replicas are structurally identical by construction).
+  std::unique_ptr<nn::Sequential> build_model(Index n_channels, Rng& rng) const;
+
   ArLstmConfig config_;
   Index n_channels_ = 0;
   std::unique_ptr<nn::Sequential> model_;

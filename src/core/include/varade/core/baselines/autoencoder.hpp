@@ -41,6 +41,8 @@ class AutoencoderDetector : public AnomalyDetector {
   std::string name() const override { return "AE"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Fresh detector with the same architecture and a deep copy of the weights.
+  std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return config_.window; }
   edge::ModelCost cost() const override;
   bool fitted() const override { return model_ != nullptr; }
@@ -54,6 +56,10 @@ class AutoencoderDetector : public AnomalyDetector {
   const std::vector<float>& loss_history() const { return loss_history_; }
 
  private:
+  /// The untrained architecture for `n_channels` inputs (shared by fit and
+  /// clone_fitted so replicas are structurally identical by construction).
+  std::unique_ptr<nn::Sequential> build_model(Index n_channels, Rng& rng) const;
+
   AutoencoderConfig config_;
   Index n_channels_ = 0;
   std::unique_ptr<nn::Sequential> model_;

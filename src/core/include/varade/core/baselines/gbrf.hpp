@@ -26,6 +26,8 @@ class GbrfDetector : public AnomalyDetector {
   std::string name() const override { return "GBRF"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Deep copy of the fitted boosted ensembles.
+  std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return config_.window; }
   edge::ModelCost cost() const override;
   bool fitted() const override { return forest_.fitted(); }

@@ -21,6 +21,11 @@ class IForestDetector : public AnomalyDetector {
   std::string name() const override { return "Isolation Forest"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Native batched scoring: traverses the ensemble once per observation row
+  /// without materialising per-row tensors.
+  void score_batch(const Tensor& contexts, const Tensor& observed, float* out) override;
+  /// Deep copy of the fitted ensemble.
+  std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return 1; }
   edge::ModelCost cost() const override;
   bool fitted() const override { return forest_.fitted(); }

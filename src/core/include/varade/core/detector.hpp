@@ -7,7 +7,17 @@
 //     (unsupervised training, section 2);
 //   - score_step() receives the context window of the T samples preceding the
 //     current one plus the current observation, and returns an anomaly score
-//     for that observation (higher = more anomalous).
+//     for that observation (higher = more anomalous);
+//   - score_batch() scores B independent (context, observation) pairs in one
+//     call — the contract every batched frontend (score_series, threshold
+//     calibration, serve::ScoringEngine) is built on. The default
+//     implementation loops score_step, so results are bit-identical to the
+//     sequential path by construction; detectors with a cheaper batched
+//     evaluation (VARADE's [N, C, T] forward, kNN's query loop, Isolation
+//     Forest's tree traversal) override it without changing the results;
+//   - clone_fitted() deep-copies a fitted detector so a serving layer can
+//     shard batches across per-worker replicas without knowing the model
+//     type. Detectors that cannot be replicated return null.
 #pragma once
 
 #include <memory>
@@ -25,7 +35,7 @@ struct SeriesScores {
   std::vector<float> scores;
   std::vector<int> labels;
   std::vector<Index> times;       // sample index each score refers to
-  double mean_latency_ms = 0.0;   // host wall-clock per score_step call
+  double mean_latency_ms = 0.0;   // host wall-clock per scored sample
 };
 
 class AnomalyDetector {
@@ -45,6 +55,17 @@ class AnomalyDetector {
   /// T samples immediately preceding it.
   virtual float score_step(const Tensor& context, const Tensor& observed) = 0;
 
+  /// Scores B independent pairs: `contexts` [B, C, T], `observed` [B, C],
+  /// writing one score per row into `out` [B]. The base implementation loops
+  /// score_step row by row; overrides must produce bit-identical scores.
+  virtual void score_batch(const Tensor& contexts, const Tensor& observed, float* out);
+
+  /// Deep copy of a fitted detector (weights, reference sets, thresholds —
+  /// everything scoring depends on) for per-worker serving replicas. Returns
+  /// null when the detector cannot be replicated; callers must fall back to
+  /// unsharded scoring through the original instance.
+  virtual std::unique_ptr<AnomalyDetector> clone_fitted() const { return nullptr; }
+
   /// Context length T the detector expects.
   virtual Index context_window() const = 0;
 
@@ -54,8 +75,15 @@ class AnomalyDetector {
   virtual bool fitted() const = 0;
 
   /// Walks a test series, scoring every `stride`-th sample after the first
-  /// context_window() samples; measures host wall-clock per inference.
-  SeriesScores score_series(const data::MultivariateSeries& test, Index stride = 1);
+  /// context_window() samples through score_batch with up to `batch` rows per
+  /// call; measures host wall-clock per scored sample.
+  SeriesScores score_series(const data::MultivariateSeries& test, Index stride = 1,
+                            Index batch = 32);
+
+ protected:
+  /// Validates score_batch arguments ([B, C, T] / [B, C], T = context window);
+  /// shared by the base fallback and every native override.
+  void check_batch_args(const Tensor& contexts, const Tensor& observed) const;
 };
 
 }  // namespace varade::core

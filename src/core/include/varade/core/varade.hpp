@@ -92,6 +92,14 @@ class VaradeDetector : public AnomalyDetector {
   std::string name() const override { return "VARADE"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Native batched scoring: one [B, C, T] forward through the model instead
+  /// of B single-row forwards. Every layer processes batch rows independently
+  /// with a fixed accumulation order, so scores are bit-identical to
+  /// score_step.
+  void score_batch(const Tensor& contexts, const Tensor& observed, float* out) override;
+  /// Fresh detector with the same architecture and a deep copy of the
+  /// weights; serving layers shard batches across such replicas.
+  std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return config_.window; }
   edge::ModelCost cost() const override;
   bool fitted() const override { return model_ != nullptr; }

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "varade/data/window.hpp"
-
 namespace varade::core {
 
 void validate(const MonitorConfig& config) {
@@ -12,6 +10,7 @@ void validate(const MonitorConfig& config) {
   check(config.debounce_samples >= 1, "debounce must be >= 1");
   check(config.holdoff_samples >= 0, "holdoff must be >= 0");
   check(config.calibration_stride >= 1, "calibration stride must be >= 1");
+  check(config.calibration_batch >= 1, "calibration batch must be >= 1");
 }
 
 void write_context(const std::deque<std::vector<float>>& ring, Index channels, Index window,
@@ -58,14 +57,12 @@ float calibrate_threshold(AnomalyDetector& detector, const data::MultivariateSer
                           const MonitorConfig& config) {
   const Index window = detector.context_window();
   check(train.length() > window, "calibration series shorter than the context window");
-  std::vector<float> scores;
-  Tensor observed({train.n_channels()});
-  for (Index t = window; t < train.length(); t += config.calibration_stride) {
-    const Tensor context = data::extract_context(train, t - 1, window);
-    const float* s = train.sample(t);
-    for (Index c = 0; c < train.n_channels(); ++c) observed[c] = s[c];
-    scores.push_back(detector.score_step(context, observed));
-  }
+  // Batched scoring over the strided calibration positions: score_batch is
+  // bit-identical to score_step per the detector contract, so the threshold
+  // is unchanged from the sequential rule.
+  const SeriesScores run = detector.score_series(train, config.calibration_stride,
+                                                 config.calibration_batch);
+  std::vector<float> scores = run.scores;
   check(!scores.empty(), "no calibration scores produced");
   std::sort(scores.begin(), scores.end());
   const auto idx = static_cast<std::size_t>(

@@ -201,6 +201,25 @@ float VaradeDetector::score_step(const Tensor& context, const Tensor& /*observed
   return variance_score(context);
 }
 
+void VaradeDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), "VARADE scoring before fit");
+  check_batch_args(contexts, observed);
+  const Index channels = contexts.dim(1);
+  const VaradeModel::Output batch_out = model_->forward(contexts);
+  for (Index r = 0; r < contexts.dim(0); ++r)
+    out[r] = score_from_logvar(batch_out.logvar.data() + r * channels, channels);
+}
+
+std::unique_ptr<AnomalyDetector> VaradeDetector::clone_fitted() const {
+  check(fitted(), "cannot clone an unfitted VARADE detector");
+  auto clone = std::make_unique<VaradeDetector>(config_);
+  Rng rng(config_.seed);
+  clone->model_ = std::make_unique<VaradeModel>(model_->in_channels(), config_, rng);
+  nn::copy_parameter_values(model_->parameters(), clone->model_->parameters());
+  clone->loss_history_ = loss_history_;
+  return clone;
+}
+
 void VaradeDetector::save(const std::string& path) const {
   check(fitted(), "cannot save an unfitted VARADE detector");
   std::ofstream f(path, std::ios::binary);

@@ -73,6 +73,17 @@ class Module {
   long param_bytes() { return num_params() * static_cast<long>(sizeof(float)); }
 };
 
+/// Copies parameter values `from` -> `to` (same architecture expected);
+/// throws on count or shape mismatch. Used to replicate fitted models.
+inline void copy_parameter_values(const std::vector<Parameter*>& from,
+                                  const std::vector<Parameter*>& to) {
+  check(from.size() == to.size(), "replica parameter count mismatch");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    check(from[i]->value.same_shape(to[i]->value), "replica parameter shape mismatch");
+    to[i]->value = from[i]->value;
+  }
+}
+
 /// Ordered container of layers; forwards/backwards through the chain.
 class Sequential : public Module {
  public:

@@ -3,26 +3,30 @@
 // Turns the per-sample OnlineMonitor loop into a throughput-oriented
 // frontend: N independent streams — each with its own normalizing ring
 // buffer, warm-up state, and debounce/hold-off alarm state machine — are
-// multiplexed onto one fitted VaradeDetector. step() drains buffered samples
-// round by round (one sample per stream per round): worker threads normalise
-// samples and assemble ready contexts into an [B, C, T] batch, the batch
-// runs through the model's batched forward path (optionally sharded across
-// per-worker weight replicas), and the per-stream alarm logic is applied.
+// multiplexed onto one fitted AnomalyDetector. step() drains buffered
+// samples round by round (one sample per stream per round): worker threads
+// normalise samples and assemble ready contexts into [B, C, T] / [B, C]
+// batches, the batches run through the detector's score_batch contract
+// (optionally sharded across per-worker clone_fitted() replicas), and the
+// per-stream alarm logic is applied.
 //
-// Determinism: every layer of the model processes batch rows independently
-// with a fixed accumulation order, per-stream state is only ever touched by
-// the one task that owns the stream in a given phase, and replicas carry
-// identical weights — so scores and alarm events are bit-for-bit identical
-// to running one OnlineMonitor per stream sequentially, at any thread count
-// or batch size.
+// The engine is generic over core::AnomalyDetector: any of the paper's six
+// detectors plugs in unchanged. Detectors whose clone_fitted() returns null
+// are served unsharded through the single borrowed instance.
+//
+// Determinism: score_batch is bit-identical to score_step by the detector
+// contract, per-stream state is only ever touched by the one task that owns
+// the stream in a given phase, and replicas carry identical state — so
+// scores and alarm events are bit-for-bit identical to running one
+// OnlineMonitor per stream sequentially, at any thread count or batch size.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "varade/core/detector.hpp"
 #include "varade/core/monitor.hpp"
-#include "varade/core/varade.hpp"
 #include "varade/serve/thread_pool.hpp"
 
 namespace varade::serve {
@@ -31,10 +35,11 @@ struct ScoringEngineConfig {
   /// Worker threads for normalisation / context assembly / alarm updates and
   /// (with shard_forward) batched-forward shards. 0 = hardware concurrency.
   int n_threads = 1;
-  /// Maximum contexts per batched forward call.
+  /// Maximum contexts per score_batch call.
   Index max_batch = 32;
-  /// Shard each round's batch across per-worker model replicas (identical
-  /// weights, so results are unchanged). Only takes effect with n_threads > 1.
+  /// Shard each round's batch across per-worker detector replicas (identical
+  /// state, so results are unchanged). Only takes effect with n_threads > 1
+  /// and a detector whose clone_fitted() is supported.
   bool shard_forward = true;
   /// Alarm behaviour shared by every stream.
   core::MonitorConfig monitor;
@@ -51,7 +56,8 @@ class ScoringEngine {
  public:
   /// The detector must already be fitted and the normalizer must carry the
   /// training statistics; both are borrowed and must outlive the engine.
-  ScoringEngine(core::VaradeDetector& detector, const data::MinMaxNormalizer& normalizer,
+  /// Works with any AnomalyDetector (VARADE or any baseline).
+  ScoringEngine(core::AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
                 ScoringEngineConfig config = {});
 
   /// Registers a new independent stream; returns its id (dense, from 0).
@@ -60,9 +66,9 @@ class ScoringEngine {
   Index n_streams() const { return static_cast<Index>(streams_.size()); }
 
   /// Calibrates the shared alarm threshold on a normalised training series
-  /// (same quantile rule as OnlineMonitor::calibrate). Also re-syncs forward
-  /// replicas with the detector's current weights, so a detector refitted
-  /// after engine construction takes effect here.
+  /// (same quantile rule as OnlineMonitor::calibrate). Also refreshes the
+  /// scoring replicas from the detector's current state, so a detector
+  /// refitted after engine construction takes effect here.
   void calibrate(const data::MultivariateSeries& train);
   void set_threshold(float threshold);
   float threshold() const { return threshold_; }
@@ -83,10 +89,12 @@ class ScoringEngine {
   const std::vector<core::AnomalyEvent>& events(Index stream) const;
   Index samples_seen(Index stream) const;
 
-  /// Batched forward calls issued so far (throughput accounting).
+  /// Batched score_batch calls issued so far (throughput accounting).
   long forward_calls() const { return forward_calls_; }
   /// Workers in the pool (including the calling thread).
   int n_threads() const { return pool_.size(); }
+  /// Per-worker detector replicas in use (0 = unsharded scoring).
+  Index n_replicas() const { return static_cast<Index>(replicas_.size()); }
   const ScoringEngineConfig& config() const { return config_; }
 
  private:
@@ -101,19 +109,23 @@ class ScoringEngine {
   };
 
   const StreamState& stream_at(Index id) const;
-  /// Copies the detector's current weights into every forward replica.
-  void sync_replicas();
-  /// Forwards the per-chunk context batches (chunk ci holds the contexts of
-  /// streams ready[ci*max_batch ...]) and writes each row's score into its
-  /// stream.
-  void score_chunks(const std::vector<Tensor>& chunks, const std::vector<Index>& ready);
+  StreamState& stream_at(Index id);
+  /// Re-clones the detector into one replica per extra worker (no-op when
+  /// sharding is off or the detector is not replicable).
+  void rebuild_replicas();
+  /// Scores the per-chunk batches (chunk ci holds the contexts/observations
+  /// of streams ready[ci*max_batch ...]) and writes each row's score into
+  /// its stream.
+  void score_chunks(const std::vector<Tensor>& contexts, const std::vector<Tensor>& observed,
+                    const std::vector<Index>& ready);
 
-  core::VaradeDetector* detector_;
+  core::AnomalyDetector* detector_;
   const data::MinMaxNormalizer* normalizer_;
   ScoringEngineConfig config_;
   ThreadPool pool_;
-  /// Weight replicas for workers 1..n-1 (worker 0 uses the detector's model).
-  std::vector<std::unique_ptr<core::VaradeModel>> replicas_;
+  /// Detector replicas for workers 1..n-1 (worker 0 uses the borrowed
+  /// detector). Empty when scoring is unsharded.
+  std::vector<std::unique_ptr<core::AnomalyDetector>> replicas_;
 
   float threshold_ = 0.0F;
   bool calibrated_ = false;

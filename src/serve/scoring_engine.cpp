@@ -2,29 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace varade::serve {
 
 namespace {
 
-/// Fresh model with the same architecture and weights as `src`.
-std::unique_ptr<core::VaradeModel> clone_model(core::VaradeModel& src,
-                                               const core::VaradeConfig& config) {
-  Rng rng(config.seed);
-  auto replica = std::make_unique<core::VaradeModel>(src.in_channels(), config, rng);
-  const std::vector<nn::Parameter*> from = src.parameters();
-  const std::vector<nn::Parameter*> to = replica->parameters();
-  check(from.size() == to.size(), "replica parameter count mismatch");
-  for (std::size_t i = 0; i < from.size(); ++i) {
-    check(from[i]->value.same_shape(to[i]->value), "replica parameter shape mismatch");
-    to[i]->value = from[i]->value;
-  }
-  return replica;
+std::string stream_range_message(Index id, Index n_streams) {
+  return "stream id " + std::to_string(id) + " out of range [0, " + std::to_string(n_streams) +
+         ")";
 }
 
 }  // namespace
 
-ScoringEngine::ScoringEngine(core::VaradeDetector& detector,
+ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
                              const data::MinMaxNormalizer& normalizer,
                              ScoringEngineConfig config)
     : detector_(&detector),
@@ -35,12 +26,8 @@ ScoringEngine::ScoringEngine(core::VaradeDetector& detector,
   check(normalizer.fitted(), "ScoringEngine requires a fitted normalizer");
   check(config_.max_batch >= 1, "max_batch must be >= 1");
   core::validate(config_.monitor);
-
-  if (config_.shard_forward && pool_.size() > 1) {
-    replicas_.reserve(static_cast<std::size_t>(pool_.size() - 1));
-    for (int w = 1; w < pool_.size(); ++w)
-      replicas_.push_back(clone_model(*detector_->model(), detector_->config()));
-  }
+  // Replicas are built by calibrate()/set_threshold() (both mandatory before
+  // step()), so they always reflect the detector's state at serving time.
 }
 
 Index ScoringEngine::add_stream() {
@@ -58,41 +45,49 @@ Index ScoringEngine::add_streams(Index n) {
   return first;
 }
 
-void ScoringEngine::sync_replicas() {
-  const std::vector<nn::Parameter*> src = detector_->model()->parameters();
-  for (auto& replica : replicas_) {
-    const std::vector<nn::Parameter*> dst = replica->parameters();
-    check(src.size() == dst.size(),
-          "replica architecture mismatch (detector refitted with different config?)");
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      check(src[i]->value.same_shape(dst[i]->value),
-            "replica architecture mismatch (detector refitted with different config?)");
-      dst[i]->value = src[i]->value;
+void ScoringEngine::rebuild_replicas() {
+  replicas_.clear();
+  if (!config_.shard_forward || pool_.size() <= 1) return;
+  // One replica per extra worker; a null clone marks the detector as
+  // non-replicable, in which case scoring falls back to unsharded calls
+  // through the borrowed instance. Any null mid-sequence voids the whole
+  // set — score_chunks assumes every stored replica is live.
+  replicas_.reserve(static_cast<std::size_t>(pool_.size() - 1));
+  for (int w = 1; w < pool_.size(); ++w) {
+    std::unique_ptr<core::AnomalyDetector> replica = detector_->clone_fitted();
+    if (replica == nullptr) {
+      replicas_.clear();
+      return;
     }
+    replicas_.push_back(std::move(replica));
   }
 }
 
 void ScoringEngine::calibrate(const data::MultivariateSeries& train) {
   threshold_ = core::calibrate_threshold(*detector_, train, config_.monitor);
-  sync_replicas();
+  rebuild_replicas();
   calibrated_ = true;
 }
 
 void ScoringEngine::set_threshold(float threshold) {
   threshold_ = threshold;
-  sync_replicas();
+  rebuild_replicas();
   calibrated_ = true;
 }
 
 const ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) const {
-  check(id >= 0 && id < n_streams(), "stream id out of range");
+  check(id >= 0 && id < n_streams(), stream_range_message(id, n_streams()));
+  return streams_[static_cast<std::size_t>(id)];
+}
+
+ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) {
+  check(id >= 0 && id < n_streams(), stream_range_message(id, n_streams()));
   return streams_[static_cast<std::size_t>(id)];
 }
 
 void ScoringEngine::push(Index stream, const float* raw_sample) {
-  check(stream >= 0 && stream < n_streams(), "stream id out of range");
   const auto n = static_cast<std::size_t>(normalizer_->n_channels());
-  streams_[static_cast<std::size_t>(stream)].pending.emplace_back(raw_sample, raw_sample + n);
+  stream_at(stream).pending.emplace_back(raw_sample, raw_sample + n);
 }
 
 void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
@@ -101,39 +96,37 @@ void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
   push(stream, raw_sample.data());
 }
 
-void ScoringEngine::score_chunks(const std::vector<Tensor>& chunks,
+void ScoringEngine::score_chunks(const std::vector<Tensor>& contexts,
+                                 const std::vector<Tensor>& observed,
                                  const std::vector<Index>& ready) {
-  const Index channels = normalizer_->n_channels();
-
-  auto score_rows = [&](core::VaradeModel& model, const Tensor& slice, Index row_offset) {
-    const core::VaradeModel::Output out = model.forward(slice);
-    const Index rows = slice.dim(0);
+  auto score_rows = [&](core::AnomalyDetector& det, std::size_t ci, Index row_offset) {
+    const Index rows = contexts[ci].dim(0);
+    std::vector<float> scores(static_cast<std::size_t>(rows));
+    det.score_batch(contexts[ci], observed[ci], scores.data());
     for (Index r = 0; r < rows; ++r) {
       streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(row_offset + r)])]
-          .score = core::VaradeDetector::score_from_logvar(
-              out.logvar.data() + r * channels, channels);
+          .score = scores[static_cast<std::size_t>(r)];
     }
+    forward_calls_.fetch_add(1, std::memory_order_relaxed);
   };
 
   if (replicas_.empty()) {
-    // Single model: run the chunks sequentially on the caller thread.
+    // Unsharded: run the chunks sequentially on the caller thread through the
+    // borrowed detector.
     Index row_offset = 0;
-    for (const Tensor& chunk : chunks) {
-      score_rows(*detector_->model(), chunk, row_offset);
-      row_offset += chunk.dim(0);
-      forward_calls_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t ci = 0; ci < contexts.size(); ++ci) {
+      score_rows(*detector_, ci, row_offset);
+      row_offset += contexts[ci].dim(0);
     }
     return;
   }
 
-  // Sharded: each worker scores chunks on its own weight replica. All chunks
-  // except the last hold exactly max_batch rows.
-  pool_.parallel_for(static_cast<Index>(chunks.size()), [&](Index ci, int worker) {
-    core::VaradeModel& model =
-        (worker == 0) ? *detector_->model()
-                      : *replicas_[static_cast<std::size_t>(worker - 1)];
-    score_rows(model, chunks[static_cast<std::size_t>(ci)], ci * config_.max_batch);
-    forward_calls_.fetch_add(1, std::memory_order_relaxed);
+  // Sharded: each worker scores chunks on its own detector replica. All
+  // chunks except the last hold exactly max_batch rows.
+  pool_.parallel_for(static_cast<Index>(contexts.size()), [&](Index ci, int worker) {
+    core::AnomalyDetector& det =
+        (worker == 0) ? *detector_ : *replicas_[static_cast<std::size_t>(worker - 1)];
+    score_rows(det, static_cast<std::size_t>(ci), ci * config_.max_batch);
   });
 }
 
@@ -167,23 +160,31 @@ std::vector<StreamScore> ScoringEngine::step() {
       if (streams_[static_cast<std::size_t>(s)].ready) ready.push_back(s);
 
     if (!ready.empty()) {
-      // Phase 2a (parallel over ready streams): gather contexts straight
-      // into per-chunk [rows, C, T] batches; rows are disjoint slices.
+      // Phase 2a (parallel over ready streams): gather contexts and current
+      // observations straight into per-chunk [rows, C, T] / [rows, C]
+      // batches; rows are disjoint slices.
       const auto n_ready = static_cast<Index>(ready.size());
-      std::vector<Tensor> chunks;
-      for (Index b = 0; b < n_ready; b += config_.max_batch)
-        chunks.emplace_back(Shape{std::min(config_.max_batch, n_ready - b), channels, window});
+      std::vector<Tensor> contexts;
+      std::vector<Tensor> observations;
+      for (Index b = 0; b < n_ready; b += config_.max_batch) {
+        const Index rows = std::min(config_.max_batch, n_ready - b);
+        contexts.emplace_back(Shape{rows, channels, window});
+        observations.emplace_back(Shape{rows, channels});
+      }
       pool_.parallel_for(n_ready, [&](Index i, int) {
         const StreamState& st =
             streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(i)])];
-        Tensor& chunk = chunks[static_cast<std::size_t>(i / config_.max_batch)];
+        const auto chunk = static_cast<std::size_t>(i / config_.max_batch);
+        const Index row = i % config_.max_batch;
         core::write_context(st.ring, channels, window,
-                            chunk.data() + (i % config_.max_batch) * channels * window);
+                            contexts[chunk].data() + row * channels * window);
+        std::copy(st.scratch.begin(), st.scratch.end(),
+                  observations[chunk].data() + row * channels);
       });
 
-      // Phase 2b: batched forward (chunked by max_batch, sharded when
+      // Phase 2b: batched scoring (chunked by max_batch, sharded when
       // replicas are available).
-      score_chunks(chunks, ready);
+      score_chunks(contexts, observations, ready);
     }
 
     // Phase 3 (parallel over streams): alarm update and ring advance.
