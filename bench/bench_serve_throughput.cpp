@@ -7,16 +7,20 @@
 // OnlineMonitor per stream, sequentially, and (b) a ScoringEngine at each
 // (threads, max_batch) configuration. All configurations produce bit-identical
 // scores (asserted via checksum), so the numbers isolate the serving layer's
-// batching/threading wins. Detectors with native score_batch overrides
-// (VARADE, kNN, Isolation Forest) and clone_fitted replicas benefit most;
-// the others ride the generic fallback.
+// batching/threading wins. All six detectors have native score_batch
+// overrides and clone_fitted replicas, so every one benefits from batching
+// and sharding.
+//
+// --json <path> writes the per-detector sequential vs. batched samples/s as a
+// machine-readable record (the repo's BENCH_*.json perf trajectory points).
 //
 // Usage: bench_serve_throughput [--quick] [--streams N] [--samples N]
-//                               [--detector <name>|all]
+//                               [--detector <name>|all] [--json <path>]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -24,6 +28,7 @@
 
 #include "varade/core/monitor.hpp"
 #include "varade/core/profiles.hpp"
+#include "varade/data/window.hpp"
 #include "varade/serve/scoring_engine.hpp"
 
 namespace {
@@ -85,10 +90,82 @@ double seconds_since(Clock::time_point start) {
 
 struct BenchResult {
   std::string detector;
-  double base_samples_per_s = 0.0;    // sequential OnlineMonitor
-  double best_samples_per_s = 0.0;    // best engine configuration
+  // Direct scoring path: the same pre-gathered (context, observation) pairs
+  // through a score_step loop vs. score_batch — isolates the native batched
+  // implementations from serving-layer overhead.
+  double seq_samples_per_s = 0.0;      // score_step row by row
+  double batched_samples_per_s = 0.0;  // score_batch, chunks of kScoreChunk
+  // End-to-end serving stack.
+  double base_samples_per_s = 0.0;  // sequential OnlineMonitor
+  double best_samples_per_s = 0.0;  // best engine configuration
   std::string best_config;
 };
+
+constexpr Index kScoreChunk = 64;
+
+/// Scores the tail of `series` (already normalised; the training recording —
+/// these are timing numbers, not detection quality) twice — once through a
+/// score_step loop and once through score_batch in chunks of kScoreChunk —
+/// taking the best of three timed repetitions per path, and exits the
+/// process unless the two score vectors are bit-identical.
+void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateSeries& series,
+                      BenchResult& result) {
+  const Index window = detector.context_window();
+  const Index c = series.n_channels();
+  const Index rows = series.length() - window;
+
+  Tensor contexts({rows, c, window});
+  Tensor observed({rows, c});
+  for (Index r = 0; r < rows; ++r) {
+    const Index t = window + r;
+    const Tensor context = data::extract_context(series, t - 1, window);
+    std::memcpy(contexts.data() + r * c * window, context.data(),
+                static_cast<std::size_t>(c * window) * sizeof(float));
+    std::memcpy(observed.data() + r * c, series.sample(t),
+                static_cast<std::size_t>(c) * sizeof(float));
+  }
+
+  std::vector<float> seq_scores(static_cast<std::size_t>(rows));
+  std::vector<float> batch_scores(static_cast<std::size_t>(rows));
+  double seq_s = 0.0;
+  double batch_s = 0.0;
+  Tensor context({c, window});
+  Tensor sample({c});
+  for (int rep = 0; rep < 3; ++rep) {
+    auto start = Clock::now();
+    for (Index r = 0; r < rows; ++r) {
+      std::memcpy(context.data(), contexts.data() + r * c * window,
+                  static_cast<std::size_t>(c * window) * sizeof(float));
+      std::memcpy(sample.data(), observed.data() + r * c,
+                  static_cast<std::size_t>(c) * sizeof(float));
+      seq_scores[static_cast<std::size_t>(r)] = detector.score_step(context, sample);
+    }
+    const double s = seconds_since(start);
+    if (rep == 0 || s < seq_s) seq_s = s;
+
+    start = Clock::now();
+    for (Index begin = 0; begin < rows; begin += kScoreChunk) {
+      const Index n = std::min(kScoreChunk, rows - begin);
+      detector.score_batch(contexts.slice0(begin, begin + n), observed.slice0(begin, begin + n),
+                           batch_scores.data() + begin);
+    }
+    const double b = seconds_since(start);
+    if (rep == 0 || b < batch_s) batch_s = b;
+  }
+  if (std::memcmp(seq_scores.data(), batch_scores.data(),
+                  static_cast<std::size_t>(rows) * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FATAL: %s score_batch drifted from score_step in the microbench\n",
+                 detector.name().c_str());
+    std::exit(1);
+  }
+  result.seq_samples_per_s = static_cast<double>(rows) / seq_s;
+  result.batched_samples_per_s = static_cast<double>(rows) / batch_s;
+  std::printf("scoring path: score_step %.0f samples/s, score_batch(%ld) %.0f samples/s"
+              " (%.2fx, bit-identical)\n",
+              result.seq_samples_per_s, static_cast<long>(kScoreChunk),
+              result.batched_samples_per_s,
+              result.batched_samples_per_s / result.seq_samples_per_s);
+}
 
 /// Runs the baseline + engine grid for one fitted detector; returns the
 /// throughput summary. Exits the process on a checksum mismatch.
@@ -119,6 +196,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
   result.base_samples_per_s = static_cast<double>(total) / base_s;
 
   std::printf("\n=== %s ===\n", detector.name().c_str());
+  score_path_bench(detector, train, result);
   std::printf("%-34s %10s %12s %9s\n", "configuration", "time s", "samples/s", "speedup");
   std::printf("%-34s %10.3f %12.0f %9s\n", "sequential OnlineMonitor", base_s,
               static_cast<double>(total) / base_s, "1.00x");
@@ -174,12 +252,50 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
   return result;
 }
 
+/// Writes the per-detector sequential vs. batched samples/s as JSON — the
+/// format of the repo's BENCH_*.json perf-trajectory records.
+void write_json(const std::string& path, Index n_streams, Index n_samples,
+                const std::vector<BenchResult>& results) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "error: cannot open --json path %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  f << "{\n";
+  f << "  \"bench\": \"serve_throughput\",\n";
+  f << "  \"streams\": " << n_streams << ",\n";
+  f << "  \"samples\": " << n_samples << ",\n";
+  f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  f << "  \"detectors\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"detector\": \"%s\", \"sequential_samples_per_s\": %.1f, "
+                  "\"batched_samples_per_s\": %.1f, \"batched_speedup\": %.3f, "
+                  "\"monitor_samples_per_s\": %.1f, \"engine_best_samples_per_s\": %.1f, "
+                  "\"engine_best_config\": \"%s\"}%s\n",
+                  r.detector.c_str(), r.seq_samples_per_s, r.batched_samples_per_s,
+                  r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
+                  r.best_samples_per_s, r.best_config.c_str(),
+                  i + 1 < results.size() ? "," : "");
+    f << line;
+  }
+  f << "  ]\n}\n";
+  if (!f) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Index n_streams = 16;
   Index n_samples = 2000;
   std::string detector_arg = "VARADE";
+  std::string json_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       n_streams = 8;
@@ -190,9 +306,12 @@ int main(int argc, char** argv) {
       n_samples = std::atol(argv[++a]);
     } else if (std::strcmp(argv[a], "--detector") == 0 && a + 1 < argc) {
       detector_arg = argv[++a];
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--streams N] [--samples N] [--detector <name>|all]\n"
+                   "usage: %s [--quick] [--streams N] [--samples N] [--detector <name>|all]"
+                   " [--json <path>]\n"
                    "detectors: all",
                    argv[0]);
       for (const std::string& name : core::detector_names())
@@ -238,12 +357,15 @@ int main(int argc, char** argv) {
   }
 
   if (results.size() > 1) {
-    std::printf("\n%-20s %14s %14s   %s\n", "detector", "monitor s/s", "best engine s/s",
-                "best configuration");
+    std::printf("\n%-20s %14s %14s %8s %14s %14s\n", "detector", "step s/s", "batch s/s",
+                "speedup", "monitor s/s", "best engine s/s");
     for (const BenchResult& r : results)
-      std::printf("%-20s %14.0f %14.0f   %s\n", r.detector.c_str(), r.base_samples_per_s,
-                  r.best_samples_per_s, r.best_config.c_str());
+      std::printf("%-20s %14.0f %14.0f %7.2fx %14.0f %14.0f\n", r.detector.c_str(),
+                  r.seq_samples_per_s, r.batched_samples_per_s,
+                  r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
+                  r.best_samples_per_s);
   }
+  if (!json_path.empty()) write_json(json_path, n_streams, n_samples, results);
   std::printf("\nDone.\n");
   return 0;
 }

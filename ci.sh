@@ -6,12 +6,36 @@
 # parity suites explicitly by label, and finish with a serve throughput smoke
 # run covering all six detectors. src/core and src/serve are compiled with
 # -Werror unconditionally, so a warning in either breaks the build itself.
+#
+# --sanitize instead builds the library and tests under ASan + UBSan
+# (RelWithDebInfo, VARADE_SANITIZE=ON, separate build-asan tree) and runs the
+# parity label — the batched gathers and native score_batch paths of all six
+# detectors, including the fuzz suite, memory-checked.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
 BUILD_DIR="build"
 JOBS="${JOBS:-$(nproc)}"
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR="build-asan"
+  echo "== configure (ASan + UBSan, RelWithDebInfo) =="
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVARADE_SANITIZE=ON \
+    -DVARADE_BUILD_BENCH=OFF \
+    -DVARADE_BUILD_EXAMPLES=OFF
+
+  echo "== build (-j$JOBS) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+  echo "== test (parity label under ASan/UBSan) =="
+  ctest --test-dir "$BUILD_DIR" -L parity --output-on-failure -j "$JOBS"
+
+  echo "CI OK (sanitize)"
+  exit 0
+fi
 
 echo "== configure (Release preset) =="
 cmake --preset default

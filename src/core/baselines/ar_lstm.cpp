@@ -94,6 +94,24 @@ float ArLstmDetector::score_step(const Tensor& context, const Tensor& observed) 
   return static_cast<float>(std::sqrt(acc));
 }
 
+void ArLstmDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), "AR-LSTM scoring before fit");
+  check_batch_args(contexts, observed);
+  check_batch_channels(contexts, n_channels_);
+  const Index b = contexts.dim(0);
+  const Index c = contexts.dim(1);
+  if (b == 0) return;
+  const Tensor pred = model_->forward_inference(contexts);  // [B, C]
+  for (Index r = 0; r < b; ++r) {
+    double acc = 0.0;
+    for (Index ch = 0; ch < c; ++ch) {
+      const double d = static_cast<double>(pred[r * c + ch]) - observed[r * c + ch];
+      acc += d * d;
+    }
+    out[r] = static_cast<float>(std::sqrt(acc));
+  }
+}
+
 edge::ModelCost ArLstmDetector::cost() const {
   check(fitted(), "AR-LSTM cost before fit");
   edge::ModelCost cost;

@@ -12,17 +12,21 @@ GbrfDetector::GbrfDetector(GbrfDetectorConfig config)
         "feature_steps must be in [1, window]");
 }
 
-Tensor GbrfDetector::features_from_context(const Tensor& context) const {
+void GbrfDetector::gather_features(const float* context, Index c, Index t, float* out) const {
   // Sample `feature_steps` time points, most-recent first, evenly spaced.
-  const Index c = context.dim(0);
-  const Index t = context.dim(1);
   const Index hop = std::max<Index>(1, t / config_.feature_steps);
-  Tensor features({c * config_.feature_steps});
   Index k = 0;
   for (Index s = 0; s < config_.feature_steps; ++s) {
     const Index col = t - 1 - s * hop;
-    for (Index ch = 0; ch < c; ++ch) features[k++] = context[ch * t + col];
+    for (Index ch = 0; ch < c; ++ch) out[k++] = context[ch * t + col];
   }
+}
+
+Tensor GbrfDetector::features_from_context(const Tensor& context) const {
+  const Index c = context.dim(0);
+  const Index t = context.dim(1);
+  Tensor features({c * config_.feature_steps});
+  gather_features(context.data(), c, t, features.data());
   return features;
 }
 
@@ -71,6 +75,31 @@ float GbrfDetector::score_step(const Tensor& context, const Tensor& observed) {
     acc += diff * diff;
   }
   return static_cast<float>(std::sqrt(acc));
+}
+
+void GbrfDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
+  check(fitted(), "GBRF scoring before fit");
+  check_batch_args(contexts, observed);
+  check_batch_channels(contexts, n_channels_);
+  const Index b = contexts.dim(0);
+  const Index c = contexts.dim(1);
+  const Index t = contexts.dim(2);
+  if (b == 0) return;
+  // Downsample every context into one [B, C * feature_steps] matrix, then
+  // traverse each boosted ensemble tree-major over all rows at once.
+  const Index d = feature_dim();
+  Tensor features({b, d});
+  for (Index r = 0; r < b; ++r)
+    gather_features(contexts.data() + r * c * t, c, t, features.data() + r * d);
+  const Tensor pred = forest_.predict(features);  // [B, C]
+  for (Index r = 0; r < b; ++r) {
+    double acc = 0.0;
+    for (Index ch = 0; ch < c; ++ch) {
+      const double diff = static_cast<double>(pred[r * c + ch]) - observed[r * c + ch];
+      acc += diff * diff;
+    }
+    out[r] = static_cast<float>(std::sqrt(acc));
+  }
 }
 
 edge::ModelCost GbrfDetector::cost() const {

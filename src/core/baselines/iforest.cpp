@@ -21,10 +21,8 @@ float IForestDetector::score_step(const Tensor& /*context*/, const Tensor& obser
 void IForestDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
   check(fitted(), "Isolation Forest scoring before fit");
   check_batch_args(contexts, observed);
+  check_batch_channels(contexts, forest_.n_features());
   const Index c = observed.dim(1);
-  check(c == forest_.n_features(),
-        "Isolation Forest score_batch expects " + std::to_string(forest_.n_features()) +
-            " channels, got " + std::to_string(c));
   for (Index r = 0; r < observed.dim(0); ++r) out[r] = forest_.score_one(observed.data() + r * c);
 }
 

@@ -23,10 +23,8 @@ float KnnDetector::score_step(const Tensor& /*context*/, const Tensor& observed)
 void KnnDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {
   check(fitted(), "kNN scoring before fit");
   check_batch_args(contexts, observed);
+  check_batch_channels(contexts, scorer_.n_features());
   const Index c = observed.dim(1);
-  check(c == scorer_.n_features(),
-        "kNN score_batch expects " + std::to_string(scorer_.n_features()) +
-            " channels, got " + std::to_string(c));
   for (Index r = 0; r < observed.dim(0); ++r) out[r] = scorer_.score_one(observed.data() + r * c);
 }
 

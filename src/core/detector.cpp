@@ -12,12 +12,18 @@ void AnomalyDetector::check_batch_args(const Tensor& contexts, const Tensor& obs
         name() + ": score_batch expects contexts [B, C, T], got " +
             shape_to_string(contexts.shape()));
   check(contexts.dim(2) == context_window(),
-        name() + ": score_batch context length " + std::to_string(contexts.dim(2)) +
-            " != context window " + std::to_string(context_window()));
+        name() + ": score_batch expects context length " + std::to_string(context_window()) +
+            ", got " + std::to_string(contexts.dim(2)));
   check(observed.rank() == 2 && observed.dim(0) == contexts.dim(0) &&
             observed.dim(1) == contexts.dim(1),
         name() + ": score_batch expects observed [" + std::to_string(contexts.dim(0)) + ", " +
             std::to_string(contexts.dim(1)) + "], got " + shape_to_string(observed.shape()));
+}
+
+void AnomalyDetector::check_batch_channels(const Tensor& contexts, Index expected) const {
+  check(contexts.dim(1) == expected,
+        name() + " score_batch expects " + std::to_string(expected) + " channels, got " +
+            std::to_string(contexts.dim(1)));
 }
 
 void AnomalyDetector::score_batch(const Tensor& contexts, const Tensor& observed, float* out) {

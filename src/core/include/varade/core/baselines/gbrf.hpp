@@ -26,6 +26,11 @@ class GbrfDetector : public AnomalyDetector {
   std::string name() const override { return "GBRF"; }
   void fit(const data::MultivariateSeries& train) override;
   float score_step(const Tensor& context, const Tensor& observed) override;
+  /// Native batched scoring: the downsampled feature matrix
+  /// [B, C * feature_steps] is built once, then every boosted ensemble is
+  /// traversed tree-major over all rows. Per-row accumulation order matches
+  /// predict_one, so scores are bit-identical to score_step.
+  void score_batch(const Tensor& contexts, const Tensor& observed, float* out) override;
   /// Deep copy of the fitted boosted ensembles.
   std::unique_ptr<AnomalyDetector> clone_fitted() const override;
   Index context_window() const override { return config_.window; }
@@ -39,6 +44,11 @@ class GbrfDetector : public AnomalyDetector {
 
  private:
   Tensor features_from_context(const Tensor& context) const;
+
+  /// Downsamples one context [C, T] (row-major at `context`) into
+  /// `feature_dim()` values at `out`; shared by the single-row and batched
+  /// feature gathers.
+  void gather_features(const float* context, Index c, Index t, float* out) const;
 
   GbrfDetectorConfig config_;
   Index n_channels_ = 0;

@@ -84,6 +84,11 @@ class AnomalyDetector {
   /// Validates score_batch arguments ([B, C, T] / [B, C], T = context window);
   /// shared by the base fallback and every native override.
   void check_batch_args(const Tensor& contexts, const Tensor& observed) const;
+
+  /// Validates the channel count of a score_batch call against the fitted
+  /// detector ("expects N channels, got M"); shared by every native override
+  /// that gathers per-channel data.
+  void check_batch_channels(const Tensor& contexts, Index expected) const;
 };
 
 }  // namespace varade::core

@@ -59,6 +59,10 @@ class VaradeModel {
   /// x: [N, C, T].
   Output forward(const Tensor& x);
 
+  /// Inference-only forward: same arithmetic as forward() but no activation
+  /// caches, so scoring never pays the training path's per-layer copies.
+  Output forward_inference(const Tensor& x);
+
   /// Backward from loss gradients; accumulates parameter gradients.
   void backward(const Tensor& grad_mu, const Tensor& grad_logvar);
 

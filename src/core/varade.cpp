@@ -91,6 +91,17 @@ VaradeModel::Output VaradeModel::forward(const Tensor& x) {
   return out;
 }
 
+VaradeModel::Output VaradeModel::forward_inference(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(1) == in_channels_ && x.dim(2) == window_,
+        "VARADE forward expects [N, " + std::to_string(in_channels_) + ", " +
+            std::to_string(window_) + "], got " + shape_to_string(x.shape()));
+  const Tensor features = trunk_.forward_inference(x);
+  Output out;
+  out.mu = mu_head_->forward_inference(features);
+  out.logvar = logvar_head_->forward_inference(features);
+  return out;
+}
+
 void VaradeModel::backward(const Tensor& grad_mu, const Tensor& grad_logvar) {
   Tensor grad_features = mu_head_->backward(grad_mu);
   grad_features += logvar_head_->backward(grad_logvar);
@@ -179,14 +190,14 @@ float VaradeDetector::score_from_logvar(const float* logvar, Index n) {
 float VaradeDetector::variance_score(const Tensor& context) {
   check(fitted(), "VARADE scoring before fit");
   const Tensor batch = context.reshaped({1, context.dim(0), context.dim(1)});
-  const VaradeModel::Output out = model_->forward(batch);
+  const VaradeModel::Output out = model_->forward_inference(batch);
   return score_from_logvar(out.logvar.data(), out.logvar.numel());
 }
 
 float VaradeDetector::forecast_error_score(const Tensor& context, const Tensor& observed) {
   check(fitted(), "VARADE scoring before fit");
   const Tensor batch = context.reshaped({1, context.dim(0), context.dim(1)});
-  const VaradeModel::Output out = model_->forward(batch);
+  const VaradeModel::Output out = model_->forward_inference(batch);
   double acc = 0.0;
   for (Index i = 0; i < out.mu.numel(); ++i) {
     const double d = static_cast<double>(out.mu[i]) - observed[i];
@@ -205,7 +216,7 @@ void VaradeDetector::score_batch(const Tensor& contexts, const Tensor& observed,
   check(fitted(), "VARADE scoring before fit");
   check_batch_args(contexts, observed);
   const Index channels = contexts.dim(1);
-  const VaradeModel::Output batch_out = model_->forward(contexts);
+  const VaradeModel::Output batch_out = model_->forward_inference(contexts);
   for (Index r = 0; r < contexts.dim(0); ++r)
     out[r] = score_from_logvar(batch_out.logvar.data() + r * channels, channels);
 }

@@ -16,6 +16,7 @@ class Linear : public Module {
   Linear(Index in_features, Index out_features, Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
@@ -28,6 +29,10 @@ class Linear : public Module {
   Parameter& bias() { return bias_; }
 
  private:
+  /// The computation itself, shared by forward and forward_inference so both
+  /// paths are bit-identical by construction.
+  Tensor apply(const Tensor& x) const;
+
   Index in_;
   Index out_;
   Parameter weight_;  // [out, in]
@@ -39,6 +44,7 @@ class Linear : public Module {
 class ReLU : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "ReLU"; }
   Shape output_shape(const Shape& in) const override { return in; }
@@ -52,6 +58,7 @@ class ReLU : public Module {
 class Tanh : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Tanh"; }
   Shape output_shape(const Shape& in) const override { return in; }
@@ -72,6 +79,7 @@ class Conv1d : public Module {
          Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv1d"; }
@@ -88,6 +96,10 @@ class Conv1d : public Module {
   Index out_length(Index l) const;
 
  private:
+  /// The computation itself, shared by forward and forward_inference so both
+  /// paths are bit-identical by construction.
+  Tensor apply(const Tensor& x) const;
+
   Index in_ch_;
   Index out_ch_;
   Index kernel_;
@@ -106,6 +118,7 @@ class ConvTranspose1d : public Module {
                   Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "ConvTranspose1d"; }
@@ -113,6 +126,10 @@ class ConvTranspose1d : public Module {
   long flops(const Shape& in) const override;
 
  private:
+  /// The computation itself, shared by forward and forward_inference so both
+  /// paths are bit-identical by construction.
+  Tensor apply(const Tensor& x) const;
+
   Index in_ch_;
   Index out_ch_;
   Index kernel_;
@@ -126,6 +143,7 @@ class ConvTranspose1d : public Module {
 class Flatten : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "Flatten"; }
   Shape output_shape(const Shape& in) const override;
@@ -139,6 +157,7 @@ class Flatten : public Module {
 class LastTimeStep : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "LastTimeStep"; }
   Shape output_shape(const Shape& in) const override;
@@ -156,6 +175,7 @@ class ResidualBlock1d : public Module {
   ResidualBlock1d(Index channels, Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward_inference(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "ResidualBlock1d"; }

@@ -45,6 +45,13 @@ class Module {
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Inference-only forward: identical arithmetic to forward() but skips the
+  /// activation caches backward() needs, so no per-call copies or per-step
+  /// cache allocations. The default falls back to forward(), so every layer
+  /// is safe by construction; layers that cache override it. Must never be
+  /// interleaved with forward()/backward() training steps expecting caches.
+  virtual Tensor forward_inference(const Tensor& x) { return forward(x); }
+
   /// Trainable parameters (possibly empty). Pointers remain valid for the
   /// lifetime of the module.
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -107,6 +114,12 @@ class Sequential : public Module {
   Tensor forward(const Tensor& x) override {
     Tensor h = x;
     for (auto& l : layers_) h = l->forward(h);
+    return h;
+  }
+
+  Tensor forward_inference(const Tensor& x) override {
+    Tensor h = x;
+    for (auto& l : layers_) h = l->forward_inference(h);
     return h;
   }
 

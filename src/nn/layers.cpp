@@ -17,9 +17,15 @@ Linear::Linear(Index in_features, Index out_features, Rng& rng)
 }
 
 Tensor Linear::forward(const Tensor& x) {
+  cached_input_ = x;
+  return apply(x);
+}
+
+Tensor Linear::forward_inference(const Tensor& x) { return apply(x); }
+
+Tensor Linear::apply(const Tensor& x) const {
   check(x.rank() == 2 && x.dim(1) == in_,
         "Linear expected [N, " + std::to_string(in_) + "], got " + shape_to_string(x.shape()));
-  cached_input_ = x;
   const Index n = x.dim(0);
   Tensor y({n, out_});
   const float* px = x.data();
@@ -81,6 +87,10 @@ long Linear::flops(const Shape&) const { return 2L * in_ * out_; }
 
 Tensor ReLU::forward(const Tensor& x) {
   cached_input_ = x;
+  return forward_inference(x);
+}
+
+Tensor ReLU::forward_inference(const Tensor& x) {
   return x.map([](float v) { return v > 0.0F ? v : 0.0F; });
 }
 
@@ -96,8 +106,12 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 // ------------------------------------------------------------------ Tanh ----
 
 Tensor Tanh::forward(const Tensor& x) {
-  cached_output_ = x.map([](float v) { return std::tanh(v); });
+  cached_output_ = forward_inference(x);
   return cached_output_;
+}
+
+Tensor Tanh::forward_inference(const Tensor& x) {
+  return x.map([](float v) { return std::tanh(v); });
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
@@ -131,10 +145,16 @@ Index Conv1d::out_length(Index l) const {
 }
 
 Tensor Conv1d::forward(const Tensor& x) {
+  cached_input_ = x;
+  return apply(x);
+}
+
+Tensor Conv1d::forward_inference(const Tensor& x) { return apply(x); }
+
+Tensor Conv1d::apply(const Tensor& x) const {
   check(x.rank() == 3 && x.dim(1) == in_ch_,
         "Conv1d expected [N, " + std::to_string(in_ch_) + ", L], got " +
             shape_to_string(x.shape()));
-  cached_input_ = x;
   const Index n = x.dim(0);
   const Index l_in = x.dim(2);
   const Index l_out = out_length(l_in);
@@ -240,8 +260,14 @@ ConvTranspose1d::ConvTranspose1d(Index in_channels, Index out_channels, Index ke
 }
 
 Tensor ConvTranspose1d::forward(const Tensor& x) {
-  check(x.rank() == 3 && x.dim(1) == in_ch_, "ConvTranspose1d expected [N, C, L]");
   cached_input_ = x;
+  return apply(x);
+}
+
+Tensor ConvTranspose1d::forward_inference(const Tensor& x) { return apply(x); }
+
+Tensor ConvTranspose1d::apply(const Tensor& x) const {
+  check(x.rank() == 3 && x.dim(1) == in_ch_, "ConvTranspose1d expected [N, C, L]");
   const Index n = x.dim(0);
   const Index l_in = x.dim(2);
   const Index l_out = (l_in - 1) * stride_ + kernel_;
@@ -331,8 +357,12 @@ long ConvTranspose1d::flops(const Shape& in) const {
 // --------------------------------------------------------------- Flatten ----
 
 Tensor Flatten::forward(const Tensor& x) {
-  check(x.rank() >= 2, "Flatten expects a batched tensor");
   cached_shape_ = x.shape();
+  return forward_inference(x);
+}
+
+Tensor Flatten::forward_inference(const Tensor& x) {
+  check(x.rank() >= 2, "Flatten expects a batched tensor");
   Index inner = 1;
   for (Index a = 1; a < x.rank(); ++a) inner *= x.dim(a);
   return x.reshaped({x.dim(0), inner});
@@ -351,6 +381,11 @@ Shape Flatten::output_shape(const Shape& in) const {
 Tensor LastTimeStep::forward(const Tensor& x) {
   check(x.rank() == 3, "LastTimeStep expects [N, C, L]");
   cached_shape_ = x.shape();
+  return forward_inference(x);
+}
+
+Tensor LastTimeStep::forward_inference(const Tensor& x) {
+  check(x.rank() == 3, "LastTimeStep expects [N, C, L]");
   const Index n = x.dim(0);
   const Index c = x.dim(1);
   const Index l = x.dim(2);
@@ -387,6 +422,14 @@ Tensor ResidualBlock1d::forward(const Tensor& x) {
   h = conv1_.forward(h);
   h = relu2_.forward(h);
   h = conv2_.forward(h);
+  return h + x;
+}
+
+Tensor ResidualBlock1d::forward_inference(const Tensor& x) {
+  Tensor h = relu1_.forward_inference(x);
+  h = conv1_.forward_inference(h);
+  h = relu2_.forward_inference(h);
+  h = conv2_.forward_inference(h);
   return h + x;
 }
 

@@ -1,6 +1,7 @@
 #include "varade/nn/lstm.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "varade/nn/init.hpp"
 
@@ -8,6 +9,38 @@ namespace varade::nn {
 
 namespace {
 inline float sigmoid(float v) { return 1.0F / (1.0F + std::exp(-v)); }
+
+/// One LSTM unit update for batch row `b`, unit `h`, time step `t`. Shared by
+/// forward and forward_inference so the two paths are bit-identical by
+/// construction (same per-element operation order).
+struct LstmCell {
+  float i, f, g, o, c, tc, h;
+};
+
+inline LstmCell lstm_cell(Index h, Index hidden, Index input, const float* pwi, const float* pwh,
+                          const float* pb, const float* xb, Index l, Index t, const float* hp,
+                          float c_prev) {
+  // Pre-activations for the four gates of unit h.
+  double pre[4];
+  for (int g = 0; g < 4; ++g) {
+    const Index row = g * hidden + h;
+    double acc = pb[row];
+    const float* wi = pwi + row * input;
+    for (Index c = 0; c < input; ++c) acc += static_cast<double>(wi[c]) * xb[c * l + t];
+    const float* wh = pwh + row * hidden;
+    for (Index k = 0; k < hidden; ++k) acc += static_cast<double>(wh[k]) * hp[k];
+    pre[g] = acc;
+  }
+  LstmCell cell;
+  cell.i = sigmoid(static_cast<float>(pre[0]));
+  cell.f = sigmoid(static_cast<float>(pre[1]));
+  cell.g = std::tanh(static_cast<float>(pre[2]));
+  cell.o = sigmoid(static_cast<float>(pre[3]));
+  cell.c = cell.f * c_prev + cell.i * cell.g;
+  cell.tc = std::tanh(cell.c);
+  cell.h = cell.o * cell.tc;
+  return cell;
+}
 }  // namespace
 
 Lstm::Lstm(Index input_size, Index hidden_size, Rng& rng)
@@ -56,34 +89,18 @@ Tensor Lstm::forward(const Tensor& x) {
     for (Index b = 0; b < n; ++b) {
       const float* hp = h_prev.data() + b * hidden_;
       const float* cp = c_prev.data() + b * hidden_;
+      const float* xb = px + b * input_ * l;
       for (Index h = 0; h < hidden_; ++h) {
-        // Pre-activations for the four gates of unit h.
-        double pre[4];
-        for (int g = 0; g < 4; ++g) {
-          const Index row = g * hidden_ + h;
-          double acc = pb[row];
-          const float* wi = pwi + row * input_;
-          for (Index c = 0; c < input_; ++c)
-            acc += static_cast<double>(wi[c]) * px[(b * input_ + c) * l + t];
-          const float* wh = pwh + row * hidden_;
-          for (Index k = 0; k < hidden_; ++k) acc += static_cast<double>(wh[k]) * hp[k];
-          pre[g] = acc;
-        }
-        const float i = sigmoid(static_cast<float>(pre[0]));
-        const float f = sigmoid(static_cast<float>(pre[1]));
-        const float g = std::tanh(static_cast<float>(pre[2]));
-        const float o = sigmoid(static_cast<float>(pre[3]));
-        const float c = f * cp[h] + i * g;
-        const float tc = std::tanh(c);
+        const LstmCell cell = lstm_cell(h, hidden_, input_, pwi, pwh, pb, xb, l, t, hp, cp[h]);
         const Index idx = b * hidden_ + h;
-        gi[idx] = i;
-        gf[idx] = f;
-        gg[idx] = g;
-        go[idx] = o;
-        ct[idx] = c;
-        ct_tanh[idx] = tc;
-        ht[idx] = o * tc;
-        out[(b * hidden_ + h) * l + t] = ht[idx];
+        gi[idx] = cell.i;
+        gf[idx] = cell.f;
+        gg[idx] = cell.g;
+        go[idx] = cell.o;
+        ct[idx] = cell.c;
+        ct_tanh[idx] = cell.tc;
+        ht[idx] = cell.h;
+        out[(b * hidden_ + h) * l + t] = cell.h;
       }
     }
     gate_i_[static_cast<std::size_t>(t)] = std::move(gi);
@@ -95,6 +112,94 @@ Tensor Lstm::forward(const Tensor& x) {
     hidden_seq_[static_cast<std::size_t>(t)] = ht;
     h_prev = std::move(ht);
     c_prev = std::move(ct);
+  }
+  return out;
+}
+
+Tensor Lstm::forward_inference(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(1) == input_,
+        "Lstm expected [N, " + std::to_string(input_) + ", L], got " +
+            shape_to_string(x.shape()));
+  const Index n = x.dim(0);
+  const Index l = x.dim(2);
+
+  // Rolling state only: two h/c double buffers for the whole call, no
+  // per-step cache tensors.
+  Tensor h_prev({n, hidden_});
+  Tensor c_prev({n, hidden_});
+  Tensor h_cur({n, hidden_});
+  Tensor c_cur({n, hidden_});
+  Tensor out({n, hidden_, l});
+
+  const float* pwi = w_ih_.value.data();
+  const float* pwh = w_hh_.value.data();
+  const float* pb = bias_.value.data();
+  const float* px = x.data();
+
+  if (n == 1) {
+    // Single row: the blocked kernel below has nothing to interleave and its
+    // array-backed accumulators only add overhead; run the rolling per-unit
+    // loop (same lstm_cell arithmetic, so identical bits either way).
+    const float* xb = px;
+    for (Index t = 0; t < l; ++t) {
+      for (Index h = 0; h < hidden_; ++h) {
+        const LstmCell cell =
+            lstm_cell(h, hidden_, input_, pwi, pwh, pb, xb, l, t, h_prev.data(), c_prev[h]);
+        h_cur[h] = cell.h;
+        c_cur[h] = cell.c;
+        out[h * l + t] = cell.h;
+      }
+      std::swap(h_prev, h_cur);
+      std::swap(c_prev, c_cur);
+    }
+    return out;
+  }
+
+  // The gate pre-activation of one unit is a serial double-accumulate chain,
+  // so a single row runs at FMA latency, not throughput. Interleaving a block
+  // of R batch rows keeps R independent chains in flight per weight load —
+  // the batched win — while every row still accumulates bias, then w_ih in
+  // channel order, then w_hh in unit order, exactly like lstm_cell, so the
+  // scores stay bit-identical to the sequential path.
+  constexpr Index R = 8;
+  double pre[4][R];
+
+  for (Index t = 0; t < l; ++t) {
+    for (Index b0 = 0; b0 < n; b0 += R) {
+      const Index bn = std::min<Index>(R, n - b0);
+      for (Index h = 0; h < hidden_; ++h) {
+        for (int g = 0; g < 4; ++g) {
+          const Index row = g * hidden_ + h;
+          const float* wi = pwi + row * input_;
+          const float* wh = pwh + row * hidden_;
+          for (Index r = 0; r < bn; ++r) pre[g][r] = pb[row];
+          for (Index c = 0; c < input_; ++c) {
+            const double wv = wi[c];
+            for (Index r = 0; r < bn; ++r)
+              pre[g][r] += wv * px[((b0 + r) * input_ + c) * l + t];
+          }
+          for (Index k = 0; k < hidden_; ++k) {
+            const double wv = wh[k];
+            for (Index r = 0; r < bn; ++r)
+              pre[g][r] += wv * h_prev[(b0 + r) * hidden_ + k];
+          }
+        }
+        for (Index r = 0; r < bn; ++r) {
+          const Index idx = (b0 + r) * hidden_ + h;
+          const float i = sigmoid(static_cast<float>(pre[0][r]));
+          const float f = sigmoid(static_cast<float>(pre[1][r]));
+          const float g = std::tanh(static_cast<float>(pre[2][r]));
+          const float o = sigmoid(static_cast<float>(pre[3][r]));
+          const float c = f * c_prev[idx] + i * g;
+          const float tc = std::tanh(c);
+          c_cur[idx] = c;
+          h_cur[idx] = o * tc;
+          out[idx * l + t] = h_cur[idx];
+        }
+      }
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(c_prev, c_cur);
   }
   return out;
 }

@@ -143,6 +143,25 @@ Tensor DecisionTreeRegressor::predict(const Tensor& x) const {
   return out;
 }
 
+void DecisionTreeRegressor::accumulate_rows(const float* x, Index n, Index d, double scale,
+                                            double* acc) const {
+  // Branch-then-fail (not check()) so the hot path — one call per tree per
+  // batch — never constructs message strings.
+  if (!fitted()) fail("predict on unfitted tree");
+  if (d != n_features_)
+    fail("accumulate_rows expects ", n_features_, " features, got ", d);
+  const Node* nodes = nodes_.data();
+  for (Index i = 0; i < n; ++i) {
+    const float* sample = x + i * d;
+    int id = 0;
+    while (nodes[id].feature >= 0) {
+      const Node& nd = nodes[id];
+      id = sample[nd.feature] <= nd.threshold ? nd.left : nd.right;
+    }
+    acc[i] += scale * nodes[id].value;
+  }
+}
+
 int DecisionTreeRegressor::depth() const {
   if (nodes_.empty()) return 0;
   // Iterative depth computation over the flat array; depth counts edges from

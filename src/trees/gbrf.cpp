@@ -69,8 +69,20 @@ Tensor GradientBoostedRegressor::predict(const Tensor& x) const {
   check(x.rank() == 2, "predict expects [n, d]");
   const Index n = x.dim(0);
   Tensor out({n});
-  for (Index i = 0; i < n; ++i) out[i] = predict_one(x.data() + i * x.dim(1));
+  predict_rows(x.data(), n, x.dim(1), out.data());
   return out;
+}
+
+void GradientBoostedRegressor::predict_rows(const float* x, Index n, Index d, float* out,
+                                            Index out_stride) const {
+  check(fitted_, "GBRF predict before fit");
+  // Tree-major traversal with one double accumulator per row: every row sums
+  // base + lr * tree_0 + lr * tree_1 + ... exactly as predict_one does.
+  std::vector<double> acc(static_cast<std::size_t>(n), static_cast<double>(base_));
+  for (const auto& tree : trees_)
+    tree.accumulate_rows(x, n, d, static_cast<double>(config_.learning_rate), acc.data());
+  for (Index i = 0; i < n; ++i)
+    out[i * out_stride] = static_cast<float>(acc[static_cast<std::size_t>(i)]);
 }
 
 MultiOutputGbrf::MultiOutputGbrf(GbrfConfig config) : config_(config) {}
@@ -104,13 +116,13 @@ Tensor MultiOutputGbrf::predict_one(const Tensor& sample) const {
 
 Tensor MultiOutputGbrf::predict(const Tensor& x) const {
   check(fitted(), "MultiOutputGbrf predict before fit");
+  check(x.rank() == 2, "predict expects [n, d]");
   const Index n = x.dim(0);
   const Index m = n_outputs();
   Tensor out({n, m});
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < m; ++j)
-      out[i * m + j] = models_[static_cast<std::size_t>(j)].predict_one(x.data() + i * x.dim(1));
-  }
+  // One tree-major sweep per output ensemble, writing its column of [n, m].
+  for (Index j = 0; j < m; ++j)
+    models_[static_cast<std::size_t>(j)].predict_rows(x.data(), n, x.dim(1), out.data() + j, m);
   return out;
 }
 

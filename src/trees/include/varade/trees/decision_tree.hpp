@@ -38,6 +38,12 @@ class DecisionTreeRegressor {
   /// Predicts all rows of X [n, d] into a [n] tensor.
   Tensor predict(const Tensor& x) const;
 
+  /// acc[i] += scale * prediction of row i, for `n` rows of `d` features at
+  /// `x` — the boosting-stage accumulation, one call per tree per batch. Each
+  /// row's contribution is the same scale * predict_one product, so batched
+  /// ensemble predictions stay bit-identical to the per-row path.
+  void accumulate_rows(const float* x, Index n, Index d, double scale, double* acc) const;
+
   bool fitted() const { return !nodes_.empty(); }
   int depth() const;
   std::size_t node_count() const { return nodes_.size(); }

@@ -34,6 +34,13 @@ class GradientBoostedRegressor {
   float predict_one(const Tensor& sample) const;
   Tensor predict(const Tensor& x) const;
 
+  /// Batched prediction over `n` rows of `d` features at `x`, writing row i's
+  /// prediction to out[i * out_stride]. Traverses tree-major — each tree's
+  /// nodes stay hot across all rows — but accumulates per row in the same
+  /// (base, tree 0, tree 1, ...) order as predict_one, so results are
+  /// bit-identical.
+  void predict_rows(const float* x, Index n, Index d, float* out, Index out_stride = 1) const;
+
   bool fitted() const { return fitted_; }
   int n_trees() const { return static_cast<int>(trees_.size()); }
   float base_prediction() const { return base_; }

@@ -1,0 +1,244 @@
+// Fuzzing harness for the batched scoring contract.
+//
+// Now that all six detectors implement a native score_batch, this suite pins
+// the contract the batched frontends (score_series, threshold calibration,
+// serve::ScoringEngine) depend on, against seeded-random inputs rather than
+// the well-behaved series the other parity suites use:
+//  1. score_batch == score_step to the last bit at batch sizes
+//     {1, 2, 5, 31, 64, 257} on random contexts/observations;
+//  2. the same parity holds after clone_fitted() (replicas share no state
+//     with the original, so a drifting copy would surface here);
+//  3. edge cases of the native paths: B = 0 is a no-op, a mismatched channel
+//     count and a context shorter than the window throw with the
+//     "expects N ... got M" wording.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "varade/core/profiles.hpp"
+#include "varade/data/normalize.hpp"
+
+namespace varade::core {
+namespace {
+
+constexpr Index kChannels = 3;
+
+data::MultivariateSeries make_sine(Index length, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MultivariateSeries s(kChannels);
+  std::vector<float> row(static_cast<std::size_t>(kChannels));
+  for (Index t = 0; t < length; ++t) {
+    for (Index c = 0; c < kChannels; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
+          rng.normal(0.0F, 0.03F);
+    }
+    s.append(row);
+  }
+  return s;
+}
+
+/// Tiny-footprint configurations of all six detectors (fit must stay fast;
+/// the scoring contract under test is size-independent).
+Profile tiny_profile() {
+  Profile p = repro_profile();
+  p.varade.window = 16;
+  p.varade.base_channels = 8;
+  p.varade.epochs = 2;
+  p.varade.learning_rate = 1e-3F;
+  p.varade.train_stride = 4;
+
+  p.ar_lstm.window = 16;
+  p.ar_lstm.hidden = 8;
+  p.ar_lstm.n_layers = 2;  // two stacked LSTMs so the batched path chains
+  p.ar_lstm.epochs = 1;
+  p.ar_lstm.learning_rate = 1e-3F;
+  p.ar_lstm.train_stride = 8;
+
+  p.gbrf.window = 16;
+  p.gbrf.feature_steps = 4;
+  p.gbrf.forest.n_trees = 5;
+  p.gbrf.forest.tree.max_depth = 3;
+
+  p.ae.window = 16;
+  p.ae.base_channels = 8;
+  p.ae.epochs = 1;
+  p.ae.learning_rate = 1e-3F;
+  p.ae.train_stride = 8;
+
+  p.knn.max_reference_points = 400;
+  p.iforest.forest.n_trees = 25;
+  p.iforest.forest.subsample = 64;
+  return p;
+}
+
+/// All six detectors fitted once on a shared synthetic recording (fitting
+/// dominates the runtime of this binary; every test only scores).
+struct DetectorRig {
+  data::MultivariateSeries train_raw = make_sine(600, 1);
+  data::MinMaxNormalizer normalizer;
+  data::MultivariateSeries train;
+  Profile profile = tiny_profile();
+  std::vector<std::unique_ptr<AnomalyDetector>> detectors;
+
+  DetectorRig() {
+    normalizer.fit(train_raw);
+    train = normalizer.transform(train_raw);
+    for (const std::string& name : detector_names()) {
+      detectors.push_back(make_detector(profile, name));
+      detectors.back()->fit(train);
+    }
+  }
+};
+
+DetectorRig& rig() {
+  static DetectorRig* r = new DetectorRig();
+  return *r;
+}
+
+const std::vector<Index>& fuzz_batch_sizes() {
+  static const std::vector<Index> sizes = {1, 2, 5, 31, 64, 257};
+  return sizes;
+}
+
+/// Seeded-random (contexts, observations) in roughly the normalised data
+/// range, with occasional out-of-range excursions so the fuzz also covers
+/// values the detectors never trained on.
+void random_pairs(Index rows, Index window, std::uint64_t seed, Tensor& contexts,
+                  Tensor& observed) {
+  Rng rng(seed);
+  contexts = Tensor({rows, kChannels, window});
+  for (Index i = 0; i < contexts.numel(); ++i)
+    contexts[i] = rng.bernoulli(0.05) ? rng.normal(0.0F, 3.0F) : rng.uniform(0.0F, 1.0F);
+  observed = Tensor({rows, kChannels});
+  for (Index i = 0; i < observed.numel(); ++i)
+    observed[i] = rng.bernoulli(0.05) ? rng.normal(0.0F, 3.0F) : rng.uniform(0.0F, 1.0F);
+}
+
+/// score_step row by row — the sequential reference the batch must match.
+std::vector<float> sequential_scores(AnomalyDetector& detector, const Tensor& contexts,
+                                     const Tensor& observed) {
+  const Index rows = contexts.dim(0);
+  const Index window = contexts.dim(2);
+  std::vector<float> out(static_cast<std::size_t>(rows));
+  Tensor context({kChannels, window});
+  Tensor sample({kChannels});
+  for (Index r = 0; r < rows; ++r) {
+    std::memcpy(context.data(), contexts.data() + r * kChannels * window,
+                static_cast<std::size_t>(kChannels * window) * sizeof(float));
+    std::memcpy(sample.data(), observed.data() + r * kChannels,
+                static_cast<std::size_t>(kChannels) * sizeof(float));
+    out[static_cast<std::size_t>(r)] = detector.score_step(context, sample);
+  }
+  return out;
+}
+
+/// Bitwise float comparison: EXPECT_EQ would accept -0.0f == 0.0f and reject
+/// identical NaNs; the contract is "the same bits".
+void expect_bit_equal(const std::vector<float>& got, const std::vector<float>& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint32_t g = 0;
+    std::uint32_t w = 0;
+    std::memcpy(&g, &got[i], sizeof(g));
+    std::memcpy(&w, &want[i], sizeof(w));
+    EXPECT_EQ(g, w) << label << " row " << i << " (" << got[i] << " vs " << want[i] << ")";
+  }
+}
+
+TEST(ScoreBatchFuzz, RandomContextsMatchScoreStepToTheLastBit) {
+  std::uint64_t seed = 1000;
+  for (auto& detector : rig().detectors) {
+    const Index window = detector->context_window();
+    for (const Index batch : fuzz_batch_sizes()) {
+      Tensor contexts;
+      Tensor observed;
+      random_pairs(batch, window, seed++, contexts, observed);
+      const std::vector<float> reference = sequential_scores(*detector, contexts, observed);
+      std::vector<float> scores(static_cast<std::size_t>(batch), -1.0F);
+      detector->score_batch(contexts, observed, scores.data());
+      expect_bit_equal(scores, reference,
+                       detector->name() + " batch " + std::to_string(batch));
+    }
+  }
+}
+
+TEST(ScoreBatchFuzz, ClonedReplicasKeepBitParityOnRandomContexts) {
+  std::uint64_t seed = 5000;
+  for (auto& detector : rig().detectors) {
+    const std::unique_ptr<AnomalyDetector> clone = detector->clone_fitted();
+    ASSERT_NE(clone, nullptr) << detector->name();
+    const Index window = detector->context_window();
+    for (const Index batch : fuzz_batch_sizes()) {
+      Tensor contexts;
+      Tensor observed;
+      random_pairs(batch, window, seed++, contexts, observed);
+      const std::vector<float> reference = sequential_scores(*detector, contexts, observed);
+      std::vector<float> scores(static_cast<std::size_t>(batch), -1.0F);
+      clone->score_batch(contexts, observed, scores.data());
+      expect_bit_equal(scores, reference,
+                       detector->name() + " clone batch " + std::to_string(batch));
+    }
+  }
+}
+
+TEST(ScoreBatchEdgeCases, EmptyBatchIsANoOpForEveryDetector) {
+  for (auto& detector : rig().detectors) {
+    const Index window = detector->context_window();
+    float sentinel = 42.0F;
+    EXPECT_NO_THROW(detector->score_batch(Tensor({0, kChannels, window}),
+                                          Tensor({0, kChannels}), &sentinel))
+        << detector->name();
+    EXPECT_EQ(sentinel, 42.0F) << detector->name() << " wrote past an empty batch";
+  }
+}
+
+TEST(ScoreBatchEdgeCases, MismatchedChannelCountThrowsWithExpectsGotWording) {
+  for (auto& detector : rig().detectors) {
+    const Index window = detector->context_window();
+    std::vector<float> out(2);
+    const Tensor contexts({2, kChannels + 2, window});
+    const Tensor observed({2, kChannels + 2});
+    const std::string name = detector->name();
+    try {
+      detector->score_batch(contexts, observed, out.data());
+      FAIL() << name << " did not throw";
+    } catch (const Error& e) {
+      // The native baseline paths report the mismatch in the shared
+      // "expects N channels, got M" wording introduced by kNN/IForest
+      // (VARADE rejects the shape in its model forward instead).
+      if (name != "VARADE") {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("expects 3 channels, got 5"), std::string::npos)
+            << name << " message: " << message;
+      }
+    }
+  }
+}
+
+TEST(ScoreBatchEdgeCases, ContextShorterThanWindowThrowsWithExpectsGotWording) {
+  for (auto& detector : rig().detectors) {
+    const Index window = detector->context_window();
+    std::vector<float> out(2);
+    const Tensor contexts({2, kChannels, window - 1});
+    const Tensor observed({2, kChannels});
+    try {
+      detector->score_batch(contexts, observed, out.data());
+      FAIL() << detector->name() << " did not throw";
+    } catch (const Error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("expects context length " + std::to_string(window) + ", got " +
+                             std::to_string(window - 1)),
+                std::string::npos)
+          << detector->name() << " message: " << message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace varade::core
