@@ -11,10 +11,15 @@
 // overrides and clone_fitted replicas, so every one benefits from batching
 // and sharding.
 //
+// --async additionally replays the streams through the AsyncScoringRuntime
+// (N concurrent producer threads pushing into lock-free per-stream rings, one
+// background scoring thread draining them) and reports end-to-end samples/s
+// against the same sequential baseline, score-checksum-verified.
+//
 // --json <path> writes the per-detector sequential vs. batched samples/s as a
 // machine-readable record (the repo's BENCH_*.json perf trajectory points).
 //
-// Usage: bench_serve_throughput [--quick] [--streams N] [--samples N]
+// Usage: bench_serve_throughput [--quick] [--async] [--streams N] [--samples N]
 //                               [--detector <name>|all] [--json <path>]
 #include <chrono>
 #include <cmath>
@@ -29,6 +34,7 @@
 #include "varade/core/monitor.hpp"
 #include "varade/core/profiles.hpp"
 #include "varade/data/window.hpp"
+#include "varade/serve/runtime.hpp"
 #include "varade/serve/scoring_engine.hpp"
 
 namespace {
@@ -99,6 +105,9 @@ struct BenchResult {
   double base_samples_per_s = 0.0;  // sequential OnlineMonitor
   double best_samples_per_s = 0.0;  // best engine configuration
   std::string best_config;
+  // Async ingestion runtime (--async only; 0 when not measured).
+  double async_samples_per_s = 0.0;  // best async configuration
+  std::string async_config;
 };
 
 constexpr Index kScoreChunk = 64;
@@ -167,13 +176,56 @@ void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateS
               result.batched_samples_per_s / result.seq_samples_per_s);
 }
 
+/// Replays the streams through the AsyncScoringRuntime with `n_producers`
+/// concurrent producer threads (streams round-robin across producers, one
+/// producer per stream) and one background scoring thread; returns wall-clock
+/// seconds from first push to close() (which drains the backlog). The score
+/// checksum is accumulated on the scoring thread via the callback.
+double bench_async_once(core::AnomalyDetector& detector,
+                        const data::MinMaxNormalizer& normalizer, float threshold,
+                        const std::vector<data::MultivariateSeries>& streams,
+                        Index n_samples, int n_producers, double& checksum_out) {
+  const auto n_streams = static_cast<Index>(streams.size());
+  serve::AsyncRuntimeConfig cfg;
+  cfg.engine = {.n_threads = 1, .max_batch = 32, .shard_forward = true};
+  cfg.ring_capacity = 1024;
+  cfg.backpressure = serve::BackpressurePolicy::Block;
+  serve::AsyncScoringRuntime runtime(detector, normalizer, cfg);
+  runtime.add_streams(n_streams);
+  runtime.set_threshold(threshold);
+  double checksum = 0.0;  // scoring-thread-only until close() joins
+  runtime.on_score([&checksum](const serve::StreamScore& r) { checksum += r.score; });
+  runtime.start();
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < n_producers; ++p) {
+    producers.emplace_back([&, p] {
+      for (Index t = 0; t < n_samples; ++t) {
+        for (Index s = p; s < n_streams; s += n_producers) {
+          const auto r = runtime.push(s, streams[static_cast<std::size_t>(s)].sample(t));
+          if (r == serve::PushResult::Rejected) {
+            std::fprintf(stderr, "FATAL: Block push rejected mid-run\n");
+            std::exit(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  runtime.close();  // drains the backlog: part of the measured work
+  const double secs = seconds_since(start);
+  checksum_out = checksum;
+  return secs;
+}
+
 /// Runs the baseline + engine grid for one fitted detector; returns the
 /// throughput summary. Exits the process on a checksum mismatch.
 BenchResult bench_detector(core::AnomalyDetector& detector,
                            const data::MinMaxNormalizer& normalizer,
                            const data::MultivariateSeries& train,
                            const std::vector<data::MultivariateSeries>& streams,
-                           Index n_samples) {
+                           Index n_samples, bool run_async) {
   const auto n_streams = static_cast<Index>(streams.size());
   const long total = static_cast<long>(n_streams) * static_cast<long>(n_samples);
 
@@ -249,6 +301,30 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
     }
   }
   std::printf("all engine configurations matched the sequential checksum\n");
+  if (run_async) {
+    for (const int producers : {1, 2, 4}) {
+      if (static_cast<Index>(producers) > n_streams) break;
+      double checksum = 0.0;
+      const double secs = bench_async_once(detector, normalizer, threshold, streams, n_samples,
+                                           producers, checksum);
+      const double samples_per_s = static_cast<double>(total) / secs;
+      char label[64];
+      std::snprintf(label, sizeof(label), "async runtime  producers=%d", producers);
+      std::printf("%-34s %10.3f %12.0f %8.2fx   (lock-free rings, %s, 1 scorer)\n", label,
+                  secs, samples_per_s, base_s / secs,
+                  serve::to_string(serve::BackpressurePolicy::Block));
+      if (samples_per_s > result.async_samples_per_s) {
+        result.async_samples_per_s = samples_per_s;
+        result.async_config = label;
+      }
+      if (std::abs(checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
+        std::fprintf(stderr, "FATAL: %s async checksum mismatch vs baseline (%.9g vs %.9g)\n",
+                     detector.name().c_str(), checksum, checksum_base);
+        std::exit(1);
+      }
+    }
+    std::printf("all async configurations matched the sequential checksum\n");
+  }
   return result;
 }
 
@@ -269,16 +345,17 @@ void write_json(const std::string& path, Index n_streams, Index n_samples,
   f << "  \"detectors\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    char line[512];
+    char line[640];
     std::snprintf(line, sizeof(line),
                   "    {\"detector\": \"%s\", \"sequential_samples_per_s\": %.1f, "
                   "\"batched_samples_per_s\": %.1f, \"batched_speedup\": %.3f, "
                   "\"monitor_samples_per_s\": %.1f, \"engine_best_samples_per_s\": %.1f, "
-                  "\"engine_best_config\": \"%s\"}%s\n",
+                  "\"engine_best_config\": \"%s\", \"async_samples_per_s\": %.1f, "
+                  "\"async_config\": \"%s\"}%s\n",
                   r.detector.c_str(), r.seq_samples_per_s, r.batched_samples_per_s,
                   r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
-                  r.best_samples_per_s, r.best_config.c_str(),
-                  i + 1 < results.size() ? "," : "");
+                  r.best_samples_per_s, r.best_config.c_str(), r.async_samples_per_s,
+                  r.async_config.c_str(), i + 1 < results.size() ? "," : "");
     f << line;
   }
   f << "  ]\n}\n";
@@ -296,10 +373,13 @@ int main(int argc, char** argv) {
   Index n_samples = 2000;
   std::string detector_arg = "VARADE";
   std::string json_path;
+  bool run_async = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       n_streams = 8;
       n_samples = 400;
+    } else if (std::strcmp(argv[a], "--async") == 0) {
+      run_async = true;
     } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
       n_streams = std::atol(argv[++a]);
     } else if (std::strcmp(argv[a], "--samples") == 0 && a + 1 < argc) {
@@ -310,8 +390,8 @@ int main(int argc, char** argv) {
       json_path = argv[++a];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--streams N] [--samples N] [--detector <name>|all]"
-                   " [--json <path>]\n"
+                   "usage: %s [--quick] [--async] [--streams N] [--samples N]"
+                   " [--detector <name>|all] [--json <path>]\n"
                    "detectors: all",
                    argv[0]);
       for (const std::string& name : core::detector_names())
@@ -353,17 +433,23 @@ int main(int argc, char** argv) {
     const std::unique_ptr<core::AnomalyDetector> detector =
         core::make_detector(profile, name);  // throws on an unknown name
     detector->fit(train);
-    results.push_back(bench_detector(*detector, normalizer, train, streams, n_samples));
+    results.push_back(bench_detector(*detector, normalizer, train, streams, n_samples, run_async));
   }
 
   if (results.size() > 1) {
-    std::printf("\n%-20s %14s %14s %8s %14s %14s\n", "detector", "step s/s", "batch s/s",
-                "speedup", "monitor s/s", "best engine s/s");
-    for (const BenchResult& r : results)
-      std::printf("%-20s %14.0f %14.0f %7.2fx %14.0f %14.0f\n", r.detector.c_str(),
+    std::printf("\n%-20s %14s %14s %8s %14s %14s %14s\n", "detector", "step s/s", "batch s/s",
+                "speedup", "monitor s/s", "best engine s/s", "best async s/s");
+    for (const BenchResult& r : results) {
+      std::printf("%-20s %14.0f %14.0f %7.2fx %14.0f %14.0f ", r.detector.c_str(),
                   r.seq_samples_per_s, r.batched_samples_per_s,
                   r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
                   r.best_samples_per_s);
+      if (run_async) {
+        std::printf("%14.0f\n", r.async_samples_per_s);
+      } else {
+        std::printf("%14s\n", "-");  // not measured without --async
+      }
+    }
   }
   if (!json_path.empty()) write_json(json_path, n_streams, n_samples, results);
   std::printf("\nDone.\n");

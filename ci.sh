@@ -11,6 +11,11 @@
 # (RelWithDebInfo, VARADE_SANITIZE=ON, separate build-asan tree) and runs the
 # parity label — the batched gathers and native score_batch paths of all six
 # detectors, including the fuzz suite, memory-checked.
+#
+# --tsan builds under ThreadSanitizer (VARADE_TSAN=ON, separate build-tsan
+# tree) and runs the concurrency label — the thread pool and the async
+# ingestion runtime (lock-free rings, backpressure, multi-producer parity)
+# race-checked.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -37,6 +42,25 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--tsan" ]]; then
+  BUILD_DIR="build-tsan"
+  echo "== configure (TSan, RelWithDebInfo) =="
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVARADE_TSAN=ON \
+    -DVARADE_BUILD_BENCH=OFF \
+    -DVARADE_BUILD_EXAMPLES=OFF
+
+  echo "== build (-j$JOBS) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+  echo "== test (concurrency label under ThreadSanitizer) =="
+  ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure -j "$JOBS"
+
+  echo "CI OK (tsan)"
+  exit 0
+fi
+
 echo "== configure (Release preset) =="
 cmake --preset default
 
@@ -56,8 +80,8 @@ ctest --preset fast
 echo "== test (parity label: batched == sequential, all six detectors) =="
 ctest --test-dir "$BUILD_DIR" -L parity --output-on-failure -j "$JOBS"
 
-echo "== smoke: serve throughput bench (quick, all six detectors) =="
+echo "== smoke: serve throughput bench (quick, all six detectors, async runtime) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
-"$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all
+"$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all --async
 
 echo "CI OK"

@@ -81,7 +81,9 @@ void ArLstmDetector::fit(const data::MultivariateSeries& train) {
 Tensor ArLstmDetector::forecast(const Tensor& context) {
   check(fitted(), "AR-LSTM forecast before fit");
   const Tensor batch = context.reshaped({1, context.dim(0), context.dim(1)});
-  return model_->forward(batch).reshaped({n_channels_});
+  // Inference-only forward: identical arithmetic to forward(), no activation
+  // caches — keeps score_step bit-identical while skipping the tape.
+  return model_->forward_inference(batch).reshaped({n_channels_});
 }
 
 float ArLstmDetector::score_step(const Tensor& context, const Tensor& observed) {

@@ -88,7 +88,9 @@ void AutoencoderDetector::fit(const data::MultivariateSeries& train) {
 Tensor AutoencoderDetector::reconstruct(const Tensor& window) {
   check(fitted(), "AE reconstruct before fit");
   const Tensor batch = window.reshaped({1, window.dim(0), window.dim(1)});
-  return model_->forward(batch).reshaped(window.shape());
+  // Inference-only forward: identical arithmetic to forward(), no activation
+  // caches — keeps score_step bit-identical while skipping the tape.
+  return model_->forward_inference(batch).reshaped(window.shape());
 }
 
 float AutoencoderDetector::window_reconstruction_error(const Tensor& window) {

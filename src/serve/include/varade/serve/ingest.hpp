@@ -1,0 +1,97 @@
+// Lock-free bounded sample rings: the ingestion side of the async serving
+// runtime.
+//
+// Each stream owns one SampleRing — a bounded, power-of-two-capacity ring of
+// fixed-width float samples with cache-line-padded head/tail positions. The
+// slot-sequence protocol (Vyukov bounded queue) makes push and pop both
+// CAS-claimed and wait-free of each other, so:
+//   - a producer thread can push while the scoring thread pops (the SPSC
+//     serving contract: one producer per stream preserves that producer's
+//     order exactly, which is what the runtime's determinism guarantee is
+//     built on);
+//   - several producers may share a stream without corruption (their relative
+//     interleaving is then scheduler-defined, as for any concurrent stream);
+//   - the DropOldest backpressure policy can evict from the producer side
+//     (a second concurrent popper) without a lock.
+//
+// No mutex is taken anywhere in this header; full/empty are communicated by
+// try_push/try_pop return values and mapped to a BackpressurePolicy by the
+// AsyncScoringRuntime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::serve {
+
+/// What AsyncScoringRuntime::push does when the stream's ring is full.
+enum class BackpressurePolicy {
+  Block,       ///< wait (escalating backoff) until the scorer frees a slot
+  DropOldest,  ///< evict the oldest buffered sample to make room
+  Reject,      ///< give up immediately; the sample is not enqueued
+};
+
+/// Outcome of one AsyncScoringRuntime::push call.
+enum class PushResult {
+  Ok,             ///< enqueued
+  DroppedOldest,  ///< enqueued after evicting at least one older sample
+  Rejected,       ///< NOT enqueued (full under Reject, or the runtime closed)
+};
+
+const char* to_string(BackpressurePolicy policy);
+const char* to_string(PushResult result);
+
+/// Bounded lock-free ring of fixed-width float samples.
+class SampleRing {
+ public:
+  /// `channels` floats per sample; `min_capacity` samples, rounded up to the
+  /// next power of two (capacity() reports the actual value).
+  SampleRing(Index channels, Index min_capacity);
+
+  SampleRing(const SampleRing&) = delete;
+  SampleRing& operator=(const SampleRing&) = delete;
+
+  Index channels() const { return channels_; }
+  Index capacity() const { return static_cast<Index>(mask_ + 1); }
+
+  /// Copies `channels()` floats into the ring. Returns false when full.
+  /// Safe to call concurrently with try_pop and with other try_push callers.
+  bool try_push(const float* sample);
+
+  /// Copies the oldest sample into `out` (`channels()` floats). Returns false
+  /// when empty. Safe to call concurrently with try_push and other poppers.
+  bool try_pop(float* out);
+
+  /// Discards the oldest sample. Returns false when empty.
+  bool try_pop_discard();
+
+  /// Snapshot of the number of buffered samples; exact only while quiescent.
+  Index size_approx() const;
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  // One sequence ticket per slot. seq == pos     : slot free, push may claim.
+  //                               seq == pos + 1 : slot full, pop may claim.
+  // Push publishes data with a release store of pos + 1; pop recycles the
+  // slot for the next lap with pos + capacity.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+  };
+  static constexpr std::size_t kCacheLine = 64;
+
+  bool claim_pop(std::uint64_t& pos_out);
+
+  Index channels_ = 0;
+  std::uint64_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<float> data_;  // capacity * channels floats, slot-major
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // next push position
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // next pop position
+};
+
+}  // namespace varade::serve

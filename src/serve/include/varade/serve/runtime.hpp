@@ -1,0 +1,202 @@
+// Async scoring runtime: a self-driving frontend over the ScoringEngine.
+//
+// The synchronous ScoringEngine contract requires push() and step() to be
+// externally serialised, so producers and the scorer cannot overlap. The
+// AsyncScoringRuntime removes that cap: each stream gets a bounded lock-free
+// SampleRing (ingest.hpp), producers push raw samples from arbitrary threads
+// with a per-call backpressure policy, and one background scoring thread
+// drains the rings round-robin into the engine's push()/step() loop. Scores
+// flow out either through a polling drain_scores() result queue or a user
+// callback (invoked on the scoring thread).
+//
+// Determinism: the scoring thread is the only thread that touches the engine,
+// and each ring preserves its producers' push order. With one producer per
+// stream (the serving contract), every stream's samples therefore reach the
+// engine in exactly the order they were pushed, and the engine's own parity
+// guarantee (score_batch == score_step, bit for bit) does the rest: scores
+// and alarm events are bit-identical to a synchronous ScoringEngine — or one
+// OnlineMonitor per stream — fed the same samples, regardless of producer
+// timing, ring capacity, or how the scorer's rounds happen to batch.
+//
+// Lifecycle: add_streams() / calibrate() / on_score() before start();
+// push() + drain_scores() while running; close() stops intake (in-flight
+// pushes still land), drains every ring to empty, joins the scoring thread,
+// and is idempotent. Every push that returned Ok or DroppedOldest is
+// guaranteed scored by the time close() returns — unless the scoring thread
+// itself died on an exception, in which case still-buffered samples are
+// abandoned and the first close() rethrows the failure.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "varade/serve/ingest.hpp"
+#include "varade/serve/scoring_engine.hpp"
+
+namespace varade::serve {
+
+struct AsyncRuntimeConfig {
+  /// Configuration of the inner ScoringEngine the runtime owns and drives.
+  ScoringEngineConfig engine;
+  /// Per-stream ring capacity in samples; rounded up to a power of two.
+  Index ring_capacity = 1024;
+  /// Policy applied by the two-argument push(); per-call overload overrides.
+  BackpressurePolicy backpressure = BackpressurePolicy::Block;
+  /// Empty polling rounds before the scoring thread naps between wakeups.
+  int idle_spin_rounds = 64;
+};
+
+/// Per-stream ingestion counters (monotonic; sampled while running they are
+/// a consistent snapshot per counter, not across counters).
+struct IngestStats {
+  long pushed = 0;    ///< samples accepted into the ring (Ok + DroppedOldest)
+  long dropped = 0;   ///< older samples evicted by DropOldest pushes
+  long rejected = 0;  ///< pushes refused (Reject on full, or runtime closed)
+};
+
+class AsyncScoringRuntime {
+ public:
+  /// Same borrow contract as ScoringEngine: detector fitted, normalizer
+  /// fitted, both outlive the runtime.
+  AsyncScoringRuntime(core::AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+                      AsyncRuntimeConfig config = {});
+  ~AsyncScoringRuntime();  // close()s if still running
+
+  AsyncScoringRuntime(const AsyncScoringRuntime&) = delete;
+  AsyncScoringRuntime& operator=(const AsyncScoringRuntime&) = delete;
+
+  /// Stream registration; only before start().
+  Index add_stream();
+  Index add_streams(Index n);
+  Index n_streams() const { return engine_.n_streams(); }
+
+  /// Threshold setup (forwarded to the engine); only before start().
+  void calibrate(const data::MultivariateSeries& train);
+  void set_threshold(float threshold);
+  float threshold() const { return engine_.threshold(); }
+
+  /// Registers a callback invoked on the scoring thread for every score, in
+  /// the engine's emission order. When set, scores are NOT queued for
+  /// drain_scores(). Only before start().
+  void on_score(std::function<void(const StreamScore&)> callback);
+
+  /// Launches the background scoring thread. Requires >= 1 stream and a
+  /// calibrated threshold.
+  void start();
+
+  /// Enqueues one raw sample for `stream` under the config's (or the given)
+  /// backpressure policy. Thread-safe against any other push and the scorer;
+  /// one producer per stream keeps that stream's order (see header comment).
+  /// After close() begins, returns Rejected without enqueueing. Block-policy
+  /// pushes also unblock with Rejected when the runtime closes under them.
+  PushResult push(Index stream, const float* raw_sample);
+  PushResult push(Index stream, const float* raw_sample, BackpressurePolicy policy);
+  PushResult push(Index stream, const std::vector<float>& raw_sample);
+  PushResult push(Index stream, const std::vector<float>& raw_sample, BackpressurePolicy policy);
+
+  /// Moves out every score produced since the last call (empty when a
+  /// callback is registered). Callable from any one consumer thread, during
+  /// operation and after close().
+  std::vector<StreamScore> drain_scores();
+
+  /// Stops intake, waits for in-flight pushes, drains every ring to empty,
+  /// scores the remainder, and joins the scoring thread. Idempotent. If the
+  /// scoring thread died on an exception, the first close() rethrows it
+  /// (the destructor swallows it instead).
+  void close();
+
+  bool started() const { return started_.load(std::memory_order_acquire); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Per-stream ingestion counters; valid any time.
+  IngestStats stats(Index stream) const;
+  /// Scoring rounds (drain + engine step) the background thread has run.
+  long rounds() const { return rounds_.load(std::memory_order_relaxed); }
+
+  /// Per-stream results, forwarded to the engine. Quiescent-only: callable
+  /// before start() or after close() — while the scorer is running they
+  /// would race with it, so they throw instead.
+  bool in_alarm(Index stream) const;
+  const std::vector<core::AnomalyEvent>& events(Index stream) const;
+  Index samples_seen(Index stream) const;
+
+  /// The owned engine, for quiescent inspection (same caveat as above).
+  const ScoringEngine& engine() const;
+
+  const AsyncRuntimeConfig& config() const { return config_; }
+
+ private:
+  struct StreamIngest {
+    explicit StreamIngest(Index channels, Index capacity) : ring(channels, capacity) {}
+    SampleRing ring;
+    std::atomic<long> pushed{0};
+    std::atomic<long> dropped{0};
+    std::atomic<long> rejected{0};
+    /// Pushes currently inside this stream's intake gate (see below).
+    std::atomic<int> active_pushers{0};
+  };
+
+  void scorer_loop();
+  void scorer_loop_impl();
+  /// Pops samples from `stream`'s ring into the engine via `sample` as
+  /// staging — one ring's worth when `bounded` (round-robin fairness),
+  /// until empty otherwise (final drain); returns the number drained.
+  long drain_ring(Index stream, float* sample, bool bounded);
+  void emit(std::vector<StreamScore> scores);
+  void wake_scorer();
+  void require_quiescent(const char* what) const;
+  StreamIngest& ingest_at(Index stream);
+  const StreamIngest& ingest_at(Index stream) const;
+
+  ScoringEngine engine_;
+  AsyncRuntimeConfig config_;
+  /// Deque: StreamIngest holds atomics (immovable) and producers keep
+  /// references across add_stream() calls made before start().
+  std::deque<StreamIngest> streams_;
+
+  std::thread scorer_;
+  /// Published by the scoring thread at loop entry; close()'s self-join
+  /// guard compares against this instead of touching scorer_ (which the
+  /// first closer may concurrently join()).
+  std::atomic<std::thread::id> scorer_tid_{};
+  /// Atomic like every other lifecycle flag: push()/started() may be called
+  /// from threads that exist across the start() boundary. start() stores it
+  /// after accepting_, so a push that observes started_ also sees an open
+  /// intake.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> closed_{false};
+  /// Intake gate: push() increments its stream's active_pushers and checks
+  /// accepting_ before touching the ring; close() clears accepting_ and
+  /// waits for every stream's active_pushers to reach zero before telling
+  /// the scorer to finish, so every accepted sample is visible to the final
+  /// drain. The counter lives per stream so producers on disjoint streams
+  /// never write a shared cache line, and the gate accesses on both sides
+  /// are seq_cst: with acquire/release alone, the store-buffering outcome
+  /// (close() reads a zero counter while a straggler push still reads
+  /// accepting_ == true) would let an Ok push land after the final drain.
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_{false};
+
+  /// Scorer nap handshake: the scorer sets asleep_ under wake_mu_ after
+  /// re-checking the rings; producers that observe asleep_ notify under the
+  /// same mutex, so a wakeup between the re-check and the wait cannot be
+  /// lost (the nap also has a timeout as a belt-and-braces bound).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> asleep_{false};
+
+  std::mutex results_mu_;
+  std::vector<StreamScore> results_;
+  std::function<void(const StreamScore&)> callback_;
+  std::atomic<long> rounds_{0};
+  /// First exception thrown on the scoring thread (it shuts intake and
+  /// exits); written before the thread ends, read after join().
+  std::exception_ptr scorer_error_;
+};
+
+}  // namespace varade::serve

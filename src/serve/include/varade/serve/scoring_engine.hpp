@@ -23,6 +23,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "varade/core/detector.hpp"
@@ -30,6 +31,12 @@
 #include "varade/serve/thread_pool.hpp"
 
 namespace varade::serve {
+
+namespace detail {
+/// The one wording for stream-id range errors, shared by every serve
+/// frontend (ScoringEngine, AsyncScoringRuntime) so callers can match on it.
+std::string stream_range_message(Index id, Index n_streams);
+}  // namespace detail
 
 struct ScoringEngineConfig {
   /// Worker threads for normalisation / context assembly / alarm updates and
@@ -64,6 +71,9 @@ class ScoringEngine {
   Index add_stream();
   Index add_streams(Index n);
   Index n_streams() const { return static_cast<Index>(streams_.size()); }
+  /// Channels per sample, as fixed by the normalizer (runtime wiring: the
+  /// AsyncScoringRuntime sizes its ingestion rings off this).
+  Index n_channels() const;
 
   /// Calibrates the shared alarm threshold on a normalised training series
   /// (same quantile rule as OnlineMonitor::calibrate). Also refreshes the

@@ -24,6 +24,20 @@
 
 namespace varade::serve {
 
+/// Escalating wait for lock-free retry loops (blocked producers, the async
+/// runtime's idle scorer): a few CPU pauses, then sched yields, then short
+/// sleeps — so a spinning thread cannot starve the thread it is waiting on
+/// even on a single-core host.
+class Backoff {
+ public:
+  /// Waits a little; each consecutive call without reset() waits harder.
+  void wait();
+  void reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
 class ThreadPool {
  public:
   /// n_threads <= 0 selects std::thread::hardware_concurrency().

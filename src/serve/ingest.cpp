@@ -1,0 +1,113 @@
+#include "varade/serve/ingest.hpp"
+
+#include <algorithm>
+
+namespace varade::serve {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::Block: return "Block";
+    case BackpressurePolicy::DropOldest: return "DropOldest";
+    case BackpressurePolicy::Reject: return "Reject";
+  }
+  return "?";
+}
+
+const char* to_string(PushResult result) {
+  switch (result) {
+    case PushResult::Ok: return "Ok";
+    case PushResult::DroppedOldest: return "DroppedOldest";
+    case PushResult::Rejected: return "Rejected";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1U;
+  return p;
+}
+
+}  // namespace
+
+SampleRing::SampleRing(Index channels, Index min_capacity) : channels_(channels) {
+  check(channels >= 1, "SampleRing needs at least one channel");
+  check(min_capacity >= 1, "SampleRing capacity must be >= 1");
+  check(min_capacity <= (Index{1} << 30U), "SampleRing capacity unreasonably large");
+  const std::uint64_t capacity = round_up_pow2(static_cast<std::uint64_t>(min_capacity));
+  mask_ = capacity - 1;
+  slots_ = std::vector<Slot>(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i)
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  data_.assign(capacity * static_cast<std::uint64_t>(channels), 0.0F);
+}
+
+bool SampleRing::try_push(const float* sample) {
+  std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::int64_t>(seq - pos);
+    if (dif == 0) {
+      // Slot free on this lap: claim the position, then publish the data.
+      if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        std::copy(sample, sample + channels_,
+                  data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_));
+        slot.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS updated pos to the current tail; retry with it.
+    } else if (dif < 0) {
+      return false;  // the slot still holds last lap's sample: ring is full
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);  // another push won the slot
+    }
+  }
+}
+
+bool SampleRing::claim_pop(std::uint64_t& pos_out) {
+  std::uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        pos_out = pos;
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // slot not yet published: ring is empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);  // another pop won the slot
+    }
+  }
+}
+
+bool SampleRing::try_pop(float* out) {
+  std::uint64_t pos = 0;
+  if (!claim_pop(pos)) return false;
+  const float* src = data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_);
+  std::copy(src, src + channels_, out);
+  // Recycle the slot for the next lap.
+  slots_[pos & mask_].seq.store(pos + mask_ + 1, std::memory_order_release);
+  return true;
+}
+
+bool SampleRing::try_pop_discard() {
+  std::uint64_t pos = 0;
+  if (!claim_pop(pos)) return false;
+  slots_[pos & mask_].seq.store(pos + mask_ + 1, std::memory_order_release);
+  return true;
+}
+
+Index SampleRing::size_approx() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail <= head) return 0;
+  return static_cast<Index>(std::min<std::uint64_t>(tail - head, mask_ + 1));
+}
+
+}  // namespace varade::serve

@@ -1,0 +1,345 @@
+#include "varade/serve/runtime.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace varade::serve {
+
+using detail::stream_range_message;
+
+AsyncScoringRuntime::AsyncScoringRuntime(core::AnomalyDetector& detector,
+                                         const data::MinMaxNormalizer& normalizer,
+                                         AsyncRuntimeConfig config)
+    : engine_(detector, normalizer, config.engine), config_(config) {
+  check(config_.ring_capacity >= 1, "ring_capacity must be >= 1");
+  check(config_.idle_spin_rounds >= 1, "idle_spin_rounds must be >= 1");
+}
+
+AsyncScoringRuntime::~AsyncScoringRuntime() {
+  try {
+    close();
+  } catch (...) {
+    // A scoring-thread failure surfaced by close() must not escape the
+    // destructor; call close() explicitly to observe it.
+  }
+}
+
+Index AsyncScoringRuntime::add_stream() {
+  check(!started_, "add_stream after start()");
+  const Index id = engine_.add_stream();
+  streams_.emplace_back(engine_.n_channels(), config_.ring_capacity);
+  return id;
+}
+
+Index AsyncScoringRuntime::add_streams(Index n) {
+  check(n >= 1, "add_streams needs n >= 1");
+  const Index first = n_streams();
+  for (Index i = 0; i < n; ++i) add_stream();
+  return first;
+}
+
+void AsyncScoringRuntime::calibrate(const data::MultivariateSeries& train) {
+  check(!started_, "calibrate after start()");
+  engine_.calibrate(train);
+}
+
+void AsyncScoringRuntime::set_threshold(float threshold) {
+  check(!started_, "set_threshold after start()");
+  engine_.set_threshold(threshold);
+}
+
+void AsyncScoringRuntime::on_score(std::function<void(const StreamScore&)> callback) {
+  check(!started_, "on_score after start()");
+  callback_ = std::move(callback);
+}
+
+void AsyncScoringRuntime::start() {
+  check(!started_, "start() called twice");
+  check(!closed(), "start() after close()");
+  check(n_streams() >= 1, "start() with no streams");
+  check(engine_.calibrated(), "start() before calibrate()/set_threshold()");
+  // accepting_ first: a push that observes started_ must find intake open.
+  accepting_.store(true, std::memory_order_release);
+  started_.store(true, std::memory_order_release);
+  scorer_ = std::thread([this] { scorer_loop(); });
+}
+
+AsyncScoringRuntime::StreamIngest& AsyncScoringRuntime::ingest_at(Index stream) {
+  // Branch before building the message: this sits on the per-sample push
+  // path, which must not allocate on success.
+  if (stream < 0 || stream >= n_streams())
+    throw Error(stream_range_message(stream, n_streams()));
+  return streams_[static_cast<std::size_t>(stream)];
+}
+
+const AsyncScoringRuntime::StreamIngest& AsyncScoringRuntime::ingest_at(Index stream) const {
+  if (stream < 0 || stream >= n_streams())
+    throw Error(stream_range_message(stream, n_streams()));
+  return streams_[static_cast<std::size_t>(stream)];
+}
+
+PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample) {
+  return push(stream, raw_sample, config_.backpressure);
+}
+
+PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
+                                     BackpressurePolicy policy) {
+  StreamIngest& ingest = ingest_at(stream);
+  if (!started_.load(std::memory_order_acquire)) {
+    // A closed runtime rejects (documented contract) even if it was never
+    // started; pushing before start() on a live runtime is a usage error.
+    if (closing_.load(std::memory_order_acquire)) {
+      ingest.rejected.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::Rejected;
+    }
+    throw Error("push before start()");
+  }
+
+  // Intake gate: while the stream's active_pushers is held, close() will not
+  // let the scorer finish — so a push that passes the accepting_ check is
+  // guaranteed to be drained and scored. seq_cst on both gate accesses (and
+  // on close()'s side) rules out the store-buffering interleaving where
+  // close() misses the counter and this push misses the accepting_ flip.
+  ingest.active_pushers.fetch_add(1, std::memory_order_seq_cst);
+  PushResult result = PushResult::Rejected;
+  if (accepting_.load(std::memory_order_seq_cst)) {
+    bool dropped_any = false;
+    Backoff backoff;
+    for (;;) {
+      if (ingest.ring.try_push(raw_sample)) {
+        result = dropped_any ? PushResult::DroppedOldest : PushResult::Ok;
+        break;
+      }
+      if (policy == BackpressurePolicy::Reject) break;
+      if (policy == BackpressurePolicy::DropOldest) {
+        // Evict from the consumer side (lock-free multi-popper ring); the
+        // scorer may empty the ring first, in which case the retry just
+        // succeeds without a drop.
+        if (ingest.ring.try_pop_discard()) {
+          ingest.dropped.fetch_add(1, std::memory_order_relaxed);
+          dropped_any = true;
+        }
+        continue;
+      }
+      // Block: wait for the scorer to free a slot; bail out if the runtime
+      // closes under us.
+      if (!accepting_.load(std::memory_order_acquire)) break;
+      backoff.wait();
+    }
+    if (result == PushResult::Rejected) {
+      ingest.rejected.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ingest.pushed.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    ingest.rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  ingest.active_pushers.fetch_sub(1, std::memory_order_release);
+
+  if (result != PushResult::Rejected && asleep_.load(std::memory_order_acquire)) wake_scorer();
+  return result;
+}
+
+PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw_sample) {
+  return push(stream, raw_sample, config_.backpressure);
+}
+
+PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw_sample,
+                                     BackpressurePolicy policy) {
+  if (static_cast<Index>(raw_sample.size()) != engine_.n_channels())
+    throw Error("sample channel count mismatch");
+  return push(stream, raw_sample.data(), policy);
+}
+
+void AsyncScoringRuntime::wake_scorer() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  wake_cv_.notify_one();
+}
+
+long AsyncScoringRuntime::drain_ring(Index stream, float* sample, bool bounded) {
+  SampleRing& ring = streams_[static_cast<std::size_t>(stream)].ring;
+  const Index max_pops = bounded ? ring.capacity() : -1;
+  long drained = 0;
+  for (Index k = 0; max_pops < 0 || k < max_pops; ++k) {
+    if (!ring.try_pop(sample)) break;
+    engine_.push(stream, sample);
+    ++drained;
+  }
+  return drained;
+}
+
+void AsyncScoringRuntime::emit(std::vector<StreamScore> scores) {
+  if (scores.empty()) return;
+  if (callback_) {
+    for (const StreamScore& s : scores) callback_(s);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_.insert(results_.end(), scores.begin(), scores.end());
+}
+
+std::vector<StreamScore> AsyncScoringRuntime::drain_scores() {
+  std::vector<StreamScore> out;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    out.swap(results_);
+  }
+  return out;
+}
+
+void AsyncScoringRuntime::scorer_loop() {
+  scorer_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  try {
+    scorer_loop_impl();
+  } catch (...) {
+    // Shut intake and exit; close() rethrows after the join. Samples still
+    // buffered in the rings at this point are not scored.
+    scorer_error_ = std::current_exception();
+    accepting_.store(false, std::memory_order_release);
+  }
+}
+
+void AsyncScoringRuntime::scorer_loop_impl() {
+  const Index n = n_streams();
+  std::vector<float> sample(static_cast<std::size_t>(engine_.n_channels()));
+  // Nap escalation: producers that observe asleep_ notify under the mutex,
+  // so a sleeping scorer wakes immediately when traffic resumes; the timeout
+  // only backstops the rare stale-asleep_-read window. Doubling it while
+  // consecutively idle lets a quiet runtime go properly to sleep instead of
+  // burning ~2000 wakeups/s forever.
+  constexpr std::chrono::microseconds kNapFloor{500};
+  constexpr std::chrono::microseconds kNapCeiling{50000};
+  std::chrono::microseconds nap = kNapFloor;
+  int idle = 0;
+  for (;;) {
+    // One round: drain every ring round-robin into the engine (each ring
+    // FIFO, so per-stream producer order is preserved), then score. At most
+    // one ring's worth per stream per round, so a hot producer refilling its
+    // ring cannot starve the other streams.
+    long drained = 0;
+    for (Index s = 0; s < n; ++s) drained += drain_ring(s, sample.data(), /*bounded=*/true);
+    if (drained > 0) {
+      idle = 0;
+      nap = kNapFloor;
+      emit(engine_.step());
+      rounds_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // All rings looked empty — but that scan may predate a producer's last
+    // push (the scan and the push/close() handoff can interleave). stop_ is
+    // raised only after intake is shut and every in-flight push has landed,
+    // so one more full drain observed AFTER the stop_ load sees everything
+    // that will ever arrive; only then is exiting safe.
+    if (stop_.load(std::memory_order_acquire)) {
+      long final_drained = 0;
+      for (Index s = 0; s < n; ++s) final_drained += drain_ring(s, sample.data(), false);
+      if (final_drained > 0) {
+        emit(engine_.step());
+        rounds_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (++idle < config_.idle_spin_rounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Nap until a producer (or close()) wakes us. The ring re-check happens
+    // after asleep_ is set under the mutex; a producer that misses the flag
+    // pushed early enough for that re-check to see its sample, and the
+    // timeout bounds any residual visibility latency.
+    bool timed_out = false;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      asleep_.store(true, std::memory_order_release);
+      bool pending = stop_.load(std::memory_order_acquire);
+      for (Index s = 0; s < n && !pending; ++s)
+        pending = !streams_[static_cast<std::size_t>(s)].ring.empty_approx();
+      if (!pending) timed_out = wake_cv_.wait_for(lock, nap) == std::cv_status::timeout;
+      asleep_.store(false, std::memory_order_release);
+    }
+    if (timed_out) {
+      // Still quiet: back off harder, and go straight to the next nap after
+      // one ring scan (skip the yield rounds — they are for active traffic).
+      nap = std::min(nap * 2, kNapCeiling);
+      idle = config_.idle_spin_rounds;
+    } else {
+      nap = kNapFloor;
+      idle = 0;
+    }
+  }
+}
+
+void AsyncScoringRuntime::close() {
+  // Self-join guard: close() from the scoring thread (i.e. inside an
+  // on_score callback) would deadlock; fail loudly instead. The throw lands
+  // in scorer_loop's catch and surfaces from the real close() call. An
+  // unstarted runtime's scorer_tid_ is the default id, which matches no
+  // running thread.
+  check(std::this_thread::get_id() != scorer_tid_.load(std::memory_order_relaxed),
+        "close() must not be called from the scoring thread (on_score callback)");
+  // First caller performs the shutdown; any concurrent caller waits for it.
+  if (closing_.exchange(true, std::memory_order_acq_rel)) {
+    Backoff spin;
+    while (!closed()) spin.wait();
+    return;
+  }
+  if (!started_.load(std::memory_order_acquire)) {
+    closed_.store(true, std::memory_order_release);
+    return;
+  }
+  // 1. Shut intake: new pushes reject, Block-policy pushes unblock. seq_cst
+  //    pairs with the gate in push() — see the header comment.
+  accepting_.store(false, std::memory_order_seq_cst);
+  // 2. Wait for in-flight pushes, so every accepted sample is in a ring.
+  Backoff backoff;
+  for (auto& stream : streams_) {
+    while (stream.active_pushers.load(std::memory_order_seq_cst) > 0) backoff.wait();
+    backoff.reset();
+  }
+  // 3. Tell the scorer to drain to empty and exit, and join it.
+  stop_.store(true, std::memory_order_release);
+  wake_scorer();
+  scorer_.join();
+  // Clear the published id: a future thread recycling it must not trip the
+  // self-join guard on a (legal, idempotent) later close().
+  scorer_tid_.store(std::thread::id{}, std::memory_order_relaxed);
+  closed_.store(true, std::memory_order_release);
+  if (scorer_error_) std::rethrow_exception(scorer_error_);
+}
+
+IngestStats AsyncScoringRuntime::stats(Index stream) const {
+  const StreamIngest& ingest = ingest_at(stream);
+  IngestStats s;
+  s.pushed = ingest.pushed.load(std::memory_order_relaxed);
+  s.dropped = ingest.dropped.load(std::memory_order_relaxed);
+  s.rejected = ingest.rejected.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AsyncScoringRuntime::require_quiescent(const char* what) const {
+  check(!started_.load(std::memory_order_acquire) || closed(),
+        std::string(what) + " races with the scoring thread: call it before start() or after "
+                            "close()");
+}
+
+bool AsyncScoringRuntime::in_alarm(Index stream) const {
+  require_quiescent("in_alarm()");
+  return engine_.in_alarm(stream);
+}
+
+const std::vector<core::AnomalyEvent>& AsyncScoringRuntime::events(Index stream) const {
+  require_quiescent("events()");
+  return engine_.events(stream);
+}
+
+Index AsyncScoringRuntime::samples_seen(Index stream) const {
+  require_quiescent("samples_seen()");
+  return engine_.samples_seen(stream);
+}
+
+const ScoringEngine& AsyncScoringRuntime::engine() const {
+  require_quiescent("engine()");
+  return engine_;
+}
+
+}  // namespace varade::serve

@@ -6,14 +6,16 @@
 
 namespace varade::serve {
 
-namespace {
+namespace detail {
 
 std::string stream_range_message(Index id, Index n_streams) {
   return "stream id " + std::to_string(id) + " out of range [0, " + std::to_string(n_streams) +
          ")";
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::stream_range_message;
 
 ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
                              const data::MinMaxNormalizer& normalizer,
@@ -37,6 +39,8 @@ Index ScoringEngine::add_stream() {
   streams_.push_back(std::move(state));
   return n_streams() - 1;
 }
+
+Index ScoringEngine::n_channels() const { return normalizer_->n_channels(); }
 
 Index ScoringEngine::add_streams(Index n) {
   check(n >= 1, "add_streams needs n >= 1");
@@ -76,12 +80,14 @@ void ScoringEngine::set_threshold(float threshold) {
 }
 
 const ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) const {
-  check(id >= 0 && id < n_streams(), stream_range_message(id, n_streams()));
+  // Branch before building the message: push() runs through here once per
+  // sample, and must not allocate on success.
+  if (id < 0 || id >= n_streams()) throw Error(stream_range_message(id, n_streams()));
   return streams_[static_cast<std::size_t>(id)];
 }
 
 ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) {
-  check(id >= 0 && id < n_streams(), stream_range_message(id, n_streams()));
+  if (id < 0 || id >= n_streams()) throw Error(stream_range_message(id, n_streams()));
   return streams_[static_cast<std::size_t>(id)];
 }
 
@@ -91,8 +97,8 @@ void ScoringEngine::push(Index stream, const float* raw_sample) {
 }
 
 void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
-  check(static_cast<Index>(raw_sample.size()) == normalizer_->n_channels(),
-        "sample channel count mismatch");
+  if (static_cast<Index>(raw_sample.size()) != normalizer_->n_channels())
+    throw Error("sample channel count mismatch");
   push(stream, raw_sample.data());
 }
 

@@ -1,6 +1,25 @@
 #include "varade/serve/thread_pool.hpp"
 
+#include <chrono>
+
 namespace varade::serve {
+
+void Backoff::wait() {
+  constexpr int kPauseRounds = 16;
+  constexpr int kYieldRounds = 64;
+  if (spins_ < kPauseRounds) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  } else if (spins_ < kYieldRounds) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ++spins_;
+}
 
 ThreadPool::ThreadPool(int n_threads) {
   if (n_threads <= 0) n_threads = static_cast<int>(std::thread::hardware_concurrency());

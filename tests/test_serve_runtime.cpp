@@ -1,0 +1,578 @@
+// Tests for the async ingestion runtime: SampleRing semantics, backpressure
+// policies, and the determinism contract of AsyncScoringRuntime.
+//
+// The contract under test: the scoring thread is the only thread touching the
+// engine, each stream's ring preserves its producer's push order, and the
+// engine pins score_batch == score_step — so a single-producer-per-stream
+// async run must yield bit-identical per-stream scores and alarm events to
+// the synchronous ScoringEngine fed the same samples, at any producer timing.
+// This binary carries the `concurrency` label and runs under ThreadSanitizer
+// in CI (`ci.sh --tsan`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "varade/core/varade.hpp"
+#include "varade/serve/runtime.hpp"
+
+namespace varade::serve {
+namespace {
+
+data::MultivariateSeries make_sine(Index length, bool planted, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MultivariateSeries s(3);
+  std::vector<float> row(3);
+  for (Index t = 0; t < length; ++t) {
+    const bool anomalous = planted && (t % 120) >= 90 && (t % 120) < 100;
+    for (Index c = 0; c < 3; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
+          rng.normal(0.0F, anomalous ? 0.9F : 0.03F);
+    }
+    s.append(row, anomalous ? 1 : 0);
+  }
+  return s;
+}
+
+/// One tiny fitted VARADE shared by every runtime test (fitting dominates;
+/// the runtime only reads the model). Deliberately small so the whole binary
+/// stays fast under ThreadSanitizer's ~10x slowdown.
+struct RuntimeRig {
+  data::MultivariateSeries train_raw = make_sine(400, false, 1);
+  data::MinMaxNormalizer normalizer;
+  data::MultivariateSeries train;
+  core::VaradeDetector detector;
+
+  RuntimeRig()
+      : detector({.window = 16,
+                  .base_channels = 4,
+                  .epochs = 1,
+                  .learning_rate = 1e-3F,
+                  .train_stride = 4}) {
+    normalizer.fit(train_raw);
+    train = normalizer.transform(train_raw);
+    detector.fit(train);
+  }
+};
+
+RuntimeRig& rig() {
+  static RuntimeRig* r = new RuntimeRig();
+  return *r;
+}
+
+// ---------------------------------------------------------------------------
+// SampleRing
+// ---------------------------------------------------------------------------
+
+TEST(Ingest, EnumNamesRoundTrip) {
+  EXPECT_STREQ(to_string(BackpressurePolicy::Block), "Block");
+  EXPECT_STREQ(to_string(BackpressurePolicy::DropOldest), "DropOldest");
+  EXPECT_STREQ(to_string(BackpressurePolicy::Reject), "Reject");
+  EXPECT_STREQ(to_string(PushResult::Ok), "Ok");
+  EXPECT_STREQ(to_string(PushResult::DroppedOldest), "DroppedOldest");
+  EXPECT_STREQ(to_string(PushResult::Rejected), "Rejected");
+}
+
+TEST(SampleRing, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(SampleRing(3, 1).capacity(), 1);
+  EXPECT_EQ(SampleRing(3, 2).capacity(), 2);
+  EXPECT_EQ(SampleRing(3, 5).capacity(), 8);
+  EXPECT_EQ(SampleRing(3, 1000).capacity(), 1024);
+  EXPECT_THROW(SampleRing(0, 8), Error);
+  EXPECT_THROW(SampleRing(3, 0), Error);
+}
+
+TEST(SampleRing, FifoOrderAndWraparound) {
+  SampleRing ring(2, 4);
+  std::vector<float> in(2);
+  std::vector<float> out(2);
+  // Several laps around the 4-slot ring, interleaving pushes and pops.
+  float next_in = 0.0F;
+  float next_out = 0.0F;
+  for (int lap = 0; lap < 5; ++lap) {
+    for (int i = 0; i < 3; ++i) {
+      in = {next_in, -next_in};
+      ASSERT_TRUE(ring.try_push(in.data()));
+      next_in += 1.0F;
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_pop(out.data()));
+      EXPECT_EQ(out[0], next_out);
+      EXPECT_EQ(out[1], -next_out);
+      next_out += 1.0F;
+    }
+  }
+  EXPECT_FALSE(ring.try_pop(out.data()));
+}
+
+TEST(SampleRing, FullRejectsAndDiscardOldestMakesRoom) {
+  SampleRing ring(1, 2);
+  float v = 1.0F;
+  ASSERT_TRUE(ring.try_push(&v));
+  v = 2.0F;
+  ASSERT_TRUE(ring.try_push(&v));
+  v = 3.0F;
+  EXPECT_FALSE(ring.try_push(&v));  // full
+  EXPECT_EQ(ring.size_approx(), 2);
+
+  ASSERT_TRUE(ring.try_pop_discard());  // evict the oldest (1.0)
+  ASSERT_TRUE(ring.try_push(&v));
+  float out = 0.0F;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out, 2.0F);
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out, 3.0F);
+  EXPECT_FALSE(ring.try_pop_discard());  // empty
+}
+
+TEST(SampleRing, ConcurrentProducerConsumerPreservesOrder) {
+  constexpr long kTotal = 20000;
+  SampleRing ring(1, 64);
+  std::thread producer([&] {
+    Backoff backoff;
+    for (long i = 0; i < kTotal; ++i) {
+      auto v = static_cast<float>(i);
+      while (!ring.try_push(&v)) backoff.wait();
+      backoff.reset();
+    }
+  });
+  Backoff backoff;
+  for (long i = 0; i < kTotal; ++i) {
+    float v = -1.0F;
+    while (!ring.try_pop(&v)) backoff.wait();
+    backoff.reset();
+    ASSERT_EQ(v, static_cast<float>(i)) << "FIFO order broken at " << i;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(SampleRing, ConcurrentMultiProducerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr long kPerProducer = 5000;
+  SampleRing ring(1, 128);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      Backoff backoff;
+      for (long i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, index) so the consumer can check per-producer
+        // order even though the global interleaving is scheduler-defined.
+        auto v = static_cast<float>(p * kPerProducer + i);
+        while (!ring.try_push(&v)) backoff.wait();
+        backoff.reset();
+      }
+    });
+  }
+  std::vector<long> last_seen(kProducers, -1);
+  Backoff backoff;
+  for (long n = 0; n < kProducers * kPerProducer; ++n) {
+    float v = -1.0F;
+    while (!ring.try_pop(&v)) backoff.wait();
+    backoff.reset();
+    const long encoded = std::lround(v);
+    const long p = encoded / kPerProducer;
+    const long i = encoded % kPerProducer;
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kProducers);
+    ASSERT_GT(i, last_seen[static_cast<std::size_t>(p)]) << "producer " << p << " reordered";
+    last_seen[static_cast<std::size_t>(p)] = i;
+  }
+  for (std::thread& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(last_seen[static_cast<std::size_t>(p)],
+                                                 kPerProducer - 1);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncScoringRuntime lifecycle and error contract
+// ---------------------------------------------------------------------------
+
+TEST(AsyncScoringRuntime, LifecycleContractIsEnforced) {
+  const std::vector<float> sample(3, 0.0F);
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+  EXPECT_THROW(runtime.start(), Error);  // no streams
+  runtime.add_streams(2);
+  EXPECT_THROW(runtime.start(), Error);  // not calibrated
+  EXPECT_THROW(runtime.push(0, sample), Error);  // before start
+  runtime.set_threshold(1e9F);
+  runtime.start();
+  EXPECT_THROW(runtime.add_stream(), Error);     // after start
+  EXPECT_THROW(runtime.calibrate(rig().train), Error);
+  EXPECT_THROW(runtime.set_threshold(1.0F), Error);
+  EXPECT_THROW(runtime.on_score([](const StreamScore&) {}), Error);
+  EXPECT_THROW(runtime.start(), Error);          // started twice
+  // Engine passthroughs race with the scorer while running.
+  EXPECT_THROW(runtime.events(0), Error);
+  EXPECT_THROW(runtime.in_alarm(0), Error);
+  EXPECT_THROW(runtime.samples_seen(0), Error);
+  EXPECT_THROW(runtime.engine(), Error);
+  runtime.close();
+  runtime.close();  // idempotent
+  EXPECT_TRUE(runtime.closed());
+  EXPECT_EQ(runtime.samples_seen(0), 0);  // quiescent again
+  // Intake is shut after close.
+  EXPECT_EQ(runtime.push(0, sample), PushResult::Rejected);
+  EXPECT_EQ(runtime.stats(0).rejected, 1);
+}
+
+TEST(AsyncScoringRuntime, CloseWithoutStartRejectsPushes) {
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+  runtime.add_stream();
+  runtime.close();
+  EXPECT_TRUE(runtime.closed());
+  const std::vector<float> sample(3, 0.0F);
+  EXPECT_EQ(runtime.push(0, sample), PushResult::Rejected);
+  EXPECT_EQ(runtime.stats(0).rejected, 1);
+}
+
+TEST(AsyncScoringRuntime, StreamIdBoundsMatchEngineWording) {
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+  runtime.add_streams(2);
+  const std::vector<float> sample(3, 0.0F);
+  try {
+    runtime.push(99, sample);
+    FAIL() << "push(99) did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "stream id 99 out of range [0, 2)");
+  }
+  EXPECT_THROW(runtime.push(-1, sample), Error);
+  EXPECT_THROW(runtime.stats(2), Error);
+  // Quiescent passthroughs bounds-check with the same wording.
+  try {
+    runtime.events(-3);
+    FAIL() << "events(-3) did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "stream id -3 out of range [0, 2)");
+  }
+  try {
+    runtime.in_alarm(7);
+    FAIL() << "in_alarm(7) did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "stream id 7 out of range [0, 2)");
+  }
+  try {
+    runtime.samples_seen(2);
+    FAIL() << "samples_seen(2) did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "stream id 2 out of range [0, 2)");
+  }
+}
+
+TEST(AsyncScoringRuntime, CalibrateMatchesSynchronousEngine) {
+  ScoringEngine sync(rig().detector, rig().normalizer);
+  sync.calibrate(rig().train);
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+  runtime.add_stream();
+  runtime.calibrate(rig().train);
+  EXPECT_EQ(runtime.threshold(), sync.threshold());
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure policies
+// ---------------------------------------------------------------------------
+
+TEST(AsyncScoringRuntime, DropOldestEvictsAndCountsPerStream) {
+  constexpr long kPushes = 4000;
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 2;  // overflow on nearly every burst
+  cfg.backpressure = BackpressurePolicy::DropOldest;
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_streams(2);
+  runtime.set_threshold(1e9F);
+  runtime.start();
+
+  const auto series = make_sine(kPushes, false, 5);
+  long ok = 0;
+  long dropped_results = 0;
+  for (Index t = 0; t < kPushes; ++t) {
+    const PushResult r = runtime.push(0, series.sample(t));
+    ASSERT_NE(r, PushResult::Rejected);  // DropOldest always enqueues
+    (r == PushResult::Ok ? ok : dropped_results)++;
+  }
+  runtime.close();
+
+  const IngestStats stats = runtime.stats(0);
+  EXPECT_EQ(stats.pushed, kPushes);
+  EXPECT_EQ(stats.rejected, 0);
+  // Every accepted-and-not-evicted sample was scored; nothing else was.
+  EXPECT_EQ(runtime.samples_seen(0), stats.pushed - stats.dropped);
+  EXPECT_EQ(runtime.samples_seen(1), 0);
+  EXPECT_EQ(runtime.stats(1).pushed, 0);
+  // A 2-slot ring flooded back-to-back must have evicted something, and
+  // DroppedOldest return values must account for at least those evictions
+  // observed by this producer.
+  EXPECT_GT(stats.dropped, 0);
+  EXPECT_GT(dropped_results, 0);
+  EXPECT_EQ(ok + dropped_results, kPushes);
+
+  const auto scores = runtime.drain_scores();
+  EXPECT_EQ(static_cast<long>(scores.size()), runtime.samples_seen(0));
+  for (const StreamScore& s : scores) EXPECT_EQ(s.stream, 0);
+}
+
+TEST(AsyncScoringRuntime, RejectReturnsAndCountsWithoutBlocking) {
+  constexpr long kPushes = 4000;
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 2;
+  cfg.backpressure = BackpressurePolicy::Reject;
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_stream();
+  runtime.set_threshold(1e9F);
+  runtime.start();
+
+  const auto series = make_sine(kPushes, false, 6);
+  long ok = 0;
+  long rejected = 0;
+  for (Index t = 0; t < kPushes; ++t) {
+    const PushResult r = runtime.push(0, series.sample(t));
+    ASSERT_NE(r, PushResult::DroppedOldest);  // Reject never evicts
+    (r == PushResult::Ok ? ok : rejected)++;
+  }
+  runtime.close();
+
+  const IngestStats stats = runtime.stats(0);
+  EXPECT_EQ(stats.pushed, ok);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(ok + rejected, kPushes);
+  EXPECT_GT(rejected, 0);  // a 2-slot ring flooded back-to-back must refuse some
+  // Exactly the accepted samples were scored, in order.
+  EXPECT_EQ(runtime.samples_seen(0), ok);
+  const auto scores = runtime.drain_scores();
+  ASSERT_EQ(static_cast<long>(scores.size()), ok);
+  for (long i = 0; i < ok; ++i) EXPECT_EQ(scores[static_cast<std::size_t>(i)].sample, i);
+}
+
+TEST(AsyncScoringRuntime, BlockNeverLosesUnderTinyRing) {
+  constexpr long kPushes = 3000;
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 2;
+  cfg.backpressure = BackpressurePolicy::Block;
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_stream();
+  runtime.set_threshold(1e9F);
+  runtime.start();
+
+  const auto series = make_sine(kPushes, false, 7);
+  for (Index t = 0; t < kPushes; ++t)
+    ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+  runtime.close();
+
+  EXPECT_EQ(runtime.stats(0).pushed, kPushes);
+  EXPECT_EQ(runtime.stats(0).dropped, 0);
+  EXPECT_EQ(runtime.stats(0).rejected, 0);
+  EXPECT_EQ(runtime.samples_seen(0), kPushes);
+}
+
+// ---------------------------------------------------------------------------
+// close() drain and callback delivery
+// ---------------------------------------------------------------------------
+
+TEST(AsyncScoringRuntime, CloseMidStreamDrainsEverythingAccepted) {
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 4096;
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_streams(3);
+  runtime.calibrate(rig().train);
+  runtime.start();
+
+  // Flood all streams and close immediately: the scorer has certainly not
+  // caught up, so close() must drain the backlog before joining.
+  const auto series = make_sine(500, true, 8);
+  for (Index s = 0; s < 3; ++s)
+    for (Index t = 0; t < 500; ++t)
+      ASSERT_NE(runtime.push(s, series.sample(t)), PushResult::Rejected);
+  runtime.close();
+
+  long total = 0;
+  for (Index s = 0; s < 3; ++s) {
+    EXPECT_EQ(runtime.stats(s).pushed, 500);
+    EXPECT_EQ(runtime.samples_seen(s), 500) << "stream " << s << " not fully drained";
+    total += runtime.samples_seen(s);
+  }
+  const auto scores = runtime.drain_scores();
+  EXPECT_EQ(static_cast<long>(scores.size()), total);
+  EXPECT_TRUE(runtime.drain_scores().empty());  // drained once, queue is empty
+}
+
+TEST(AsyncScoringRuntime, CallbackReceivesEveryScoreInsteadOfQueue) {
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+  runtime.add_stream();
+  runtime.set_threshold(1e9F);
+  std::vector<StreamScore> seen;  // only touched by the scoring thread
+  bool self_close_threw = false;
+  runtime.on_score([&](const StreamScore& s) {
+    if (seen.empty()) {
+      // close() on the scoring thread must fail loudly, not self-join.
+      try {
+        runtime.close();
+      } catch (const Error&) {
+        self_close_threw = true;
+      }
+    }
+    seen.push_back(s);
+  });
+  runtime.start();
+
+  const auto series = make_sine(200, false, 9);
+  for (Index t = 0; t < 200; ++t)
+    ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+  runtime.close();
+
+  ASSERT_EQ(seen.size(), 200U);  // close() joins: `seen` is safe to read now
+  for (Index t = 0; t < 200; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)].stream, 0);
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)].sample, t);
+  }
+  EXPECT_TRUE(self_close_threw);
+  EXPECT_TRUE(runtime.drain_scores().empty());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract: multi-producer async == synchronous engine
+// ---------------------------------------------------------------------------
+
+struct StreamRun {
+  std::vector<float> scores;
+  std::vector<core::AnomalyEvent> events;
+  bool in_alarm = false;
+  Index samples_seen = 0;
+};
+
+void expect_same_run(const StreamRun& got, const StreamRun& want, Index stream) {
+  EXPECT_EQ(got.samples_seen, want.samples_seen) << "stream " << stream;
+  ASSERT_EQ(got.scores.size(), want.scores.size()) << "stream " << stream;
+  for (std::size_t i = 0; i < got.scores.size(); ++i)
+    ASSERT_EQ(got.scores[i], want.scores[i]) << "stream " << stream << " sample " << i;
+  ASSERT_EQ(got.events.size(), want.events.size()) << "stream " << stream;
+  for (std::size_t i = 0; i < got.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].onset_sample, want.events[i].onset_sample);
+    EXPECT_EQ(got.events[i].last_sample, want.events[i].last_sample);
+    EXPECT_EQ(got.events[i].peak_score, want.events[i].peak_score);
+  }
+  EXPECT_EQ(got.in_alarm, want.in_alarm) << "stream " << stream;
+}
+
+TEST(AsyncScoringRuntime, FourProducersSixteenStreamsMatchSynchronousEngineBitForBit) {
+  constexpr Index kStreams = 16;
+  constexpr Index kProducers = 4;
+  constexpr Index kSamples = 250;
+
+  std::vector<data::MultivariateSeries> inputs;
+  for (Index s = 0; s < kStreams; ++s)
+    inputs.push_back(make_sine(kSamples, /*planted=*/s % 2 == 0,
+                               100 + static_cast<std::uint64_t>(s)));
+
+  // Synchronous reference: one ScoringEngine, all samples pushed up front.
+  std::vector<StreamRun> want(kStreams);
+  {
+    ScoringEngine sync(rig().detector, rig().normalizer, {.n_threads = 1, .max_batch = 8});
+    sync.add_streams(kStreams);
+    sync.calibrate(rig().train);
+    for (Index s = 0; s < kStreams; ++s)
+      for (Index t = 0; t < kSamples; ++t) sync.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+    for (const StreamScore& r : sync.step())
+      want[static_cast<std::size_t>(r.stream)].scores.push_back(r.score);
+    for (Index s = 0; s < kStreams; ++s) {
+      auto& w = want[static_cast<std::size_t>(s)];
+      w.events = sync.events(s);
+      w.in_alarm = sync.in_alarm(s);
+      w.samples_seen = sync.samples_seen(s);
+    }
+  }
+
+  // Async run: 4 producer threads, 4 streams each (one producer per stream —
+  // the ordering contract), tiny rings so Block backpressure actually bites,
+  // scorer overlapping with the producers throughout.
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 16;
+  cfg.backpressure = BackpressurePolicy::Block;
+  cfg.engine = {.n_threads = 2, .max_batch = 8, .shard_forward = true};
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_streams(kStreams);
+  runtime.calibrate(rig().train);
+  runtime.start();
+
+  std::atomic<long> accepted{0};
+  std::vector<std::thread> producers;
+  for (Index p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Interleave this producer's streams sample by sample so rounds mix
+      // streams from all producers.
+      for (Index t = 0; t < kSamples; ++t) {
+        for (Index s = p; s < kStreams; s += kProducers) {
+          const PushResult r = runtime.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+          ASSERT_EQ(r, PushResult::Ok);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Poll scores concurrently, as a serving frontend would. Deadline-bounded
+  // so a delivery regression fails with a diagnostic instead of hanging
+  // until the ctest timeout.
+  std::vector<StreamRun> got(kStreams);
+  long received = 0;
+  Backoff backoff;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  while (received < kStreams * kSamples) {
+    if (std::chrono::steady_clock::now() > deadline) break;
+    const auto batch = runtime.drain_scores();
+    if (batch.empty()) {
+      backoff.wait();
+      continue;
+    }
+    backoff.reset();
+    for (const StreamScore& r : batch) {
+      auto& run = got[static_cast<std::size_t>(r.stream)];
+      // Per-stream order must be producer order even before the final check.
+      ASSERT_EQ(r.sample, static_cast<Index>(run.scores.size()))
+          << "stream " << r.stream << " scored out of order";
+      run.scores.push_back(r.score);
+      ++received;
+    }
+  }
+  if (received < kStreams * kSamples) {
+    runtime.close();  // unblock any producer stuck in a Block push
+    for (std::thread& t : producers) t.join();
+    FAIL() << "score delivery stalled: " << received << "/" << kStreams * kSamples
+           << " received before the deadline";
+  }
+  for (std::thread& t : producers) t.join();
+  runtime.close();
+
+  EXPECT_EQ(accepted.load(), kStreams * kSamples);
+  EXPECT_TRUE(runtime.drain_scores().empty());
+  EXPECT_GT(runtime.rounds(), 0);
+  for (Index s = 0; s < kStreams; ++s) {
+    auto& g = got[static_cast<std::size_t>(s)];
+    g.events = runtime.events(s);
+    g.in_alarm = runtime.in_alarm(s);
+    g.samples_seen = runtime.samples_seen(s);
+    expect_same_run(g, want[static_cast<std::size_t>(s)], s);
+  }
+}
+
+TEST(AsyncScoringRuntime, DestructorClosesAndDrains) {
+  const auto series = make_sine(100, false, 12);
+  std::vector<StreamScore> seen;
+  {
+    AsyncScoringRuntime runtime(rig().detector, rig().normalizer);
+    runtime.add_stream();
+    runtime.set_threshold(1e9F);
+    runtime.on_score([&seen](const StreamScore& s) { seen.push_back(s); });
+    runtime.start();
+    for (Index t = 0; t < 100; ++t)
+      ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+    // No close(): the destructor must drain and join.
+  }
+  EXPECT_EQ(seen.size(), 100U);
+}
+
+}  // namespace
+}  // namespace varade::serve
