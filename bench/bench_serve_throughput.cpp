@@ -12,15 +12,20 @@
 // and sharding.
 //
 // --async additionally replays the streams through the AsyncScoringRuntime
-// (N concurrent producer threads pushing into lock-free per-stream rings, one
-// background scoring thread draining them) and reports end-to-end samples/s
+// (N concurrent producer threads pushing into lock-free per-stream rings,
+// background scoring threads draining them) and reports end-to-end samples/s
 // against the same sequential baseline, score-checksum-verified.
+//
+// --shards N (with --async) additionally runs the sharded runtime: streams
+// partitioned across N scorer threads, each with its own clone_fitted
+// engine. Reported next to the single-shard async rate so the scaling step
+// is visible; 0 = auto (hardware_concurrency).
 //
 // --json <path> writes the per-detector sequential vs. batched samples/s as a
 // machine-readable record (the repo's BENCH_*.json perf trajectory points).
 //
-// Usage: bench_serve_throughput [--quick] [--async] [--streams N] [--samples N]
-//                               [--detector <name>|all] [--json <path>]
+// Usage: bench_serve_throughput [--quick] [--async] [--shards N] [--streams N]
+//                               [--samples N] [--detector <name>|all] [--json <path>]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -106,8 +111,11 @@ struct BenchResult {
   double best_samples_per_s = 0.0;  // best engine configuration
   std::string best_config;
   // Async ingestion runtime (--async only; 0 when not measured).
-  double async_samples_per_s = 0.0;  // best async configuration
+  double async_samples_per_s = 0.0;  // best single-shard async configuration
   std::string async_config;
+  // Sharded runtime (--async --shards N with N != 1 only; 0 otherwise).
+  double sharded_samples_per_s = 0.0;  // best multi-shard configuration
+  std::string sharded_config;
 };
 
 constexpr Index kScoreChunk = 64;
@@ -178,18 +186,21 @@ void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateS
 
 /// Replays the streams through the AsyncScoringRuntime with `n_producers`
 /// concurrent producer threads (streams round-robin across producers, one
-/// producer per stream) and one background scoring thread; returns wall-clock
-/// seconds from first push to close() (which drains the backlog). The score
-/// checksum is accumulated on the scoring thread via the callback.
+/// producer per stream) and the stream space partitioned across `n_shards`
+/// scoring threads; returns wall-clock seconds from first push to close()
+/// (which drains the backlog). The score checksum is accumulated via the
+/// callback (serialised across shards by the runtime).
 double bench_async_once(core::AnomalyDetector& detector,
                         const data::MinMaxNormalizer& normalizer, float threshold,
                         const std::vector<data::MultivariateSeries>& streams,
-                        Index n_samples, int n_producers, double& checksum_out) {
+                        Index n_samples, int n_producers, Index n_shards,
+                        double& checksum_out) {
   const auto n_streams = static_cast<Index>(streams.size());
   serve::AsyncRuntimeConfig cfg;
   cfg.engine = {.n_threads = 1, .max_batch = 32, .shard_forward = true};
   cfg.ring_capacity = 1024;
   cfg.backpressure = serve::BackpressurePolicy::Block;
+  cfg.n_shards = n_shards;
   serve::AsyncScoringRuntime runtime(detector, normalizer, cfg);
   runtime.add_streams(n_streams);
   runtime.set_threshold(threshold);
@@ -225,7 +236,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
                            const data::MinMaxNormalizer& normalizer,
                            const data::MultivariateSeries& train,
                            const std::vector<data::MultivariateSeries>& streams,
-                           Index n_samples, bool run_async) {
+                           Index n_samples, bool run_async, Index n_shards) {
   const auto n_streams = static_cast<Index>(streams.size());
   const long total = static_cast<long>(n_streams) * static_cast<long>(n_samples);
 
@@ -302,25 +313,38 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
   }
   std::printf("all engine configurations matched the sequential checksum\n");
   if (run_async) {
-    for (const int producers : {1, 2, 4}) {
-      if (static_cast<Index>(producers) > n_streams) break;
-      double checksum = 0.0;
-      const double secs = bench_async_once(detector, normalizer, threshold, streams, n_samples,
-                                           producers, checksum);
-      const double samples_per_s = static_cast<double>(total) / secs;
-      char label[64];
-      std::snprintf(label, sizeof(label), "async runtime  producers=%d", producers);
-      std::printf("%-34s %10.3f %12.0f %8.2fx   (lock-free rings, %s, 1 scorer)\n", label,
-                  secs, samples_per_s, base_s / secs,
-                  serve::to_string(serve::BackpressurePolicy::Block));
-      if (samples_per_s > result.async_samples_per_s) {
-        result.async_samples_per_s = samples_per_s;
-        result.async_config = label;
-      }
-      if (std::abs(checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
-        std::fprintf(stderr, "FATAL: %s async checksum mismatch vs baseline (%.9g vs %.9g)\n",
-                     detector.name().c_str(), checksum, checksum_base);
-        std::exit(1);
+    // Single-shard first (the PR4 trajectory point), then the sharded
+    // runtime when --shards asks for more than one scorer thread.
+    std::vector<Index> shard_counts = {1};
+    const Index resolved = serve::ShardPartition::resolve(n_shards);
+    if (resolved != 1) shard_counts.push_back(resolved);
+    for (const Index shards : shard_counts) {
+      for (const int producers : {1, 2, 4}) {
+        if (static_cast<Index>(producers) > n_streams) break;
+        double checksum = 0.0;
+        const double secs = bench_async_once(detector, normalizer, threshold, streams,
+                                             n_samples, producers, shards, checksum);
+        const double samples_per_s = static_cast<double>(total) / secs;
+        char label[64];
+        std::snprintf(label, sizeof(label), "async runtime  shards=%ld producers=%d",
+                      static_cast<long>(shards), producers);
+        std::printf("%-34s %10.3f %12.0f %8.2fx   (lock-free rings, %s, %ld scorers)\n",
+                    label, secs, samples_per_s, base_s / secs,
+                    serve::to_string(serve::BackpressurePolicy::Block),
+                    static_cast<long>(std::min(shards, n_streams)));
+        if (shards == 1 && samples_per_s > result.async_samples_per_s) {
+          result.async_samples_per_s = samples_per_s;
+          result.async_config = label;
+        }
+        if (shards != 1 && samples_per_s > result.sharded_samples_per_s) {
+          result.sharded_samples_per_s = samples_per_s;
+          result.sharded_config = label;
+        }
+        if (std::abs(checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
+          std::fprintf(stderr, "FATAL: %s async checksum mismatch vs baseline (%.9g vs %.9g)\n",
+                       detector.name().c_str(), checksum, checksum_base);
+          std::exit(1);
+        }
       }
     }
     std::printf("all async configurations matched the sequential checksum\n");
@@ -330,7 +354,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
 
 /// Writes the per-detector sequential vs. batched samples/s as JSON — the
 /// format of the repo's BENCH_*.json perf-trajectory records.
-void write_json(const std::string& path, Index n_streams, Index n_samples,
+void write_json(const std::string& path, Index n_streams, Index n_samples, Index n_shards,
                 const std::vector<BenchResult>& results) {
   std::ofstream f(path);
   if (!f.is_open()) {
@@ -341,21 +365,24 @@ void write_json(const std::string& path, Index n_streams, Index n_samples,
   f << "  \"bench\": \"serve_throughput\",\n";
   f << "  \"streams\": " << n_streams << ",\n";
   f << "  \"samples\": " << n_samples << ",\n";
+  f << "  \"shards\": " << serve::ShardPartition::resolve(n_shards) << ",\n";
   f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
   f << "  \"detectors\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    char line[640];
+    char line[768];
     std::snprintf(line, sizeof(line),
                   "    {\"detector\": \"%s\", \"sequential_samples_per_s\": %.1f, "
                   "\"batched_samples_per_s\": %.1f, \"batched_speedup\": %.3f, "
                   "\"monitor_samples_per_s\": %.1f, \"engine_best_samples_per_s\": %.1f, "
                   "\"engine_best_config\": \"%s\", \"async_samples_per_s\": %.1f, "
-                  "\"async_config\": \"%s\"}%s\n",
+                  "\"async_config\": \"%s\", \"sharded_samples_per_s\": %.1f, "
+                  "\"sharded_config\": \"%s\"}%s\n",
                   r.detector.c_str(), r.seq_samples_per_s, r.batched_samples_per_s,
                   r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
                   r.best_samples_per_s, r.best_config.c_str(), r.async_samples_per_s,
-                  r.async_config.c_str(), i + 1 < results.size() ? "," : "");
+                  r.async_config.c_str(), r.sharded_samples_per_s, r.sharded_config.c_str(),
+                  i + 1 < results.size() ? "," : "");
     f << line;
   }
   f << "  ]\n}\n";
@@ -371,6 +398,7 @@ void write_json(const std::string& path, Index n_streams, Index n_samples,
 int main(int argc, char** argv) {
   Index n_streams = 16;
   Index n_samples = 2000;
+  Index n_shards = 1;
   std::string detector_arg = "VARADE";
   std::string json_path;
   bool run_async = false;
@@ -380,6 +408,8 @@ int main(int argc, char** argv) {
       n_samples = 400;
     } else if (std::strcmp(argv[a], "--async") == 0) {
       run_async = true;
+    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      n_shards = std::atol(argv[++a]);
     } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
       n_streams = std::atol(argv[++a]);
     } else if (std::strcmp(argv[a], "--samples") == 0 && a + 1 < argc) {
@@ -390,7 +420,7 @@ int main(int argc, char** argv) {
       json_path = argv[++a];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--async] [--streams N] [--samples N]"
+                   "usage: %s [--quick] [--async] [--shards N] [--streams N] [--samples N]"
                    " [--detector <name>|all] [--json <path>]\n"
                    "detectors: all",
                    argv[0]);
@@ -402,6 +432,10 @@ int main(int argc, char** argv) {
   }
   if (n_streams < 1 || n_samples < 1) {
     std::fprintf(stderr, "error: --streams and --samples must be >= 1\n");
+    return 2;
+  }
+  if (n_shards < 0) {
+    std::fprintf(stderr, "error: --shards must be >= 0 (0 = auto)\n");
     return 2;
   }
 
@@ -433,25 +467,32 @@ int main(int argc, char** argv) {
     const std::unique_ptr<core::AnomalyDetector> detector =
         core::make_detector(profile, name);  // throws on an unknown name
     detector->fit(train);
-    results.push_back(bench_detector(*detector, normalizer, train, streams, n_samples, run_async));
+    results.push_back(
+        bench_detector(*detector, normalizer, train, streams, n_samples, run_async, n_shards));
   }
 
   if (results.size() > 1) {
-    std::printf("\n%-20s %14s %14s %8s %14s %14s %14s\n", "detector", "step s/s", "batch s/s",
-                "speedup", "monitor s/s", "best engine s/s", "best async s/s");
+    std::printf("\n%-20s %14s %14s %8s %14s %14s %14s %14s\n", "detector", "step s/s",
+                "batch s/s", "speedup", "monitor s/s", "best engine s/s", "best async s/s",
+                "sharded s/s");
     for (const BenchResult& r : results) {
       std::printf("%-20s %14.0f %14.0f %7.2fx %14.0f %14.0f ", r.detector.c_str(),
                   r.seq_samples_per_s, r.batched_samples_per_s,
                   r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
                   r.best_samples_per_s);
       if (run_async) {
-        std::printf("%14.0f\n", r.async_samples_per_s);
+        std::printf("%14.0f ", r.async_samples_per_s);
       } else {
-        std::printf("%14s\n", "-");  // not measured without --async
+        std::printf("%14s ", "-");  // not measured without --async
+      }
+      if (r.sharded_samples_per_s > 0.0) {
+        std::printf("%14.0f\n", r.sharded_samples_per_s);
+      } else {
+        std::printf("%14s\n", "-");  // not measured without --shards N (N != 1)
       }
     }
   }
-  if (!json_path.empty()) write_json(json_path, n_streams, n_samples, results);
+  if (!json_path.empty()) write_json(json_path, n_streams, n_samples, n_shards, results);
   std::printf("\nDone.\n");
   return 0;
 }

@@ -13,9 +13,10 @@
 # detectors, including the fuzz suite, memory-checked.
 #
 # --tsan builds under ThreadSanitizer (VARADE_TSAN=ON, separate build-tsan
-# tree) and runs the concurrency label — the thread pool and the async
-# ingestion runtime (lock-free rings, backpressure, multi-producer parity)
-# race-checked.
+# tree) and runs the concurrency label — the thread pool, the async
+# ingestion runtime (lock-free rings, backpressure, multi-producer parity),
+# and the sharded runtime (multi-engine parity at shards {1,2,4,auto},
+# serialized-sharing fallback) race-checked.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -80,8 +81,8 @@ ctest --preset fast
 echo "== test (parity label: batched == sequential, all six detectors) =="
 ctest --test-dir "$BUILD_DIR" -L parity --output-on-failure -j "$JOBS"
 
-echo "== smoke: serve throughput bench (quick, all six detectors, async runtime) =="
+echo "== smoke: serve throughput bench (quick, all six detectors, async + sharded) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
-"$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all --async
+"$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all --async --shards 2
 
 echo "CI OK"

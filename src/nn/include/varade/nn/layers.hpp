@@ -96,8 +96,10 @@ class Conv1d : public Module {
   Index out_length(Index l) const;
 
  private:
-  /// The computation itself, shared by forward and forward_inference so both
-  /// paths are bit-identical by construction.
+  /// The scalar reference computation, used by forward (which must cache the
+  /// input anyway). forward_inference runs a vectorised kernel that keeps
+  /// apply()'s per-element accumulation order, so both paths stay
+  /// bit-identical (pinned by test_nn_layers).
   Tensor apply(const Tensor& x) const;
 
   Index in_ch_;

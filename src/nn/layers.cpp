@@ -91,7 +91,14 @@ Tensor ReLU::forward(const Tensor& x) {
 }
 
 Tensor ReLU::forward_inference(const Tensor& x) {
-  return x.map([](float v) { return v > 0.0F ? v : 0.0F; });
+  // Same elementwise max as the map() path, minus the std::function call
+  // per element — this runs once per residual-block layer on the serving
+  // hot path and autovectorises as written.
+  Tensor y = x;
+  float* p = y.data();
+  const Index n = y.numel();
+  for (Index i = 0; i < n; ++i) p[i] = p[i] > 0.0F ? p[i] : 0.0F;
+  return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -124,6 +131,130 @@ Tensor Tanh::backward(const Tensor& grad_out) {
 
 // ---------------------------------------------------------------- Conv1d ----
 
+namespace {
+
+// Function multiversioning for the Conv1d inference kernel: the AVX2 clone
+// runs the same mul/add sequence four doubles wide (FMA stays off — a
+// contracted fused multiply-add would round differently and break the
+// bit-parity contract with the scalar path), the default clone matches the
+// portable baseline, and the loader picks per host. Behind feature tests so
+// non-ELF/non-x86 builds compile the plain function; also disabled under
+// ThreadSanitizer, whose runtime is not yet initialised when the ifunc
+// resolver runs (the plain kernel is bit-identical anyway). GCC flags TSan
+// via __SANITIZE_THREAD__, Clang via __has_feature(thread_sanitizer).
+#if defined(__SANITIZE_THREAD__)
+#define VARADE_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VARADE_TSAN_ACTIVE 1
+#endif
+#endif
+#if defined(__x86_64__) && defined(__linux__) && defined(__has_attribute) && \
+    !defined(VARADE_TSAN_ACTIVE)
+#if __has_attribute(target_clones)
+#define VARADE_CONV_TARGETS __attribute__((target_clones("avx2", "default")))
+#endif
+#endif
+#ifndef VARADE_CONV_TARGETS
+#define VARADE_CONV_TARGETS
+#endif
+
+/// Interior output steps of a Conv1d inference forward: every window is
+/// fully in bounds (t in [t_lo, t_hi)), so the accumulation runs k-major
+/// over blocks of output steps — each lane keeps its own double accumulator
+/// fed in ascending-k order, which is exactly the scalar reference's
+/// per-element order, just unrolled across independent outputs so the
+/// compiler can vectorise. `py` rows must already hold the bias.
+#define VARADE_CONV_INLINE inline __attribute__((always_inline))
+
+/// One output-channel row of interior steps for compile-time kernel size K
+/// and stride S (the model hot paths: the residual-block k3/s1 convolutions
+/// and VARADE's halving k2/s2 trunk). Full 8-wide blocks run with
+/// compile-time loop bounds, so the y-block and the per-lane double
+/// accumulators live in registers and the K loop fully unrolls; the ragged
+/// tail keeps the scalar reference loop. always_inline: the body must be
+/// inlined into the multiversioned caller so the AVX2 clone compiles it
+/// with AVX2 (an out-of-line copy would be baseline ISA).
+template <Index K, Index S>
+VARADE_CONV_INLINE void conv1d_interior_row_ks(const float* xb, const float* wc, float* yc,
+                                               Index in_ch, Index l_in, Index padding,
+                                               Index t_lo, Index t_hi) {
+  constexpr Index kBlock = 8;
+  Index t0 = t_lo;
+  for (; t0 + kBlock <= t_hi; t0 += kBlock) {
+    float yv[kBlock];
+    for (Index j = 0; j < kBlock; ++j) yv[j] = yc[t0 + j];
+    for (Index ci = 0; ci < in_ch; ++ci) {
+      const float* xrow = xb + ci * l_in + t0 * S - padding;
+      const float* wk = wc + ci * K;
+      double acc[kBlock];
+      for (Index j = 0; j < kBlock; ++j) acc[j] = 0.0;
+      for (Index k = 0; k < K; ++k) {
+        const float* xk = xrow + k;
+        const double wv = static_cast<double>(wk[k]);
+        for (Index j = 0; j < kBlock; ++j) acc[j] += wv * xk[j * S];
+      }
+      for (Index j = 0; j < kBlock; ++j) yv[j] += static_cast<float>(acc[j]);
+    }
+    for (Index j = 0; j < kBlock; ++j) yc[t0 + j] = yv[j];
+  }
+  for (Index t = t0; t < t_hi; ++t) {
+    for (Index ci = 0; ci < in_ch; ++ci) {
+      const float* xrow = xb + ci * l_in + t * S - padding;
+      const float* wk = wc + ci * K;
+      double acc = 0.0;
+      for (Index k = 0; k < K; ++k) acc += static_cast<double>(wk[k]) * xrow[k];
+      yc[t] += static_cast<float>(acc);
+    }
+  }
+}
+
+/// Generic interior fallback (any kernel/stride): the scalar reference loop
+/// minus the bounds checks. Kept deliberately simple — blocked variants
+/// with runtime strides measured slower than this on the odd geometries.
+VARADE_CONV_INLINE void conv1d_interior_row(const float* xb, const float* wc, float* yc,
+                                            Index in_ch, Index l_in, Index kernel,
+                                            Index stride, Index padding, Index t_lo,
+                                            Index t_hi) {
+  for (Index ci = 0; ci < in_ch; ++ci) {
+    const float* xc = xb + ci * l_in;
+    const float* wk = wc + ci * kernel;
+    for (Index t = t_lo; t < t_hi; ++t) {
+      const float* xrow = xc + t * stride - padding;
+      double acc = 0.0;
+      for (Index k = 0; k < kernel; ++k) acc += static_cast<double>(wk[k]) * xrow[k];
+      yc[t] += static_cast<float>(acc);
+    }
+  }
+}
+
+VARADE_CONV_TARGETS
+void conv1d_interior(const float* px, const float* pw, float* py, Index n, Index in_ch,
+                     Index out_ch, Index l_in, Index l_out, Index kernel, Index stride,
+                     Index padding, Index t_lo, Index t_hi) {
+  for (Index b = 0; b < n; ++b) {
+    const float* xb = px + b * in_ch * l_in;
+    float* yb = py + b * out_ch * l_out;
+    for (Index co = 0; co < out_ch; ++co) {
+      const float* wc = pw + co * in_ch * kernel;
+      float* yc = yb + co * l_out;
+      if (stride == 1 && kernel == 3) {
+        conv1d_interior_row_ks<3, 1>(xb, wc, yc, in_ch, l_in, padding, t_lo, t_hi);
+      } else if (stride == 1 && kernel == 2) {
+        conv1d_interior_row_ks<2, 1>(xb, wc, yc, in_ch, l_in, padding, t_lo, t_hi);
+      } else if (stride == 1 && kernel == 5) {
+        conv1d_interior_row_ks<5, 1>(xb, wc, yc, in_ch, l_in, padding, t_lo, t_hi);
+      } else if (stride == 2 && kernel == 2) {
+        conv1d_interior_row_ks<2, 2>(xb, wc, yc, in_ch, l_in, padding, t_lo, t_hi);
+      } else {
+        conv1d_interior_row(xb, wc, yc, in_ch, l_in, kernel, stride, padding, t_lo, t_hi);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Conv1d::Conv1d(Index in_channels, Index out_channels, Index kernel_size, Index stride,
                Index padding, Rng& rng)
     : in_ch_(in_channels),
@@ -149,7 +280,62 @@ Tensor Conv1d::forward(const Tensor& x) {
   return apply(x);
 }
 
-Tensor Conv1d::forward_inference(const Tensor& x) { return apply(x); }
+Tensor Conv1d::forward_inference(const Tensor& x) {
+  // Vectorised inference kernel. Every output element is still bias plus
+  // ascending-ci float additions of ascending-k double dot products —
+  // apply()'s exact per-element accumulation order, so the results are
+  // bit-identical to forward() (pinned by test_nn_layers). The win: steps
+  // whose windows never touch the zero padding need no bounds check, and
+  // conv1d_interior runs them blocked across outputs (and AVX2-cloned);
+  // only the few boundary steps keep the checked scalar loop.
+  check(x.rank() == 3 && x.dim(1) == in_ch_,
+        "Conv1d expected [N, " + std::to_string(in_ch_) + ", L], got " +
+            shape_to_string(x.shape()));
+  const Index n = x.dim(0);
+  const Index l_in = x.dim(2);
+  const Index l_out = out_length(l_in);
+  // Interior steps t satisfy t*stride - padding >= 0 and
+  // t*stride - padding + kernel <= l_in.
+  const Index t_lo = std::min(l_out, (padding_ + stride_ - 1) / stride_);
+  Index t_hi = t_lo;
+  if (l_in + padding_ - kernel_ >= 0)
+    t_hi = std::max(t_lo, std::min(l_out, (l_in + padding_ - kernel_) / stride_ + 1));
+
+  Tensor y({n, out_ch_, l_out});
+  const float* px = x.data();
+  const float* pw = weight_.value.data();
+  const float* pb = bias_.value.data();
+  float* py = y.data();
+  for (Index b = 0; b < n; ++b) {
+    const float* xb = px + b * in_ch_ * l_in;
+    float* yb = py + b * out_ch_ * l_out;
+    for (Index co = 0; co < out_ch_; ++co) {
+      const float* wc = pw + co * in_ch_ * kernel_;
+      float* yc = yb + co * l_out;
+      for (Index t = 0; t < l_out; ++t) yc[t] = pb[co];
+      if (t_lo == 0 && t_hi == l_out) continue;  // fully interior (common case)
+      for (Index ci = 0; ci < in_ch_; ++ci) {
+        const float* xc = xb + ci * l_in;
+        const float* wk = wc + ci * kernel_;
+        // Boundary steps: the padded window clips, apply()'s scalar loop.
+        const auto edge_step = [&](Index t) {
+          const Index start = t * stride_ - padding_;
+          double acc = 0.0;
+          for (Index k = 0; k < kernel_; ++k) {
+            const Index pos = start + k;
+            if (pos >= 0 && pos < l_in) acc += static_cast<double>(wk[k]) * xc[pos];
+          }
+          yc[t] += static_cast<float>(acc);
+        };
+        for (Index t = 0; t < t_lo; ++t) edge_step(t);
+        for (Index t = t_hi; t < l_out; ++t) edge_step(t);
+      }
+    }
+  }
+  conv1d_interior(px, pw, py, n, in_ch_, out_ch_, l_in, l_out, kernel_, stride_, padding_,
+                  t_lo, t_hi);
+  return y;
+}
 
 Tensor Conv1d::apply(const Tensor& x) const {
   check(x.rank() == 3 && x.dim(1) == in_ch_,

@@ -65,6 +65,28 @@ class SampleRing {
   /// when empty. Safe to call concurrently with try_push and other poppers.
   bool try_pop(float* out);
 
+  /// Zero-copy pop: claims the oldest sample and invokes
+  /// `sink(const float* slot)` on its in-ring data before the slot is
+  /// recycled, so a consumer can move the sample straight into its own
+  /// structures without an intermediate staging buffer. The pointer is only
+  /// valid inside the call. Returns false when empty. Same concurrency
+  /// guarantees as try_pop; the slot is recycled even if `sink` throws (the
+  /// sample is then lost, but the ring stays usable).
+  template <typename Sink>
+  bool try_pop_with(Sink&& sink) {
+    std::uint64_t pos = 0;
+    if (!claim_pop(pos)) return false;
+    const float* src = data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_);
+    struct Recycle {
+      SampleRing* ring;
+      std::uint64_t pos;
+      ~Recycle() { ring->slots_[pos & ring->mask_].seq.store(pos + ring->mask_ + 1,
+                                                             std::memory_order_release); }
+    } recycle{this, pos};
+    sink(static_cast<const float*>(src));
+    return true;
+  }
+
   /// Discards the oldest sample. Returns false when empty.
   bool try_pop_discard();
 

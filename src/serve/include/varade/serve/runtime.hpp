@@ -1,30 +1,46 @@
-// Async scoring runtime: a self-driving frontend over the ScoringEngine.
+// Async scoring runtime: a self-driving, shardable frontend over the
+// ScoringEngine.
 //
 // The synchronous ScoringEngine contract requires push() and step() to be
 // externally serialised, so producers and the scorer cannot overlap. The
 // AsyncScoringRuntime removes that cap: each stream gets a bounded lock-free
 // SampleRing (ingest.hpp), producers push raw samples from arbitrary threads
-// with a per-call backpressure policy, and one background scoring thread
-// drains the rings round-robin into the engine's push()/step() loop. Scores
-// flow out either through a polling drain_scores() result queue or a user
-// callback (invoked on the scoring thread).
+// with a per-call backpressure policy, and background scoring threads drain
+// the rings round-robin into engine push()/step() loops. Scores flow out
+// either through a polling drain_scores() result queue or a user callback.
 //
-// Determinism: the scoring thread is the only thread that touches the engine,
-// and each ring preserves its producers' push order. With one producer per
-// stream (the serving contract), every stream's samples therefore reach the
-// engine in exactly the order they were pushed, and the engine's own parity
-// guarantee (score_batch == score_step, bit for bit) does the rest: scores
-// and alarm events are bit-identical to a synchronous ScoringEngine — or one
-// OnlineMonitor per stream — fed the same samples, regardless of producer
-// timing, ring capacity, or how the scorer's rounds happen to batch.
+// Sharding: AsyncRuntimeConfig::n_shards statically partitions the stream
+// space across N shards (ShardPartition, a modulo map — the one place stream
+// ids are remapped). Each shard owns its own scorer thread, its own rings
+// (a scorer never touches another shard's cache lines), its own result
+// queue, and its own ScoringEngine over a clone_fitted() replica of the
+// detector — so the shards share nothing on the hot path and scale across
+// cores. When the detector cannot be replicated (clone_fitted() returns
+// null), all shards fall back to the single borrowed instance and serialise
+// their engine calls on one mutex: correct, just not parallel. n_shards = 1
+// (the default) is exactly the pre-shard behaviour; 0 selects
+// hardware_concurrency; shards beyond n_streams() stay empty and get no
+// thread or engine.
 //
-// Lifecycle: add_streams() / calibrate() / on_score() before start();
-// push() + drain_scores() while running; close() stops intake (in-flight
-// pushes still land), drains every ring to empty, joins the scoring thread,
-// and is idempotent. Every push that returned Ok or DroppedOldest is
-// guaranteed scored by the time close() returns — unless the scoring thread
-// itself died on an exception, in which case still-buffered samples are
-// abandoned and the first close() rethrows the failure.
+// Determinism: a stream is owned by exactly one shard, that shard's scoring
+// thread is the only thread touching its engine, and each ring preserves its
+// producers' push order. With one producer per stream (the serving
+// contract), every stream's samples reach its engine in exactly the order
+// they were pushed; replicas are bit-identical to the original by the
+// clone_fitted contract and score_batch is bit-identical to score_step — so
+// per-stream scores and alarm events are bit-identical to a synchronous
+// ScoringEngine — or one OnlineMonitor per stream — fed the same samples,
+// for ANY shard count, producer timing, ring capacity, or batching.
+//
+// Lifecycle: add_streams() / calibrate() / on_score() before start(); the
+// shard engines are built by start() (cloning the detector per shard);
+// push() + drain_scores() while running; close() gates intake once, waits
+// for in-flight pushes, then drains every ring to empty and joins all
+// scorers deterministically — idempotent. Every push that returned Ok or
+// DroppedOldest is guaranteed scored by the time close() returns — unless a
+// scoring thread itself died on an exception, in which case that shard's
+// still-buffered samples are abandoned and the first close() rethrows the
+// failure.
 #pragma once
 
 #include <condition_variable>
@@ -39,15 +55,48 @@
 
 namespace varade::serve {
 
+/// The static stream -> shard map: a modulo partition, so ownership is a
+/// closed form and every remapping in the serving stack goes through these
+/// three functions (nothing else may re-derive the arithmetic).
+///   shard_of(s)  = s % n_shards      — owner shard of global stream s
+///   local_of(s)  = s / n_shards      — s's index within its owner's engine
+///   global_of(k, i) = i * n_shards + k  — inverse of (shard_of, local_of)
+/// Every global stream id is owned by exactly one (shard, local) pair, and
+/// with fewer streams than shards only the first n_streams shards own
+/// anything — n_active() is the clamped number of non-empty shards.
+struct ShardPartition {
+  Index n_shards = 1;
+
+  /// Resolves a config shard count: 0 = auto (hardware_concurrency, at
+  /// least 1); otherwise the requested value. Throws on negatives.
+  static Index resolve(Index requested);
+
+  Index shard_of(Index stream) const { return stream % n_shards; }
+  Index local_of(Index stream) const { return stream / n_shards; }
+  Index global_of(Index shard, Index local) const { return local * n_shards + shard; }
+  /// Shards that own at least one of `n_streams` streams.
+  Index n_active(Index n_streams) const { return n_streams < n_shards ? n_streams : n_shards; }
+  /// Streams owned by `shard` out of `n_streams` total.
+  Index n_owned(Index shard, Index n_streams) const {
+    return (n_streams - shard + n_shards - 1) / n_shards;
+  }
+};
+
 struct AsyncRuntimeConfig {
-  /// Configuration of the inner ScoringEngine the runtime owns and drives.
+  /// Configuration of the per-shard ScoringEngines the runtime owns and
+  /// drives (each shard gets its own engine, thread pool, and replicas).
   ScoringEngineConfig engine;
   /// Per-stream ring capacity in samples; rounded up to a power of two.
   Index ring_capacity = 1024;
   /// Policy applied by the two-argument push(); per-call overload overrides.
   BackpressurePolicy backpressure = BackpressurePolicy::Block;
-  /// Empty polling rounds before the scoring thread naps between wakeups.
+  /// Empty polling rounds before a shard's scoring thread naps between
+  /// wakeups (each shard backs off independently).
   int idle_spin_rounds = 64;
+  /// Scorer shards the stream space is partitioned across. 1 = one scoring
+  /// thread and one engine (the pre-shard behaviour); 0 = auto
+  /// (hardware_concurrency). Shards beyond n_streams() stay empty.
+  Index n_shards = 1;
 };
 
 /// Per-stream ingestion counters (monotonic; sampled while running they are
@@ -56,6 +105,13 @@ struct IngestStats {
   long pushed = 0;    ///< samples accepted into the ring (Ok + DroppedOldest)
   long dropped = 0;   ///< older samples evicted by DropOldest pushes
   long rejected = 0;  ///< pushes refused (Reject on full, or runtime closed)
+};
+
+/// Per-shard scorer counters (valid any time; exact once quiescent).
+struct ShardStats {
+  Index n_streams = 0;  ///< streams this shard owns
+  long rounds = 0;      ///< scoring rounds (drain + engine step) run
+  long naps = 0;        ///< times the shard's scorer actually went to sleep
 };
 
 class AsyncScoringRuntime {
@@ -72,39 +128,60 @@ class AsyncScoringRuntime {
   /// Stream registration; only before start().
   Index add_stream();
   Index add_streams(Index n);
-  Index n_streams() const { return engine_.n_streams(); }
+  Index n_streams() const { return n_streams_; }
 
-  /// Threshold setup (forwarded to the engine); only before start().
+  /// The resolved stream -> shard map (n_shards already resolved; empty
+  /// shards included — see n_active_shards()).
+  const ShardPartition& partition() const { return partition_; }
+  /// Resolved shard count (config value, with 0 resolved to the hardware).
+  Index n_shards() const { return partition_.n_shards; }
+  /// Shards that own streams and therefore get a scorer thread + engine.
+  Index n_active_shards() const { return partition_.n_active(n_streams_); }
+  /// True when start() found the detector non-replicable (clone_fitted()
+  /// returned null) and the shards serialise scoring on the borrowed
+  /// instance instead of running parallel replicas.
+  bool sharing_detector() const { return share_detector_; }
+
+  /// Threshold setup; only before start(). calibrate() computes the same
+  /// quantile threshold as ScoringEngine::calibrate on the borrowed
+  /// detector; start() then distributes it to every shard engine.
   void calibrate(const data::MultivariateSeries& train);
   void set_threshold(float threshold);
-  float threshold() const { return engine_.threshold(); }
+  float threshold() const { return threshold_; }
 
-  /// Registers a callback invoked on the scoring thread for every score, in
-  /// the engine's emission order. When set, scores are NOT queued for
-  /// drain_scores(). Only before start().
+  /// Registers a callback invoked for every score. When set, scores are NOT
+  /// queued for drain_scores(). Only before start(). The callback runs on
+  /// the owning shard's scoring thread; invocations are serialised across
+  /// shards (one shard's batch at a time), and within a stream they arrive
+  /// in the engine's emission order.
   void on_score(std::function<void(const StreamScore&)> callback);
 
-  /// Launches the background scoring thread. Requires >= 1 stream and a
+  /// Builds the shard engines (one clone_fitted() replica per shard, shared
+  /// borrowed instance when the detector is not replicable) and launches
+  /// one scoring thread per active shard. Requires >= 1 stream and a
   /// calibrated threshold.
   void start();
 
   /// Enqueues one raw sample for `stream` under the config's (or the given)
-  /// backpressure policy. Thread-safe against any other push and the scorer;
-  /// one producer per stream keeps that stream's order (see header comment).
-  /// After close() begins, returns Rejected without enqueueing. Block-policy
-  /// pushes also unblock with Rejected when the runtime closes under them.
+  /// backpressure policy. Thread-safe against any other push and the
+  /// scorers; one producer per stream keeps that stream's order (see header
+  /// comment). After close() begins, returns Rejected without enqueueing.
+  /// Block-policy pushes also unblock with Rejected when the runtime closes
+  /// under them.
   PushResult push(Index stream, const float* raw_sample);
   PushResult push(Index stream, const float* raw_sample, BackpressurePolicy policy);
   PushResult push(Index stream, const std::vector<float>& raw_sample);
   PushResult push(Index stream, const std::vector<float>& raw_sample, BackpressurePolicy policy);
 
-  /// Moves out every score produced since the last call (empty when a
-  /// callback is registered). Callable from any one consumer thread, during
+  /// Moves out every score produced since the last call, merging the
+  /// per-shard result queues (empty when a callback is registered).
+  /// Per-stream order is emission order; cross-stream interleaving between
+  /// shards is unspecified. Callable from any one consumer thread, during
   /// operation and after close().
   std::vector<StreamScore> drain_scores();
 
   /// Stops intake, waits for in-flight pushes, drains every ring to empty,
-  /// scores the remainder, and joins the scoring thread. Idempotent. If the
+  /// scores the remainder, and joins all scoring threads. Idempotent. If a
   /// scoring thread died on an exception, the first close() rethrows it
   /// (the destructor swallows it instead).
   void close();
@@ -114,17 +191,25 @@ class AsyncScoringRuntime {
 
   /// Per-stream ingestion counters; valid any time.
   IngestStats stats(Index stream) const;
-  /// Scoring rounds (drain + engine step) the background thread has run.
-  long rounds() const { return rounds_.load(std::memory_order_relaxed); }
+  /// Scoring rounds (drain + engine step) across all shards.
+  long rounds() const;
+  /// Per-shard scorer counters (shard in [0, n_shards())).
+  ShardStats shard_stats(Index shard) const;
 
-  /// Per-stream results, forwarded to the engine. Quiescent-only: callable
-  /// before start() or after close() — while the scorer is running they
-  /// would race with it, so they throw instead.
+  /// Per-stream results by global stream id, forwarded to the owning
+  /// shard's engine. Quiescent-only: callable before start() (empty-state
+  /// defaults) or after close() — while scorers are running they would race
+  /// with them, so they throw instead.
   bool in_alarm(Index stream) const;
   const std::vector<core::AnomalyEvent>& events(Index stream) const;
   Index samples_seen(Index stream) const;
 
-  /// The owned engine, for quiescent inspection (same caveat as above).
+  /// Shard `shard`'s engine, for quiescent inspection after start() (same
+  /// caveat as above; streams appear under engine-local ids, with
+  /// global_id() mapping back).
+  const ScoringEngine& shard_engine(Index shard) const;
+  /// The single engine of an unsharded (n_shards() == 1) runtime, for
+  /// quiescent inspection after start(); throws on a sharded runtime.
   const ScoringEngine& engine() const;
 
   const AsyncRuntimeConfig& config() const { return config_; }
@@ -140,29 +225,75 @@ class AsyncScoringRuntime {
     std::atomic<int> active_pushers{0};
   };
 
-  void scorer_loop();
-  void scorer_loop_impl();
-  /// Pops samples from `stream`'s ring into the engine via `sample` as
-  /// staging — one ring's worth when `bounded` (round-robin fairness),
-  /// until empty otherwise (final drain); returns the number drained.
-  long drain_ring(Index stream, float* sample, bool bounded);
-  void emit(std::vector<StreamScore> scores);
-  void wake_scorer();
+  /// Everything one scorer thread owns. Rings, engine, result queue, and
+  /// nap state are all per shard, so shards share no mutable state on the
+  /// hot path (except the detector in the non-replicable fallback).
+  struct Shard {
+    /// Rings of the streams this shard owns, in local-index order. Deque:
+    /// StreamIngest holds atomics (immovable) and producers keep references
+    /// across add_stream() calls made before start().
+    std::deque<StreamIngest> ingest;
+    /// This shard's detector replica; null for shard 0 (which scores
+    /// through the borrowed detector) and in the shared-detector fallback.
+    std::unique_ptr<core::AnomalyDetector> replica;
+    /// This shard's engine over its subset view of the streams; built by
+    /// start().
+    std::unique_ptr<ScoringEngine> engine;
+    std::thread scorer;
+    /// Published by the scoring thread at loop entry; close()'s self-join
+    /// guard compares against this instead of touching `scorer` (which the
+    /// first closer may concurrently join()).
+    std::atomic<std::thread::id> tid{};
+    /// Per-shard nap handshake (see scorer loop): producers that observe
+    /// asleep notify under wake_mu, so an idle shard sleeps independently
+    /// of the others and a hot shard never wakes an idle one.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::atomic<bool> asleep{false};
+    std::atomic<long> rounds{0};
+    std::atomic<long> naps{0};
+    /// Per-shard result queue; drain_scores() merges across shards.
+    std::mutex results_mu;
+    std::vector<StreamScore> results;
+    /// First exception thrown on this shard's scoring thread (it shuts
+    /// intake and exits); written before the thread ends, read after join.
+    std::exception_ptr error;
+  };
+
+  void shard_loop(Shard& shard);
+  void shard_loop_impl(Shard& shard);
+  /// Pops samples from the shard's `local` ring straight into its engine
+  /// (zero-copy: SampleRing::try_pop_with hands the engine the in-ring
+  /// slot) — one ring's worth when `bounded` (round-robin fairness), until
+  /// empty otherwise (final drain); returns the number drained.
+  long drain_ring(Shard& shard, Index local, bool bounded);
+  void emit(Shard& shard, std::vector<StreamScore> scores);
+  void wake_shard(Shard& shard);
   void require_quiescent(const char* what) const;
+  void require_started_shards(const char* what) const;
   StreamIngest& ingest_at(Index stream);
   const StreamIngest& ingest_at(Index stream) const;
+  Shard& shard_at(Index shard);
+  const Shard& shard_at(Index shard) const;
 
-  ScoringEngine engine_;
+  core::AnomalyDetector* detector_;
+  const data::MinMaxNormalizer* normalizer_;
   AsyncRuntimeConfig config_;
-  /// Deque: StreamIngest holds atomics (immovable) and producers keep
-  /// references across add_stream() calls made before start().
-  std::deque<StreamIngest> streams_;
+  ShardPartition partition_;
+  Index n_streams_ = 0;
+  /// Deque: Shard is immovable (atomics, mutexes); sized n_shards() at
+  /// construction, only the first n_active_shards() ever own anything.
+  std::deque<Shard> shards_;
+  /// Serialises engine calls across shards when the detector is not
+  /// replicable (clone_fitted() returned null) and they all share the
+  /// borrowed instance. Unused — never locked — when replicas exist or
+  /// only one shard is active.
+  std::mutex shared_detector_mu_;
+  bool share_detector_ = false;
 
-  std::thread scorer_;
-  /// Published by the scoring thread at loop entry; close()'s self-join
-  /// guard compares against this instead of touching scorer_ (which the
-  /// first closer may concurrently join()).
-  std::atomic<std::thread::id> scorer_tid_{};
+  float threshold_ = 0.0F;
+  bool calibrated_ = false;
+
   /// Atomic like every other lifecycle flag: push()/started() may be called
   /// from threads that exist across the start() boundary. start() stores it
   /// after accepting_, so a push that observes started_ also sees an open
@@ -173,8 +304,8 @@ class AsyncScoringRuntime {
   /// Intake gate: push() increments its stream's active_pushers and checks
   /// accepting_ before touching the ring; close() clears accepting_ and
   /// waits for every stream's active_pushers to reach zero before telling
-  /// the scorer to finish, so every accepted sample is visible to the final
-  /// drain. The counter lives per stream so producers on disjoint streams
+  /// the scorers to finish, so every accepted sample is visible to the final
+  /// drains. The counter lives per stream so producers on disjoint streams
   /// never write a shared cache line, and the gate accesses on both sides
   /// are seq_cst: with acquire/release alone, the store-buffering outcome
   /// (close() reads a zero counter while a straggler push still reads
@@ -182,21 +313,10 @@ class AsyncScoringRuntime {
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stop_{false};
 
-  /// Scorer nap handshake: the scorer sets asleep_ under wake_mu_ after
-  /// re-checking the rings; producers that observe asleep_ notify under the
-  /// same mutex, so a wakeup between the re-check and the wait cannot be
-  /// lost (the nap also has a timeout as a belt-and-braces bound).
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::atomic<bool> asleep_{false};
-
-  std::mutex results_mu_;
-  std::vector<StreamScore> results_;
+  /// Serialises on_score callback invocations across shards (taken per
+  /// emitted batch, not per score; uncontended when one shard is active).
+  std::mutex callback_mu_;
   std::function<void(const StreamScore&)> callback_;
-  std::atomic<long> rounds_{0};
-  /// First exception thrown on the scoring thread (it shuts intake and
-  /// exits); written before the thread ends, read after join().
-  std::exception_ptr scorer_error_;
 };
 
 }  // namespace varade::serve

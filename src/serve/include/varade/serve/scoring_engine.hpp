@@ -52,7 +52,12 @@ struct ScoringEngineConfig {
   core::MonitorConfig monitor;
 };
 
-/// Score of one (stream, sample) pair produced by step().
+/// Score of one (stream, sample) pair produced by step(). `stream` is the
+/// stream's *global* id: identical to the engine-local id for streams
+/// registered via add_stream(), or the caller-chosen label for streams
+/// registered via the subset-view add_stream(global_id) overload — so a
+/// shard-local engine serving a slice of a larger stream space reports
+/// scores under the ids its owner knows.
 struct StreamScore {
   Index stream = 0;
   Index sample = 0;     // 0-based position within the stream
@@ -68,9 +73,18 @@ class ScoringEngine {
                 ScoringEngineConfig config = {});
 
   /// Registers a new independent stream; returns its id (dense, from 0).
+  /// The global id reported in StreamScore equals the local id.
   Index add_stream();
+  /// Subset-view registration: the stream is engine-local (dense local id
+  /// returned, used by push()/events()/...), but StreamScore::stream carries
+  /// `global_id` — so a sharded frontend can run one engine per disjoint
+  /// slice of a larger stream space and merge the scores without remapping.
+  Index add_stream(Index global_id);
   Index add_streams(Index n);
   Index n_streams() const { return static_cast<Index>(streams_.size()); }
+  /// Global id of a local stream (== the local id unless the subset-view
+  /// overload chose otherwise).
+  Index global_id(Index stream) const { return stream_at(stream).global_id; }
   /// Channels per sample, as fixed by the normalizer (runtime wiring: the
   /// AsyncScoringRuntime sizes its ingestion rings off this).
   Index n_channels() const;
@@ -113,6 +127,7 @@ class ScoringEngine {
     std::deque<std::vector<float>> pending;  // raw samples awaiting step()
     core::AlarmTracker alarm;
     std::vector<float> scratch;  // normalised sample of the current round
+    Index global_id = 0;  // id reported in StreamScore (subset views remap)
     Index samples_seen = 0;
     bool ready = false;   // ring was full at the start of this round
     float score = -1.0F;  // this round's score

@@ -7,12 +7,30 @@ namespace varade::serve {
 
 using detail::stream_range_message;
 
+Index ShardPartition::resolve(Index requested) {
+  check(requested >= 0, "n_shards must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<Index>(hw);
+}
+
 AsyncScoringRuntime::AsyncScoringRuntime(core::AnomalyDetector& detector,
                                          const data::MinMaxNormalizer& normalizer,
                                          AsyncRuntimeConfig config)
-    : engine_(detector, normalizer, config.engine), config_(config) {
+    : detector_(&detector),
+      normalizer_(&normalizer),
+      config_(config),
+      partition_{ShardPartition::resolve(config.n_shards)} {
+  // The shard engines are built lazily by start() (the stream set must be
+  // final first), so the construction-time validation they would have done
+  // happens here instead.
+  check(detector.fitted(), "AsyncScoringRuntime requires a fitted detector");
+  check(normalizer.fitted(), "AsyncScoringRuntime requires a fitted normalizer");
+  check(config_.engine.max_batch >= 1, "max_batch must be >= 1");
+  core::validate(config_.engine.monitor);
   check(config_.ring_capacity >= 1, "ring_capacity must be >= 1");
   check(config_.idle_spin_rounds >= 1, "idle_spin_rounds must be >= 1");
+  for (Index k = 0; k < partition_.n_shards; ++k) shards_.emplace_back();
 }
 
 AsyncScoringRuntime::~AsyncScoringRuntime() {
@@ -26,26 +44,32 @@ AsyncScoringRuntime::~AsyncScoringRuntime() {
 
 Index AsyncScoringRuntime::add_stream() {
   check(!started_, "add_stream after start()");
-  const Index id = engine_.add_stream();
-  streams_.emplace_back(engine_.n_channels(), config_.ring_capacity);
+  const Index id = n_streams_;
+  shards_[static_cast<std::size_t>(partition_.shard_of(id))].ingest.emplace_back(
+      normalizer_->n_channels(), config_.ring_capacity);
+  ++n_streams_;
   return id;
 }
 
 Index AsyncScoringRuntime::add_streams(Index n) {
   check(n >= 1, "add_streams needs n >= 1");
-  const Index first = n_streams();
+  const Index first = n_streams_;
   for (Index i = 0; i < n; ++i) add_stream();
   return first;
 }
 
 void AsyncScoringRuntime::calibrate(const data::MultivariateSeries& train) {
   check(!started_, "calibrate after start()");
-  engine_.calibrate(train);
+  // The same quantile rule ScoringEngine::calibrate applies, run once on the
+  // borrowed detector; start() hands the threshold to every shard engine.
+  threshold_ = core::calibrate_threshold(*detector_, train, config_.engine.monitor);
+  calibrated_ = true;
 }
 
 void AsyncScoringRuntime::set_threshold(float threshold) {
   check(!started_, "set_threshold after start()");
-  engine_.set_threshold(threshold);
+  threshold_ = threshold;
+  calibrated_ = true;
 }
 
 void AsyncScoringRuntime::on_score(std::function<void(const StreamScore&)> callback) {
@@ -56,26 +80,72 @@ void AsyncScoringRuntime::on_score(std::function<void(const StreamScore&)> callb
 void AsyncScoringRuntime::start() {
   check(!started_, "start() called twice");
   check(!closed(), "start() after close()");
-  check(n_streams() >= 1, "start() with no streams");
-  check(engine_.calibrated(), "start() before calibrate()/set_threshold()");
+  check(n_streams_ >= 1, "start() with no streams");
+  check(calibrated_, "start() before calibrate()/set_threshold()");
+
+  const Index active = n_active_shards();
+  // One detector replica per shard beyond the first (shard 0 scores through
+  // the borrowed instance, mirroring the engine's own replica scheme). A
+  // null clone marks the detector as non-replicable: every shard then
+  // shares the borrowed instance and serialises engine calls on
+  // shared_detector_mu_.
+  share_detector_ = false;
+  for (Index k = 1; k < active && !share_detector_; ++k) {
+    shards_[static_cast<std::size_t>(k)].replica = detector_->clone_fitted();
+    if (shards_[static_cast<std::size_t>(k)].replica == nullptr) share_detector_ = true;
+  }
+  if (share_detector_)
+    for (Shard& shard : shards_) shard.replica.reset();
+
+  for (Index k = 0; k < active; ++k) {
+    Shard& shard = shards_[static_cast<std::size_t>(k)];
+    core::AnomalyDetector& det = shard.replica ? *shard.replica : *detector_;
+    shard.engine = std::make_unique<ScoringEngine>(det, *normalizer_, config_.engine);
+    // Subset view: the engine sees this shard's streams under dense local
+    // ids but reports scores under their global ids.
+    const Index owned = partition_.n_owned(k, n_streams_);
+    for (Index i = 0; i < owned; ++i) shard.engine->add_stream(partition_.global_of(k, i));
+    shard.engine->set_threshold(threshold_);
+  }
+
   // accepting_ first: a push that observes started_ must find intake open.
   accepting_.store(true, std::memory_order_release);
   started_.store(true, std::memory_order_release);
-  scorer_ = std::thread([this] { scorer_loop(); });
+  for (Index k = 0; k < active; ++k) {
+    Shard& shard = shards_[static_cast<std::size_t>(k)];
+    shard.scorer = std::thread([this, &shard] { shard_loop(shard); });
+  }
 }
 
 AsyncScoringRuntime::StreamIngest& AsyncScoringRuntime::ingest_at(Index stream) {
   // Branch before building the message: this sits on the per-sample push
-  // path, which must not allocate on success.
-  if (stream < 0 || stream >= n_streams())
-    throw Error(stream_range_message(stream, n_streams()));
-  return streams_[static_cast<std::size_t>(stream)];
+  // path, which must not allocate on success. Global bounds and global
+  // wording — the shard remap below cannot produce an out-of-range local.
+  if (stream < 0 || stream >= n_streams_)
+    throw Error(stream_range_message(stream, n_streams_));
+  return shards_[static_cast<std::size_t>(partition_.shard_of(stream))]
+      .ingest[static_cast<std::size_t>(partition_.local_of(stream))];
 }
 
 const AsyncScoringRuntime::StreamIngest& AsyncScoringRuntime::ingest_at(Index stream) const {
-  if (stream < 0 || stream >= n_streams())
-    throw Error(stream_range_message(stream, n_streams()));
-  return streams_[static_cast<std::size_t>(stream)];
+  if (stream < 0 || stream >= n_streams_)
+    throw Error(stream_range_message(stream, n_streams_));
+  return shards_[static_cast<std::size_t>(partition_.shard_of(stream))]
+      .ingest[static_cast<std::size_t>(partition_.local_of(stream))];
+}
+
+AsyncScoringRuntime::Shard& AsyncScoringRuntime::shard_at(Index shard) {
+  check(shard >= 0 && shard < n_shards(),
+        "shard id " + std::to_string(shard) + " out of range [0, " +
+            std::to_string(n_shards()) + ")");
+  return shards_[static_cast<std::size_t>(shard)];
+}
+
+const AsyncScoringRuntime::Shard& AsyncScoringRuntime::shard_at(Index shard) const {
+  check(shard >= 0 && shard < n_shards(),
+        "shard id " + std::to_string(shard) + " out of range [0, " +
+            std::to_string(n_shards()) + ")");
+  return shards_[static_cast<std::size_t>(shard)];
 }
 
 PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample) {
@@ -85,6 +155,7 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample) {
 PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
                                      BackpressurePolicy policy) {
   StreamIngest& ingest = ingest_at(stream);
+  Shard& shard = shards_[static_cast<std::size_t>(partition_.shard_of(stream))];
   if (!started_.load(std::memory_order_acquire)) {
     // A closed runtime rejects (documented contract) even if it was never
     // started; pushing before start() on a live runtime is a usage error.
@@ -96,7 +167,7 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
   }
 
   // Intake gate: while the stream's active_pushers is held, close() will not
-  // let the scorer finish — so a push that passes the accepting_ check is
+  // let the scorers finish — so a push that passes the accepting_ check is
   // guaranteed to be drained and scored. seq_cst on both gate accesses (and
   // on close()'s side) rules out the store-buffering interleaving where
   // close() misses the counter and this push misses the accepting_ flip.
@@ -121,8 +192,8 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
         }
         continue;
       }
-      // Block: wait for the scorer to free a slot; bail out if the runtime
-      // closes under us.
+      // Block: wait for the shard's scorer to free a slot; bail out if the
+      // runtime closes under us.
       if (!accepting_.load(std::memory_order_acquire)) break;
       backoff.wait();
     }
@@ -136,7 +207,9 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
   }
   ingest.active_pushers.fetch_sub(1, std::memory_order_release);
 
-  if (result != PushResult::Rejected && asleep_.load(std::memory_order_acquire)) wake_scorer();
+  // Only the owning shard's scorer cares about this sample.
+  if (result != PushResult::Rejected && shard.asleep.load(std::memory_order_acquire))
+    wake_shard(shard);
   return result;
 }
 
@@ -146,83 +219,106 @@ PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw
 
 PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw_sample,
                                      BackpressurePolicy policy) {
-  if (static_cast<Index>(raw_sample.size()) != engine_.n_channels())
+  if (static_cast<Index>(raw_sample.size()) != normalizer_->n_channels())
     throw Error("sample channel count mismatch");
   return push(stream, raw_sample.data(), policy);
 }
 
-void AsyncScoringRuntime::wake_scorer() {
-  std::lock_guard<std::mutex> lock(wake_mu_);
-  wake_cv_.notify_one();
+void AsyncScoringRuntime::wake_shard(Shard& shard) {
+  std::lock_guard<std::mutex> lock(shard.wake_mu);
+  shard.wake_cv.notify_one();
 }
 
-long AsyncScoringRuntime::drain_ring(Index stream, float* sample, bool bounded) {
-  SampleRing& ring = streams_[static_cast<std::size_t>(stream)].ring;
+long AsyncScoringRuntime::drain_ring(Shard& shard, Index local, bool bounded) {
+  SampleRing& ring = shard.ingest[static_cast<std::size_t>(local)].ring;
+  ScoringEngine& engine = *shard.engine;
   const Index max_pops = bounded ? ring.capacity() : -1;
   long drained = 0;
   for (Index k = 0; max_pops < 0 || k < max_pops; ++k) {
-    if (!ring.try_pop(sample)) break;
-    engine_.push(stream, sample);
+    // Zero-copy: the engine buffers the sample straight from the ring slot;
+    // no staging vector in between.
+    if (!ring.try_pop_with([&](const float* sample) { engine.push(local, sample); })) break;
     ++drained;
   }
   return drained;
 }
 
-void AsyncScoringRuntime::emit(std::vector<StreamScore> scores) {
+void AsyncScoringRuntime::emit(Shard& shard, std::vector<StreamScore> scores) {
   if (scores.empty()) return;
   if (callback_) {
+    // Serialised across shards so user callbacks never run concurrently;
+    // per-stream order is preserved (a stream has exactly one shard).
+    std::lock_guard<std::mutex> lock(callback_mu_);
     for (const StreamScore& s : scores) callback_(s);
     return;
   }
-  std::lock_guard<std::mutex> lock(results_mu_);
-  results_.insert(results_.end(), scores.begin(), scores.end());
+  std::lock_guard<std::mutex> lock(shard.results_mu);
+  shard.results.insert(shard.results.end(), scores.begin(), scores.end());
 }
 
 std::vector<StreamScore> AsyncScoringRuntime::drain_scores() {
   std::vector<StreamScore> out;
-  {
-    std::lock_guard<std::mutex> lock(results_mu_);
-    out.swap(results_);
+  const Index active = n_active_shards();
+  for (Index k = 0; k < active; ++k) {
+    Shard& shard = shards_[static_cast<std::size_t>(k)];
+    std::lock_guard<std::mutex> lock(shard.results_mu);
+    if (out.empty()) {
+      out.swap(shard.results);
+    } else {
+      out.insert(out.end(), shard.results.begin(), shard.results.end());
+      shard.results.clear();
+    }
   }
   return out;
 }
 
-void AsyncScoringRuntime::scorer_loop() {
-  scorer_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+void AsyncScoringRuntime::shard_loop(Shard& shard) {
+  shard.tid.store(std::this_thread::get_id(), std::memory_order_relaxed);
   try {
-    scorer_loop_impl();
+    shard_loop_impl(shard);
   } catch (...) {
     // Shut intake and exit; close() rethrows after the join. Samples still
-    // buffered in the rings at this point are not scored.
-    scorer_error_ = std::current_exception();
+    // buffered in this shard's rings at this point are not scored.
+    shard.error = std::current_exception();
     accepting_.store(false, std::memory_order_release);
   }
 }
 
-void AsyncScoringRuntime::scorer_loop_impl() {
-  const Index n = n_streams();
-  std::vector<float> sample(static_cast<std::size_t>(engine_.n_channels()));
-  // Nap escalation: producers that observe asleep_ notify under the mutex,
-  // so a sleeping scorer wakes immediately when traffic resumes; the timeout
-  // only backstops the rare stale-asleep_-read window. Doubling it while
-  // consecutively idle lets a quiet runtime go properly to sleep instead of
-  // burning ~2000 wakeups/s forever.
+void AsyncScoringRuntime::shard_loop_impl(Shard& shard) {
+  const auto n = static_cast<Index>(shard.ingest.size());
+  // Engine calls go through here so the non-replicable fallback (all shards
+  // share the borrowed detector) serialises scoring without touching the
+  // replicated fast path. Ring drains stay concurrent either way: push()
+  // into an engine only buffers into that engine's own stream state.
+  const auto step_engine = [&]() -> std::vector<StreamScore> {
+    if (share_detector_) {
+      std::lock_guard<std::mutex> lock(shared_detector_mu_);
+      return shard.engine->step();
+    }
+    return shard.engine->step();
+  };
+  // Nap escalation, per shard: producers that observe this shard asleep
+  // notify under its mutex, so a sleeping shard wakes immediately when its
+  // own traffic resumes — and an idle shard sleeps through other shards'
+  // traffic instead of busy-spinning. The timeout only backstops the rare
+  // stale-asleep-read window; doubling it while consecutively idle lets a
+  // quiet shard go properly to sleep instead of burning ~2000 wakeups/s.
   constexpr std::chrono::microseconds kNapFloor{500};
   constexpr std::chrono::microseconds kNapCeiling{50000};
   std::chrono::microseconds nap = kNapFloor;
   int idle = 0;
   for (;;) {
-    // One round: drain every ring round-robin into the engine (each ring
-    // FIFO, so per-stream producer order is preserved), then score. At most
-    // one ring's worth per stream per round, so a hot producer refilling its
-    // ring cannot starve the other streams.
+    // One round: drain this shard's rings round-robin into its engine (each
+    // ring FIFO, so per-stream producer order is preserved), then score. At
+    // most one ring's worth per stream per round, so a hot producer
+    // refilling its ring cannot starve the shard's other streams.
     long drained = 0;
-    for (Index s = 0; s < n; ++s) drained += drain_ring(s, sample.data(), /*bounded=*/true);
+    for (Index i = 0; i < n; ++i) drained += drain_ring(shard, i, /*bounded=*/true);
     if (drained > 0) {
       idle = 0;
       nap = kNapFloor;
-      emit(engine_.step());
-      rounds_.fetch_add(1, std::memory_order_relaxed);
+      emit(shard, step_engine());
+      shard.rounds.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // All rings looked empty — but that scan may predate a producer's last
@@ -232,10 +328,10 @@ void AsyncScoringRuntime::scorer_loop_impl() {
     // that will ever arrive; only then is exiting safe.
     if (stop_.load(std::memory_order_acquire)) {
       long final_drained = 0;
-      for (Index s = 0; s < n; ++s) final_drained += drain_ring(s, sample.data(), false);
+      for (Index i = 0; i < n; ++i) final_drained += drain_ring(shard, i, false);
       if (final_drained > 0) {
-        emit(engine_.step());
-        rounds_.fetch_add(1, std::memory_order_relaxed);
+        emit(shard, step_engine());
+        shard.rounds.fetch_add(1, std::memory_order_relaxed);
       }
       return;
     }
@@ -243,19 +339,22 @@ void AsyncScoringRuntime::scorer_loop_impl() {
       std::this_thread::yield();
       continue;
     }
-    // Nap until a producer (or close()) wakes us. The ring re-check happens
-    // after asleep_ is set under the mutex; a producer that misses the flag
-    // pushed early enough for that re-check to see its sample, and the
-    // timeout bounds any residual visibility latency.
+    // Nap until one of this shard's producers (or close()) wakes it. The
+    // ring re-check happens after asleep is set under the mutex; a producer
+    // that misses the flag pushed early enough for that re-check to see its
+    // sample, and the timeout bounds any residual visibility latency.
     bool timed_out = false;
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      asleep_.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(shard.wake_mu);
+      shard.asleep.store(true, std::memory_order_release);
       bool pending = stop_.load(std::memory_order_acquire);
-      for (Index s = 0; s < n && !pending; ++s)
-        pending = !streams_[static_cast<std::size_t>(s)].ring.empty_approx();
-      if (!pending) timed_out = wake_cv_.wait_for(lock, nap) == std::cv_status::timeout;
-      asleep_.store(false, std::memory_order_release);
+      for (Index i = 0; i < n && !pending; ++i)
+        pending = !shard.ingest[static_cast<std::size_t>(i)].ring.empty_approx();
+      if (!pending) {
+        shard.naps.fetch_add(1, std::memory_order_relaxed);
+        timed_out = shard.wake_cv.wait_for(lock, nap) == std::cv_status::timeout;
+      }
+      shard.asleep.store(false, std::memory_order_release);
     }
     if (timed_out) {
       // Still quiet: back off harder, and go straight to the next nap after
@@ -270,13 +369,14 @@ void AsyncScoringRuntime::scorer_loop_impl() {
 }
 
 void AsyncScoringRuntime::close() {
-  // Self-join guard: close() from the scoring thread (i.e. inside an
-  // on_score callback) would deadlock; fail loudly instead. The throw lands
-  // in scorer_loop's catch and surfaces from the real close() call. An
-  // unstarted runtime's scorer_tid_ is the default id, which matches no
-  // running thread.
-  check(std::this_thread::get_id() != scorer_tid_.load(std::memory_order_relaxed),
-        "close() must not be called from the scoring thread (on_score callback)");
+  // Self-join guard: close() from a scoring thread (i.e. inside an on_score
+  // callback) would deadlock; fail loudly instead. The throw lands in
+  // shard_loop's catch and surfaces from the real close() call. An unstarted
+  // runtime's tids are the default id, which matches no running thread.
+  const std::thread::id self = std::this_thread::get_id();
+  for (const Shard& shard : shards_)
+    check(self != shard.tid.load(std::memory_order_relaxed),
+          "close() must not be called from a scoring thread (on_score callback)");
   // First caller performs the shutdown; any concurrent caller waits for it.
   if (closing_.exchange(true, std::memory_order_acq_rel)) {
     Backoff spin;
@@ -292,19 +392,27 @@ void AsyncScoringRuntime::close() {
   accepting_.store(false, std::memory_order_seq_cst);
   // 2. Wait for in-flight pushes, so every accepted sample is in a ring.
   Backoff backoff;
-  for (auto& stream : streams_) {
-    while (stream.active_pushers.load(std::memory_order_seq_cst) > 0) backoff.wait();
-    backoff.reset();
+  for (Shard& shard : shards_) {
+    for (StreamIngest& ingest : shard.ingest) {
+      while (ingest.active_pushers.load(std::memory_order_seq_cst) > 0) backoff.wait();
+      backoff.reset();
+    }
   }
-  // 3. Tell the scorer to drain to empty and exit, and join it.
+  // 3. Tell every scorer to drain to empty and exit, and join them all.
   stop_.store(true, std::memory_order_release);
-  wake_scorer();
-  scorer_.join();
-  // Clear the published id: a future thread recycling it must not trip the
-  // self-join guard on a (legal, idempotent) later close().
-  scorer_tid_.store(std::thread::id{}, std::memory_order_relaxed);
+  const Index active = n_active_shards();
+  for (Index k = 0; k < active; ++k) wake_shard(shards_[static_cast<std::size_t>(k)]);
+  std::exception_ptr first_error;
+  for (Index k = 0; k < active; ++k) {
+    Shard& shard = shards_[static_cast<std::size_t>(k)];
+    shard.scorer.join();
+    // Clear the published id: a future thread recycling it must not trip
+    // the self-join guard on a (legal, idempotent) later close().
+    shard.tid.store(std::thread::id{}, std::memory_order_relaxed);
+    if (shard.error && !first_error) first_error = shard.error;
+  }
   closed_.store(true, std::memory_order_release);
-  if (scorer_error_) std::rethrow_exception(scorer_error_);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 IngestStats AsyncScoringRuntime::stats(Index stream) const {
@@ -316,30 +424,72 @@ IngestStats AsyncScoringRuntime::stats(Index stream) const {
   return s;
 }
 
+long AsyncScoringRuntime::rounds() const {
+  long total = 0;
+  for (const Shard& shard : shards_) total += shard.rounds.load(std::memory_order_relaxed);
+  return total;
+}
+
+ShardStats AsyncScoringRuntime::shard_stats(Index shard) const {
+  const Shard& sh = shard_at(shard);
+  ShardStats s;
+  s.n_streams = static_cast<Index>(sh.ingest.size());
+  s.rounds = sh.rounds.load(std::memory_order_relaxed);
+  s.naps = sh.naps.load(std::memory_order_relaxed);
+  return s;
+}
+
 void AsyncScoringRuntime::require_quiescent(const char* what) const {
   check(!started_.load(std::memory_order_acquire) || closed(),
-        std::string(what) + " races with the scoring thread: call it before start() or after "
+        std::string(what) + " races with the scoring threads: call it before start() or after "
                             "close()");
+}
+
+void AsyncScoringRuntime::require_started_shards(const char* what) const {
+  check(started_.load(std::memory_order_acquire),
+        std::string(what) + " before start(): the shard engines are built by start()");
 }
 
 bool AsyncScoringRuntime::in_alarm(Index stream) const {
   require_quiescent("in_alarm()");
-  return engine_.in_alarm(stream);
+  ingest_at(stream);  // global bounds check, global wording
+  const Shard& shard = shards_[static_cast<std::size_t>(partition_.shard_of(stream))];
+  if (!shard.engine) return false;  // never started: empty stream state
+  return shard.engine->in_alarm(partition_.local_of(stream));
 }
 
 const std::vector<core::AnomalyEvent>& AsyncScoringRuntime::events(Index stream) const {
   require_quiescent("events()");
-  return engine_.events(stream);
+  ingest_at(stream);  // global bounds check, global wording
+  const Shard& shard = shards_[static_cast<std::size_t>(partition_.shard_of(stream))];
+  if (!shard.engine) {
+    static const std::vector<core::AnomalyEvent> kNoEvents;
+    return kNoEvents;  // never started: empty stream state
+  }
+  return shard.engine->events(partition_.local_of(stream));
 }
 
 Index AsyncScoringRuntime::samples_seen(Index stream) const {
   require_quiescent("samples_seen()");
-  return engine_.samples_seen(stream);
+  ingest_at(stream);  // global bounds check, global wording
+  const Shard& shard = shards_[static_cast<std::size_t>(partition_.shard_of(stream))];
+  if (!shard.engine) return 0;  // never started: empty stream state
+  return shard.engine->samples_seen(partition_.local_of(stream));
+}
+
+const ScoringEngine& AsyncScoringRuntime::shard_engine(Index shard) const {
+  require_quiescent("shard_engine()");
+  require_started_shards("shard_engine()");
+  const Shard& sh = shard_at(shard);
+  check(sh.engine != nullptr, "shard " + std::to_string(shard) + " owns no streams");
+  return *sh.engine;
 }
 
 const ScoringEngine& AsyncScoringRuntime::engine() const {
   require_quiescent("engine()");
-  return engine_;
+  check(n_shards() == 1, "engine() on a sharded runtime: use shard_engine(shard)");
+  require_started_shards("engine()");
+  return *shards_.front().engine;
 }
 
 }  // namespace varade::serve

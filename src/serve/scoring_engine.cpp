@@ -32,10 +32,13 @@ ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
   // step()), so they always reflect the detector's state at serving time.
 }
 
-Index ScoringEngine::add_stream() {
+Index ScoringEngine::add_stream() { return add_stream(n_streams()); }
+
+Index ScoringEngine::add_stream(Index global_id) {
   StreamState state;
   state.alarm = core::AlarmTracker(config_.monitor);
   state.scratch.resize(static_cast<std::size_t>(normalizer_->n_channels()));
+  state.global_id = global_id;
   streams_.push_back(std::move(state));
   return n_streams() - 1;
 }
@@ -205,7 +208,7 @@ std::vector<StreamScore> ScoringEngine::step() {
 
     for (Index s : active) {
       const StreamState& st = streams_[static_cast<std::size_t>(s)];
-      out.push_back({s, st.samples_seen - 1, st.score});
+      out.push_back({st.global_id, st.samples_seen - 1, st.score});
     }
   }
   return out;

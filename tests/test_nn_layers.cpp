@@ -89,6 +89,40 @@ TEST(Conv1d, PaddingPreservesLength) {
   EXPECT_EQ(c.forward(x).shape(), (Shape{2, 3, 6}));
 }
 
+// forward_inference runs a vectorised kernel (blocked across output steps,
+// boundary steps scalar) while forward runs the scalar reference; its
+// per-element accumulation order is preserved, so the two must agree bit for
+// bit across every geometry the models use — including windows entirely
+// inside the padding and lengths that are not multiples of the block size.
+TEST(Conv1d, InferenceKernelMatchesForwardBitForBit) {
+  struct Geometry {
+    Index in_ch, out_ch, kernel, stride, padding, batch, length;
+  };
+  const std::vector<Geometry> cases = {
+      {1, 1, 2, 2, 0, 1, 8},    // VARADE trunk: halving conv, no padding
+      {3, 8, 2, 2, 0, 5, 32},   //  - wider, batched
+      {3, 4, 2, 1, 0, 2, 24},   // k2/s1: the remaining specialised kernel
+      {2, 3, 3, 1, 1, 2, 6},    // AE residual block: same-length conv
+      {4, 4, 3, 1, 1, 3, 37},   //  - length not a multiple of the block
+      {2, 2, 5, 1, 2, 2, 4},    // kernel wider than half the input
+      {1, 2, 3, 2, 3, 2, 3},    // padding > kernel: boundary-only outputs
+      {2, 4, 4, 3, 2, 1, 19},   // stride > 1 with padding (strided interior)
+  };
+  std::uint64_t seed = 7;
+  for (const Geometry& g : cases) {
+    Rng rng(seed++);
+    Conv1d conv(g.in_ch, g.out_ch, g.kernel, g.stride, g.padding, rng);
+    const Tensor x = Tensor::randn({g.batch, g.in_ch, g.length}, rng);
+    const Tensor ref = conv.forward(x);
+    const Tensor fast = conv.forward_inference(x);
+    ASSERT_EQ(ref.shape(), fast.shape());
+    for (Index i = 0; i < ref.numel(); ++i)
+      ASSERT_EQ(ref[i], fast[i]) << "kernel=" << g.kernel << " stride=" << g.stride
+                                 << " padding=" << g.padding << " length=" << g.length
+                                 << " element " << i;
+  }
+}
+
 TEST(ConvTranspose1d, ForwardGeometryAndValues) {
   Rng rng(1);
   ConvTranspose1d c(1, 1, 2, 2, rng);
