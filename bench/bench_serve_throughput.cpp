@@ -24,11 +24,19 @@
 // --json <path> writes the per-detector sequential vs. batched samples/s as a
 // machine-readable record (the repo's BENCH_*.json perf trajectory points).
 //
+// --score-threads N enables intra-batch parallel scoring: every score_batch
+// call (direct path, engine grid, and async runtime) splits its B axis
+// across N detector-side workers via AnomalyDetector::set_scoring_threads.
+// Scores stay bit-identical at any N (asserted); 0 = hardware concurrency.
+//
 // Usage: bench_serve_throughput [--quick] [--async] [--shards N] [--streams N]
-//                               [--samples N] [--detector <name>|all] [--json <path>]
+//                               [--samples N] [--score-threads N]
+//                               [--detector <name>|all] [--json <path>]
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -99,6 +107,20 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Checked integer parsing for numeric flags: exits naming the offending
+/// flag on anything that is not a clean decimal number (std::atol would
+/// silently turn garbage into 0 and let negatives through unremarked).
+long parse_long_arg(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got \"%s\"\n", flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 struct BenchResult {
   std::string detector;
   // Direct scoring path: the same pre-gathered (context, observation) pairs
@@ -106,6 +128,9 @@ struct BenchResult {
   // implementations from serving-layer overhead.
   double seq_samples_per_s = 0.0;      // score_step row by row
   double batched_samples_per_s = 0.0;  // score_batch, chunks of kScoreChunk
+  // score_batch with intra-batch parallelism (--score-threads N, N != 1
+  // only; 0 when not measured). Bit-identical to the other two paths.
+  double parallel_samples_per_s = 0.0;
   // End-to-end serving stack.
   double base_samples_per_s = 0.0;  // sequential OnlineMonitor
   double best_samples_per_s = 0.0;  // best engine configuration
@@ -126,7 +151,7 @@ constexpr Index kScoreChunk = 64;
 /// taking the best of three timed repetitions per path, and exits the
 /// process unless the two score vectors are bit-identical.
 void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateSeries& series,
-                      BenchResult& result) {
+                      int score_threads, BenchResult& result) {
   const Index window = detector.context_window();
   const Index c = series.n_channels();
   const Index rows = series.length() - window;
@@ -182,6 +207,38 @@ void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateS
               result.seq_samples_per_s, static_cast<long>(kScoreChunk),
               result.batched_samples_per_s,
               result.batched_samples_per_s / result.seq_samples_per_s);
+
+  if (score_threads != 1) {
+    // Same chunked score_batch loop with intra-batch parallelism enabled;
+    // the scores must still match the sequential path to the last bit.
+    std::vector<float> parallel_scores(static_cast<std::size_t>(rows));
+    detector.set_scoring_threads(score_threads);
+    double parallel_s = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = Clock::now();
+      for (Index begin = 0; begin < rows; begin += kScoreChunk) {
+        const Index n = std::min(kScoreChunk, rows - begin);
+        detector.score_batch(contexts.slice0(begin, begin + n),
+                             observed.slice0(begin, begin + n),
+                             parallel_scores.data() + begin);
+      }
+      const double p = seconds_since(start);
+      if (rep == 0 || p < parallel_s) parallel_s = p;
+    }
+    detector.set_scoring_threads(1);
+    if (std::memcmp(seq_scores.data(), parallel_scores.data(),
+                    static_cast<std::size_t>(rows) * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "FATAL: %s score_batch with %d scoring threads drifted from score_step\n",
+                   detector.name().c_str(), score_threads);
+      std::exit(1);
+    }
+    result.parallel_samples_per_s = static_cast<double>(rows) / parallel_s;
+    std::printf("scoring path: score_batch(%ld) x %d scoring threads %.0f samples/s"
+                " (%.2fx vs 1 thread, bit-identical)\n",
+                static_cast<long>(kScoreChunk), score_threads, result.parallel_samples_per_s,
+                result.parallel_samples_per_s / result.batched_samples_per_s);
+  }
 }
 
 /// Replays the streams through the AsyncScoringRuntime with `n_producers`
@@ -193,11 +250,14 @@ void score_path_bench(core::AnomalyDetector& detector, const data::MultivariateS
 double bench_async_once(core::AnomalyDetector& detector,
                         const data::MinMaxNormalizer& normalizer, float threshold,
                         const std::vector<data::MultivariateSeries>& streams,
-                        Index n_samples, int n_producers, Index n_shards,
+                        Index n_samples, int n_producers, Index n_shards, int score_threads,
                         double& checksum_out) {
   const auto n_streams = static_cast<Index>(streams.size());
   serve::AsyncRuntimeConfig cfg;
-  cfg.engine = {.n_threads = 1, .max_batch = 32, .shard_forward = true};
+  cfg.engine = {.n_threads = 1,
+                .max_batch = 32,
+                .shard_forward = true,
+                .scoring_threads = score_threads};
   cfg.ring_capacity = 1024;
   cfg.backpressure = serve::BackpressurePolicy::Block;
   cfg.n_shards = n_shards;
@@ -236,7 +296,8 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
                            const data::MinMaxNormalizer& normalizer,
                            const data::MultivariateSeries& train,
                            const std::vector<data::MultivariateSeries>& streams,
-                           Index n_samples, bool run_async, Index n_shards) {
+                           Index n_samples, bool run_async, Index n_shards,
+                           int score_threads) {
   const auto n_streams = static_cast<Index>(streams.size());
   const long total = static_cast<long>(n_streams) * static_cast<long>(n_samples);
 
@@ -259,7 +320,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
   result.base_samples_per_s = static_cast<double>(total) / base_s;
 
   std::printf("\n=== %s ===\n", detector.name().c_str());
-  score_path_bench(detector, train, result);
+  score_path_bench(detector, train, score_threads, result);
   std::printf("%-34s %10s %12s %9s\n", "configuration", "time s", "samples/s", "speedup");
   std::printf("%-34s %10.3f %12.0f %9s\n", "sequential OnlineMonitor", base_s,
               static_cast<double>(total) / base_s, "1.00x");
@@ -272,9 +333,11 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
                                     {2, 32}, {4, 8},  {4, 32}, {4, 64}};
 
   for (const Config& cfg : grid) {
-    serve::ScoringEngine engine(
-        detector, normalizer,
-        {.n_threads = cfg.threads, .max_batch = cfg.max_batch, .shard_forward = true});
+    serve::ScoringEngine engine(detector, normalizer,
+                                {.n_threads = cfg.threads,
+                                 .max_batch = cfg.max_batch,
+                                 .shard_forward = true,
+                                 .scoring_threads = score_threads});
     engine.add_streams(n_streams);
     engine.set_threshold(threshold);
 
@@ -323,7 +386,8 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
         if (static_cast<Index>(producers) > n_streams) break;
         double checksum = 0.0;
         const double secs = bench_async_once(detector, normalizer, threshold, streams,
-                                             n_samples, producers, shards, checksum);
+                                             n_samples, producers, shards, score_threads,
+                                             checksum);
         const double samples_per_s = static_cast<double>(total) / secs;
         char label[64];
         std::snprintf(label, sizeof(label), "async runtime  shards=%ld producers=%d",
@@ -355,7 +419,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
 /// Writes the per-detector sequential vs. batched samples/s as JSON — the
 /// format of the repo's BENCH_*.json perf-trajectory records.
 void write_json(const std::string& path, Index n_streams, Index n_samples, Index n_shards,
-                const std::vector<BenchResult>& results) {
+                int score_threads, const std::vector<BenchResult>& results) {
   std::ofstream f(path);
   if (!f.is_open()) {
     std::fprintf(stderr, "error: cannot open --json path %s for writing\n", path.c_str());
@@ -366,6 +430,7 @@ void write_json(const std::string& path, Index n_streams, Index n_samples, Index
   f << "  \"streams\": " << n_streams << ",\n";
   f << "  \"samples\": " << n_samples << ",\n";
   f << "  \"shards\": " << serve::ShardPartition::resolve(n_shards) << ",\n";
+  f << "  \"score_threads\": " << score_threads << ",\n";
   f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
   f << "  \"detectors\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -374,12 +439,14 @@ void write_json(const std::string& path, Index n_streams, Index n_samples, Index
     std::snprintf(line, sizeof(line),
                   "    {\"detector\": \"%s\", \"sequential_samples_per_s\": %.1f, "
                   "\"batched_samples_per_s\": %.1f, \"batched_speedup\": %.3f, "
+                  "\"parallel_batched_samples_per_s\": %.1f, "
                   "\"monitor_samples_per_s\": %.1f, \"engine_best_samples_per_s\": %.1f, "
                   "\"engine_best_config\": \"%s\", \"async_samples_per_s\": %.1f, "
                   "\"async_config\": \"%s\", \"sharded_samples_per_s\": %.1f, "
                   "\"sharded_config\": \"%s\"}%s\n",
                   r.detector.c_str(), r.seq_samples_per_s, r.batched_samples_per_s,
-                  r.batched_samples_per_s / r.seq_samples_per_s, r.base_samples_per_s,
+                  r.batched_samples_per_s / r.seq_samples_per_s, r.parallel_samples_per_s,
+                  r.base_samples_per_s,
                   r.best_samples_per_s, r.best_config.c_str(), r.async_samples_per_s,
                   r.async_config.c_str(), r.sharded_samples_per_s, r.sharded_config.c_str(),
                   i + 1 < results.size() ? "," : "");
@@ -399,6 +466,7 @@ int main(int argc, char** argv) {
   Index n_streams = 16;
   Index n_samples = 2000;
   Index n_shards = 1;
+  int score_threads = 1;
   std::string detector_arg = "VARADE";
   std::string json_path;
   bool run_async = false;
@@ -409,11 +477,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--async") == 0) {
       run_async = true;
     } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
-      n_shards = std::atol(argv[++a]);
+      n_shards = parse_long_arg("--shards", argv[++a]);
     } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
-      n_streams = std::atol(argv[++a]);
+      n_streams = parse_long_arg("--streams", argv[++a]);
     } else if (std::strcmp(argv[a], "--samples") == 0 && a + 1 < argc) {
-      n_samples = std::atol(argv[++a]);
+      n_samples = parse_long_arg("--samples", argv[++a]);
+    } else if (std::strcmp(argv[a], "--score-threads") == 0 && a + 1 < argc) {
+      score_threads = static_cast<int>(parse_long_arg("--score-threads", argv[++a]));
     } else if (std::strcmp(argv[a], "--detector") == 0 && a + 1 < argc) {
       detector_arg = argv[++a];
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
@@ -421,7 +491,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--async] [--shards N] [--streams N] [--samples N]"
-                   " [--detector <name>|all] [--json <path>]\n"
+                   " [--score-threads N] [--detector <name>|all] [--json <path>]\n"
                    "detectors: all",
                    argv[0]);
       for (const std::string& name : core::detector_names())
@@ -436,6 +506,10 @@ int main(int argc, char** argv) {
   }
   if (n_shards < 0) {
     std::fprintf(stderr, "error: --shards must be >= 0 (0 = auto)\n");
+    return 2;
+  }
+  if (score_threads < 0) {
+    std::fprintf(stderr, "error: --score-threads must be >= 0 (0 = hardware concurrency)\n");
     return 2;
   }
 
@@ -467,8 +541,8 @@ int main(int argc, char** argv) {
     const std::unique_ptr<core::AnomalyDetector> detector =
         core::make_detector(profile, name);  // throws on an unknown name
     detector->fit(train);
-    results.push_back(
-        bench_detector(*detector, normalizer, train, streams, n_samples, run_async, n_shards));
+    results.push_back(bench_detector(*detector, normalizer, train, streams, n_samples,
+                                     run_async, n_shards, score_threads));
   }
 
   if (results.size() > 1) {
@@ -492,7 +566,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!json_path.empty()) write_json(json_path, n_streams, n_samples, n_shards, results);
+  if (!json_path.empty())
+    write_json(json_path, n_streams, n_samples, n_shards, score_threads, results);
   std::printf("\nDone.\n");
   return 0;
 }

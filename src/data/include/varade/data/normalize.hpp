@@ -14,10 +14,12 @@ class MinMaxNormalizer {
  public:
   MinMaxNormalizer() = default;
 
-  /// Learns per-channel min/max from a series.
+  /// Learns per-channel min/max from a series. Throws on non-finite input
+  /// (NaN would silently fall out of the min/max comparisons otherwise).
   void fit(const MultivariateSeries& series);
 
-  /// Learns per-channel min/max from a [n, d] tensor.
+  /// Learns per-channel min/max from a [n, d] tensor; rejects non-finite
+  /// values, naming the offending channel and row.
   void fit(const Tensor& x);
 
   /// Maps values into [-1, 1]; constant channels map to 0.
@@ -34,6 +36,9 @@ class MinMaxNormalizer {
   float channel_max(Index c) const;
 
   void save(std::ostream& out) const;
+
+  /// Restores a saved normalizer; rejects streams whose per-channel bounds
+  /// are non-finite or have max < min (corrupt or hand-crafted data).
   void load(std::istream& in);
 
  private:

@@ -1,8 +1,10 @@
 #include "varade/data/normalize.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <string>
 
 namespace varade::data {
 
@@ -20,6 +22,14 @@ void MinMaxNormalizer::fit(const Tensor& x) {
   for (Index i = 0; i < n; ++i) {
     for (Index j = 0; j < d; ++j) {
       const float v = x[i * d + j];
+      // Rejected per element: std::min/std::max comparisons silently drop
+      // NaN (the comparison is false, keeping the other operand), so a
+      // post-loop check of mins_/maxs_ could not detect poisoned input.
+      if (!std::isfinite(v)) {
+        mins_.clear();
+        maxs_.clear();
+        fail("normalizer fit data must be finite (channel ", j, ", row ", i, " is ", v, ")");
+      }
       auto js = static_cast<std::size_t>(j);
       mins_[js] = std::min(mins_[js], v);
       maxs_[js] = std::max(maxs_[js], v);
@@ -108,7 +118,24 @@ void MinMaxNormalizer::load(std::istream& in) {
   maxs_.resize(d);
   in.read(reinterpret_cast<char*>(mins_.data()), static_cast<std::streamsize>(d * sizeof(float)));
   in.read(reinterpret_cast<char*>(maxs_.data()), static_cast<std::streamsize>(d * sizeof(float)));
-  check(static_cast<bool>(in), "unexpected end of normalizer stream");
+  if (!in) {
+    mins_.clear();
+    maxs_.clear();
+    fail("unexpected end of normalizer stream");
+  }
+  // A fitted normalizer always satisfies min <= max with finite bounds
+  // (fit() rejects non-finite data), so anything else is a corrupt or
+  // hand-crafted stream. The isfinite checks also catch NaN, which would
+  // sail through the >= comparison below.
+  for (std::size_t j = 0; j < d; ++j) {
+    if (!std::isfinite(mins_[j]) || !std::isfinite(maxs_[j]) || maxs_[j] < mins_[j]) {
+      const float lo = mins_[j];
+      const float hi = maxs_[j];
+      mins_.clear();
+      maxs_.clear();
+      fail("malformed normalizer stream: channel ", j, " has min ", lo, ", max ", hi);
+    }
+  }
 }
 
 }  // namespace varade::data

@@ -112,6 +112,14 @@ class Conv1d : public Module {
   Tensor cached_input_;
 };
 
+/// Name of the convolution inference kernel set selected by the runtime
+/// dispatch table ("avx2" or "scalar"): resolved once at first use via
+/// __builtin_cpu_supports, shared by Conv1d::forward_inference and
+/// ConvTranspose1d::forward_inference. Exposed so tests can assert the
+/// vectorised path actually runs (including under sanitizers, where the
+/// previous ifunc-based multiversioning silently fell back to scalar).
+const char* conv1d_kernel_name();
+
 /// 1-D transposed convolution (upsampling), inverse geometry of Conv1d with
 /// the same kernel/stride and no padding: L_out = (L_in - 1) * stride + k.
 class ConvTranspose1d : public Module {
@@ -128,8 +136,11 @@ class ConvTranspose1d : public Module {
   long flops(const Shape& in) const override;
 
  private:
-  /// The computation itself, shared by forward and forward_inference so both
-  /// paths are bit-identical by construction.
+  /// The scalar reference scatter, used by forward (which must cache the
+  /// input anyway) and by forward_inference for overlapping geometries
+  /// (stride < kernel). For stride >= kernel forward_inference runs a
+  /// blocked kernel through the dispatch table with the same per-element
+  /// semantics, so both paths stay bit-identical (pinned by test_nn_layers).
   Tensor apply(const Tensor& x) const;
 
   Index in_ch_;

@@ -85,6 +85,9 @@ struct ShardPartition {
 struct AsyncRuntimeConfig {
   /// Configuration of the per-shard ScoringEngines the runtime owns and
   /// drives (each shard gets its own engine, thread pool, and replicas).
+  /// engine.scoring_threads rides along: each shard's detector then splits
+  /// every score_batch call across that many intra-batch workers,
+  /// bit-identically at any value.
   ScoringEngineConfig engine;
   /// Per-stream ring capacity in samples; rounded up to a power of two.
   Index ring_capacity = 1024;

@@ -48,6 +48,12 @@ struct ScoringEngineConfig {
   /// state, so results are unchanged). Only takes effect with n_threads > 1
   /// and a detector whose clone_fitted() is supported.
   bool shard_forward = true;
+  /// Intra-batch scoring threads applied to the detector (and every replica)
+  /// via AnomalyDetector::set_scoring_threads: each score_batch call splits
+  /// its B axis across this many workers, bit-identically at any value.
+  /// 1 = sequential (default), 0 = hardware concurrency. Orthogonal to
+  /// shard_forward, which parallelises across chunks rather than within one.
+  int scoring_threads = 1;
   /// Alarm behaviour shared by every stream.
   core::MonitorConfig monitor;
 };

@@ -28,6 +28,9 @@ ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
   check(normalizer.fitted(), "ScoringEngine requires a fitted normalizer");
   check(config_.max_batch >= 1, "max_batch must be >= 1");
   core::validate(config_.monitor);
+  // Intra-batch parallelism is a detector-side setting; the engine applies
+  // it to the borrowed instance here and to every replica as it is cloned.
+  detector.set_scoring_threads(config_.scoring_threads);
   // Replicas are built by calibrate()/set_threshold() (both mandatory before
   // step()), so they always reflect the detector's state at serving time.
 }
@@ -66,6 +69,7 @@ void ScoringEngine::rebuild_replicas() {
       replicas_.clear();
       return;
     }
+    replica->set_scoring_threads(config_.scoring_threads);
     replicas_.push_back(std::move(replica));
   }
 }

@@ -117,13 +117,17 @@ Tensor MultiOutputGbrf::predict_one(const Tensor& sample) const {
 Tensor MultiOutputGbrf::predict(const Tensor& x) const {
   check(fitted(), "MultiOutputGbrf predict before fit");
   check(x.rank() == 2, "predict expects [n, d]");
-  const Index n = x.dim(0);
+  Tensor out({x.dim(0), n_outputs()});
+  predict_rows(x.data(), x.dim(0), x.dim(1), out.data());
+  return out;
+}
+
+void MultiOutputGbrf::predict_rows(const float* x, Index n, Index d, float* out) const {
+  check(fitted(), "MultiOutputGbrf predict before fit");
   const Index m = n_outputs();
-  Tensor out({n, m});
   // One tree-major sweep per output ensemble, writing its column of [n, m].
   for (Index j = 0; j < m; ++j)
-    models_[static_cast<std::size_t>(j)].predict_rows(x.data(), n, x.dim(1), out.data() + j, m);
-  return out;
+    models_[static_cast<std::size_t>(j)].predict_rows(x, n, d, out + j, m);
 }
 
 }  // namespace varade::trees

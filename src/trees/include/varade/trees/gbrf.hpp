@@ -66,6 +66,11 @@ class MultiOutputGbrf {
   /// Predicts X [n, d] into [n, m].
   Tensor predict(const Tensor& x) const;
 
+  /// Raw-pointer form of predict for callers scoring a row range in place:
+  /// reads `n` rows of `d` features at `x`, writes the [n, m] predictions
+  /// row-major at `out`. Per-row accumulation order matches predict_one.
+  void predict_rows(const float* x, Index n, Index d, float* out) const;
+
   bool fitted() const { return !models_.empty(); }
   Index n_outputs() const { return static_cast<Index>(models_.size()); }
 

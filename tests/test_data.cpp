@@ -2,7 +2,10 @@
 // windowing, CSV round trips.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "varade/data/csv.hpp"
 #include "varade/data/normalize.hpp"
@@ -139,6 +142,69 @@ TEST(Normalizer, ErrorsBeforeFit) {
   MinMaxNormalizer norm;
   EXPECT_THROW(norm.transform(Tensor({1, 2})), Error);
   EXPECT_THROW(norm.fit(Tensor({0, 2})), Error);
+}
+
+TEST(Normalizer, FitRejectsNonFiniteData) {
+  // NaN silently falls out of std::min/std::max comparisons, so without the
+  // per-element check a poisoned channel would keep stale finite bounds and
+  // normalise garbage without a trace. Every non-finite class must throw and
+  // leave the normalizer unfitted.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const float bad : {nan, inf, -inf}) {
+    MinMaxNormalizer norm;
+    Tensor x = Tensor::matrix({{0.0F, 1.0F}, {2.0F, 3.0F}});
+    x[2] = bad;  // row 1, channel 0
+    try {
+      norm.fit(x);
+      FAIL() << "fit accepted " << bad;
+    } catch (const Error& e) {
+      // The message names the offending coordinates.
+      EXPECT_NE(std::string(e.what()).find("channel 0, row 1"), std::string::npos) << e.what();
+    }
+    EXPECT_FALSE(norm.fitted());
+  }
+}
+
+TEST(Normalizer, LoadRejectsInvertedOrNonFiniteBounds) {
+  // A saved stream is trusted input to transform_sample; max < min (or a NaN
+  // bound, which sails through any ordering comparison) must not load.
+  const auto corrupt_stream = [](float lo, float hi) {
+    MinMaxNormalizer norm;
+    norm.fit(Tensor::matrix({{0.0F, -5.0F}, {10.0F, 5.0F}}));
+    std::stringstream buffer;
+    norm.save(buffer);
+    std::string bytes = buffer.str();
+    // Channel 1's min/max live after the 8-byte count at offsets 12 and 20.
+    std::memcpy(bytes.data() + 12, &lo, sizeof(lo));
+    std::memcpy(bytes.data() + 20, &hi, sizeof(hi));
+    return bytes;
+  };
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  struct Case {
+    float lo, hi;
+  };
+  for (const Case& c : {Case{5.0F, -5.0F}, Case{nan, 1.0F}, Case{0.0F, nan}}) {
+    std::stringstream in(corrupt_stream(c.lo, c.hi));
+    MinMaxNormalizer bad;
+    try {
+      bad.load(in);
+      FAIL() << "load accepted min " << c.lo << ", max " << c.hi;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("malformed normalizer stream"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_FALSE(bad.fitted());
+  }
+  // Equal bounds (a constant channel) are valid and must still load.
+  MinMaxNormalizer norm;
+  norm.fit(Tensor::matrix({{7.0F, -5.0F}, {7.0F, 5.0F}}));
+  std::stringstream buffer;
+  norm.save(buffer);
+  MinMaxNormalizer loaded;
+  loaded.load(buffer);
+  EXPECT_FLOAT_EQ(loaded.channel_min(0), 7.0F);
+  EXPECT_FLOAT_EQ(loaded.channel_max(0), 7.0F);
 }
 
 MultivariateSeries ramp_series(Index length, Index channels) {

@@ -137,6 +137,52 @@ TEST(ConvTranspose1d, ForwardGeometryAndValues) {
   EXPECT_FLOAT_EQ(y[3], 8.0F);
 }
 
+// forward_inference runs a blocked scatter through the kernel dispatch table
+// for non-overlapping geometries (stride >= kernel) and falls back to the
+// scalar reference otherwise; either way every output element keeps apply()'s
+// per-element semantics (including the skip of exactly-zero inputs, common
+// behind a ReLU), so the two paths must agree bit for bit. Geometries cover
+// the AE decoder's k2/s2 layers, block-size raggedness, exact zeros in the
+// input, and an overlapping stride < kernel case.
+TEST(ConvTranspose1d, InferenceKernelMatchesForwardBitForBit) {
+  struct Geometry {
+    Index in_ch, out_ch, kernel, stride, batch, length;
+    bool zero_inputs;  // sprinkle exact zeros, as a preceding ReLU would
+  };
+  const std::vector<Geometry> cases = {
+      {8, 4, 2, 2, 1, 8, false},   // AE decoder: k2/s2 upsampling
+      {4, 8, 2, 2, 3, 37, true},   //  - batched, ragged length, ReLU zeros
+      {1, 1, 2, 2, 1, 4, true},    // tiny, mostly zeros
+      {2, 3, 2, 3, 2, 19, true},   // stride > kernel (gaps stay at bias)
+      {3, 2, 3, 2, 2, 11, false},  // stride < kernel: overlapping, scalar path
+      {2, 2, 1, 1, 1, 8, true},    // k1/s1 degenerate
+  };
+  std::uint64_t seed = 11;
+  for (const Geometry& g : cases) {
+    Rng rng(seed++);
+    ConvTranspose1d conv(g.in_ch, g.out_ch, g.kernel, g.stride, rng);
+    Tensor x = Tensor::randn({g.batch, g.in_ch, g.length}, rng);
+    if (g.zero_inputs)
+      for (Index i = 0; i < x.numel(); ++i)
+        if (rng.bernoulli(0.5)) x[i] = 0.0F;
+    const Tensor ref = conv.forward(x);
+    const Tensor fast = conv.forward_inference(x);
+    ASSERT_EQ(ref.shape(), fast.shape());
+    for (Index i = 0; i < ref.numel(); ++i)
+      ASSERT_EQ(ref[i], fast[i]) << "kernel=" << g.kernel << " stride=" << g.stride
+                                 << " length=" << g.length << " element " << i;
+  }
+}
+
+TEST(KernelDispatch, ReportsSelectedKernel) {
+  const std::string kernel = nn::conv1d_kernel_name();
+#if defined(__x86_64__)
+  EXPECT_EQ(kernel, __builtin_cpu_supports("avx2") ? "avx2" : "scalar");
+#else
+  EXPECT_EQ(kernel, "scalar");
+#endif
+}
+
 TEST(ConvTranspose1d, InvertsConvGeometry) {
   Rng rng(3);
   Conv1d down(4, 8, 2, 2, 0, rng);
