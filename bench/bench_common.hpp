@@ -1,8 +1,12 @@
 // Shared infrastructure for the reproduction benches: the paper's published
-// Table 2 values, a cached experiment runner, and table formatting.
+// Table 2 values, a cached experiment runner, checked flag parsing, the
+// serving benches' synthetic workload, and table formatting.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -10,9 +14,77 @@
 #include "varade/core/experiment.hpp"
 #include "varade/core/model_costs.hpp"
 #include "varade/core/profiles.hpp"
+#include "varade/data/timeseries.hpp"
 #include "varade/edge/device.hpp"
+#include "varade/tensor/rng.hpp"
 
 namespace varade::bench {
+
+/// Checked integer parsing for numeric flags: exits naming the offending
+/// flag on anything that is not a clean decimal number (std::atol would
+/// silently turn garbage into 0 and let negatives through unremarked).
+inline long parse_long_arg(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got \"%s\"\n", flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+/// The serving stack's synthetic workload: a 3-channel noisy sine cell with a
+/// short high-noise anomaly burst every 250 samples. Shared by the serving
+/// benches and the daemon's self-trained smoke configuration so every process
+/// in a cross-process run regenerates identical streams from the seed alone.
+inline data::MultivariateSeries make_sine(Index length, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MultivariateSeries s(3);
+  std::vector<float> row(3);
+  for (Index t = 0; t < length; ++t) {
+    const bool anomalous = (t % 250) >= 200 && (t % 250) < 215;
+    for (Index c = 0; c < 3; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
+          rng.normal(0.0F, anomalous ? 0.9F : 0.03F);
+    }
+    s.append(row);
+  }
+  return s;
+}
+
+/// Tiny-footprint configurations so every detector trains in seconds; the
+/// serving-layer behaviour under test does not depend on model size.
+inline core::Profile tiny_serve_profile() {
+  core::Profile p = core::repro_profile();
+  p.varade.window = 32;
+  p.varade.base_channels = 16;
+  p.varade.epochs = 2;
+  p.varade.learning_rate = 1e-3F;
+  p.varade.train_stride = 4;
+
+  p.ar_lstm.window = 32;
+  p.ar_lstm.hidden = 16;
+  p.ar_lstm.n_layers = 1;
+  p.ar_lstm.epochs = 1;
+  p.ar_lstm.learning_rate = 1e-3F;
+  p.ar_lstm.train_stride = 8;
+
+  p.gbrf.window = 32;
+  p.gbrf.feature_steps = 4;
+  p.gbrf.forest.n_trees = 8;
+  p.gbrf.forest.tree.max_depth = 3;
+
+  p.ae.window = 32;
+  p.ae.base_channels = 8;
+  p.ae.epochs = 1;
+  p.ae.learning_rate = 1e-3F;
+  p.ae.train_stride = 8;
+
+  p.knn.max_reference_points = 1000;
+  return p;
+}
 
 /// One published row of the paper's Table 2.
 struct PaperTable2Row {

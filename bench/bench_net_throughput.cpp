@@ -1,0 +1,424 @@
+// Network serving throughput bench: end-to-end stream-samples/sec through
+// the varade::net daemon, driven by N *forked client processes* — real
+// multi-process load over loopback TCP and/or a Unix-domain socket, not
+// threads sharing an address space.
+//
+// Self-contained mode (default): trains the detector, creates the net::Server
+// (listeners bound, no threads yet — the fork happens while this process is
+// still single-threaded), forks the clients, then serves from a thread until
+// every client is done. Each child pushes its share of the streams
+// (round-robin), receives its scores back, and reports {scores, checksum,
+// nacks} over a pipe. The parent verifies the summed checksum against a
+// sequential per-stream OnlineMonitor baseline at 1e-6 relative tolerance —
+// the determinism contract, measured across process boundaries.
+//
+// --connect <endpoint> mode: drives an already-running varade-served daemon
+// (which self-trained on the same seeds) instead; scores are counted but not
+// checksum-verified (the baseline lives in the daemon's process). --shutdown
+// additionally sends a SHUTDOWN frame once the clients finish — the ci.sh
+// smoke step uses exactly this to stop the daemon it started.
+//
+// --json <path> writes the per-transport samples/s as a machine-readable
+// record (the repo's BENCH_*.json perf trajectory points).
+//
+// Usage: bench_net_throughput [--quick] [--clients N] [--streams N]
+//                             [--samples N] [--detector <name>|all]
+//                             [--transport uds|tcp|both] [--shards N]
+//                             [--connect <endpoint>] [--shutdown]
+//                             [--json <path>]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "varade/core/monitor.hpp"
+#include "varade/net/client.hpp"
+#include "varade/net/server.hpp"
+
+namespace {
+
+using namespace varade;
+using Clock = std::chrono::steady_clock;
+
+/// What one forked client reports back through its pipe.
+struct ChildReport {
+  std::uint64_t scores = 0;
+  double checksum = 0.0;
+  std::uint64_t nacks = 0;
+};
+
+/// Child body: connect, push every sample of the owned streams, poll the
+/// scores back, write the report, _exit. Streams are regenerated from their
+/// seeds, so nothing but the endpoint crosses the fork.
+void run_child(const net::Endpoint& endpoint, int child_idx, int n_clients, Index n_streams,
+               Index n_samples, int report_fd) {
+  ChildReport report;
+  try {
+    net::Client client(endpoint, {.connect_retry_ms = 10000});
+    std::vector<Index> mine;
+    std::vector<data::MultivariateSeries> series;
+    for (Index s = child_idx; s < n_streams; s += n_clients) {
+      mine.push_back(s);
+      series.push_back(bench::make_sine(n_samples, 100 + static_cast<std::uint64_t>(s)));
+    }
+    const auto want =
+        static_cast<std::uint64_t>(mine.size()) * static_cast<std::uint64_t>(n_samples);
+    net::ClientEvent ev;
+    auto absorb = [&](int timeout_ms) {
+      while (report.scores + report.nacks < want && client.poll_event(ev, timeout_ms)) {
+        if (ev.kind == net::ClientEvent::Kind::Score) {
+          ++report.scores;
+          report.checksum += static_cast<double>(ev.score.score);
+        } else if (ev.kind == net::ClientEvent::Kind::Nack) {
+          ++report.nacks;
+        }
+        if (timeout_ms != 0) break;  // one blocking hit, then back to pushing
+      }
+    };
+    for (Index t = 0; t < n_samples; ++t) {
+      for (std::size_t i = 0; i < mine.size(); ++i)
+        client.send_sample(mine[i], static_cast<std::uint64_t>(t), series[i].sample(t));
+      absorb(0);  // keep the return path drained so neither side stalls
+    }
+    client.flush();
+    while (report.scores + report.nacks < want) absorb(30000);
+    client.send_goodbye();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "client %d: %s\n", child_idx, e.what());
+    _exit(1);
+  }
+  const ssize_t wrote = write(report_fd, &report, sizeof(report));
+  _exit(wrote == static_cast<ssize_t>(sizeof(report)) ? 0 : 1);
+}
+
+/// Forks the clients against `endpoint`, waits for them, and returns the
+/// merged report plus the wall-clock seconds of the whole drive.
+ChildReport drive_clients(const net::Endpoint& endpoint, int n_clients, Index n_streams,
+                          Index n_samples, double& seconds) {
+  std::vector<pid_t> pids;
+  std::vector<int> pipes;
+  const auto start = Clock::now();
+  for (int c = 0; c < n_clients; ++c) {
+    int fds[2];
+    if (pipe(fds) != 0) fail("bench: pipe(): ", std::strerror(errno));
+    const pid_t pid = fork();
+    if (pid < 0) fail("bench: fork(): ", std::strerror(errno));
+    if (pid == 0) {
+      close(fds[0]);
+      run_child(endpoint, c, n_clients, n_streams, n_samples, fds[1]);  // never returns
+    }
+    close(fds[1]);
+    pids.push_back(pid);
+    pipes.push_back(fds[0]);
+  }
+  ChildReport merged;
+  bool failed = false;
+  for (int c = 0; c < n_clients; ++c) {
+    ChildReport report;
+    std::size_t got = 0;
+    while (got < sizeof(report)) {
+      const ssize_t n =
+          read(pipes[static_cast<std::size_t>(c)], reinterpret_cast<char*>(&report) + got,
+               sizeof(report) - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    close(pipes[static_cast<std::size_t>(c)]);
+    int status = 0;
+    waitpid(pids[static_cast<std::size_t>(c)], &status, 0);
+    if (got != sizeof(report) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "FATAL: client %d died (status %d)\n", c, status);
+      failed = true;
+      continue;
+    }
+    merged.scores += report.scores;
+    merged.checksum += report.checksum;
+    merged.nacks += report.nacks;
+  }
+  seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (failed) std::exit(1);
+  return merged;
+}
+
+struct TransportResult {
+  std::string transport;
+  std::string detector;
+  double samples_per_s = 0.0;
+  std::uint64_t scores = 0;
+  std::uint64_t nacks = 0;
+};
+
+void usage_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--clients N] [--streams N] [--samples N]\n"
+               "          [--detector <name>|all] [--transport uds|tcp|both] [--shards N]\n"
+               "          [--connect <endpoint>] [--shutdown] [--json <path>]\n",
+               argv0);
+  std::exit(2);
+}
+
+void write_json(const std::string& path, int n_clients, Index n_streams, Index n_samples,
+                const std::vector<TransportResult>& results) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "error: cannot open --json path %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  f << "{\n";
+  f << "  \"bench\": \"net_throughput\",\n";
+  f << "  \"clients\": " << n_clients << ",\n";
+  f << "  \"streams\": " << n_streams << ",\n";
+  f << "  \"samples\": " << n_samples << ",\n";
+  f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  f << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TransportResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"transport\": \"%s\", \"detector\": \"%s\", "
+                  "\"samples_per_s\": %.1f, \"scores\": %llu, \"nacks\": %llu}%s\n",
+                  r.transport.c_str(), r.detector.c_str(), r.samples_per_s,
+                  static_cast<unsigned long long>(r.scores),
+                  static_cast<unsigned long long>(r.nacks),
+                  i + 1 < results.size() ? "," : "");
+    f << line;
+  }
+  f << "  ]\n}\n";
+  if (!f) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n_clients = 4;
+  Index n_streams = 16;
+  Index n_samples = 2000;
+  Index n_shards = 1;
+  std::string detector_arg = "VARADE";
+  std::string transport_arg = "both";
+  std::string json_path;
+  std::string connect_spec;
+  bool send_shutdown = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) {
+      n_clients = 2;
+      n_streams = 8;
+      n_samples = 400;
+    } else if (std::strcmp(argv[a], "--clients") == 0 && a + 1 < argc) {
+      n_clients = static_cast<int>(bench::parse_long_arg("--clients", argv[++a]));
+    } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
+      n_streams = bench::parse_long_arg("--streams", argv[++a]);
+    } else if (std::strcmp(argv[a], "--samples") == 0 && a + 1 < argc) {
+      n_samples = bench::parse_long_arg("--samples", argv[++a]);
+    } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
+      n_shards = bench::parse_long_arg("--shards", argv[++a]);
+    } else if (std::strcmp(argv[a], "--detector") == 0 && a + 1 < argc) {
+      detector_arg = argv[++a];
+    } else if (std::strcmp(argv[a], "--transport") == 0 && a + 1 < argc) {
+      transport_arg = argv[++a];
+    } else if (std::strcmp(argv[a], "--connect") == 0 && a + 1 < argc) {
+      connect_spec = argv[++a];
+    } else if (std::strcmp(argv[a], "--shutdown") == 0) {
+      send_shutdown = true;
+    } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[++a];
+    } else {
+      usage_exit(argv[0]);
+    }
+  }
+  if (n_clients < 1 || n_streams < 1 || n_samples < 1) {
+    std::fprintf(stderr, "error: --clients/--streams/--samples must be >= 1\n");
+    return 2;
+  }
+  if (n_clients > static_cast<int>(n_streams)) n_clients = static_cast<int>(n_streams);
+  if (transport_arg != "uds" && transport_arg != "tcp" && transport_arg != "both")
+    usage_exit(argv[0]);
+
+  const long total = static_cast<long>(n_streams) * static_cast<long>(n_samples);
+
+  // --connect: drive an external daemon; count scores, no local baseline.
+  if (!connect_spec.empty()) {
+    const net::Endpoint endpoint = net::parse_endpoint(connect_spec);
+    std::printf("driving %s with %d client processes (%ld streams x %ld samples)\n",
+                net::to_string(endpoint).c_str(), n_clients, static_cast<long>(n_streams),
+                static_cast<long>(n_samples));
+    double seconds = 0.0;
+    const ChildReport merged =
+        drive_clients(endpoint, n_clients, n_streams, n_samples, seconds);
+    std::printf("%llu scores, %llu nacks in %.3f s  ->  %.0f samples/s end-to-end\n",
+                static_cast<unsigned long long>(merged.scores),
+                static_cast<unsigned long long>(merged.nacks), seconds,
+                static_cast<double>(merged.scores) / seconds);
+    if (merged.scores + merged.nacks != static_cast<std::uint64_t>(total)) {
+      std::fprintf(stderr, "FATAL: expected %ld scores+nacks, got %llu\n", total,
+                   static_cast<unsigned long long>(merged.scores + merged.nacks));
+      return 1;
+    }
+    if (send_shutdown) {
+      net::Client closer(endpoint);
+      closer.request_shutdown();
+      net::ClientEvent ev;
+      while (closer.poll_event(ev, 30000))
+        if (ev.kind == net::ClientEvent::Kind::Goodbye) break;
+      std::printf("daemon acknowledged SHUTDOWN with GOODBYE\n");
+    }
+    return 0;
+  }
+
+  // Self-contained: train, baseline, then one measurement per transport.
+  std::vector<std::string> names;
+  if (detector_arg == "all") {
+    names = core::detector_names();
+  } else {
+    names.push_back(detector_arg);
+  }
+  std::vector<std::string> transports;
+  if (transport_arg == "both") {
+    transports = {"uds", "tcp"};
+  } else {
+    transports.push_back(transport_arg);
+  }
+
+  const core::Profile profile = bench::tiny_serve_profile();
+  const data::MultivariateSeries train_raw = bench::make_sine(1200, 1);
+  data::MinMaxNormalizer normalizer;
+  normalizer.fit(train_raw);
+  const data::MultivariateSeries train = normalizer.transform(train_raw);
+
+  std::vector<data::MultivariateSeries> streams;
+  for (Index s = 0; s < n_streams; ++s)
+    streams.push_back(bench::make_sine(n_samples, 100 + static_cast<std::uint64_t>(s)));
+
+  std::printf("%ld streams x %ld samples = %ld stream-samples, %d client processes"
+              "  (%u hardware threads)\n",
+              static_cast<long>(n_streams), static_cast<long>(n_samples), total, n_clients,
+              std::thread::hardware_concurrency());
+
+  std::vector<TransportResult> results;
+  for (const std::string& name : names) {
+    std::printf("\nTraining %s (tiny serving configuration)...\n", name.c_str());
+    const std::unique_ptr<core::AnomalyDetector> detector =
+        core::make_detector(profile, name);  // throws on an unknown name
+    detector->fit(train);
+    const float threshold = core::calibrate_threshold(*detector, train, {});
+
+    // Sequential baseline: one OnlineMonitor per stream — the checksum every
+    // transport's distributed sum must match.
+    double checksum_base = 0.0;
+    for (Index s = 0; s < n_streams; ++s) {
+      core::OnlineMonitor monitor(*detector, normalizer);
+      monitor.set_threshold(threshold);
+      const data::MultivariateSeries& in = streams[static_cast<std::size_t>(s)];
+      for (Index t = 0; t < in.length(); ++t) checksum_base += monitor.push(in.sample(t));
+    }
+
+    for (const std::string& transport : transports) {
+      net::ServerConfig config;
+      char uds_path[128];
+      std::snprintf(uds_path, sizeof(uds_path), "/tmp/varade_bench_net_%ld.sock",
+                    static_cast<long>(getpid()));
+      if (transport == "uds") {
+        config.uds_path = uds_path;
+      } else {
+        config.tcp_port = 0;  // ephemeral
+      }
+      config.n_streams = n_streams;
+      config.threshold = threshold;
+      config.runtime.n_shards = n_shards;
+
+      // Listeners exist after construction but no thread does yet: the forks
+      // below happen from a single-threaded process, and the children queue
+      // in the listen backlog until run() starts accepting.
+      net::Server server(*detector, normalizer, config);
+      const net::Endpoint endpoint =
+          transport == "uds"
+              ? net::Endpoint{.kind = net::Endpoint::Kind::Unix, .path = config.uds_path}
+              : net::Endpoint{.kind = net::Endpoint::Kind::Tcp,
+                              .host = "127.0.0.1",
+                              .port = server.tcp_port()};
+
+      std::vector<pid_t> pids;
+      std::vector<int> pipes;
+      const auto start = Clock::now();
+      for (int c = 0; c < n_clients; ++c) {
+        int fds[2];
+        if (pipe(fds) != 0) fail("bench: pipe(): ", std::strerror(errno));
+        const pid_t pid = fork();
+        if (pid < 0) fail("bench: fork(): ", std::strerror(errno));
+        if (pid == 0) {
+          close(fds[0]);
+          run_child(endpoint, c, n_clients, n_streams, n_samples, fds[1]);  // never returns
+        }
+        close(fds[1]);
+        pids.push_back(pid);
+        pipes.push_back(fds[0]);
+      }
+
+      std::thread server_thread([&server] { server.run(); });
+
+      ChildReport merged;
+      bool failed = false;
+      for (int c = 0; c < n_clients; ++c) {
+        ChildReport report;
+        std::size_t got = 0;
+        while (got < sizeof(report)) {
+          const ssize_t n = read(pipes[static_cast<std::size_t>(c)],
+                                 reinterpret_cast<char*>(&report) + got, sizeof(report) - got);
+          if (n <= 0) break;
+          got += static_cast<std::size_t>(n);
+        }
+        close(pipes[static_cast<std::size_t>(c)]);
+        int status = 0;
+        waitpid(pids[static_cast<std::size_t>(c)], &status, 0);
+        if (got != sizeof(report) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          std::fprintf(stderr, "FATAL: client %d died (status %d)\n", c, status);
+          failed = true;
+          continue;
+        }
+        merged.scores += report.scores;
+        merged.checksum += report.checksum;
+        merged.nacks += report.nacks;
+      }
+      const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      server.request_stop();
+      server_thread.join();
+      if (failed) return 1;
+
+      if (merged.scores != static_cast<std::uint64_t>(total) || merged.nacks != 0) {
+        std::fprintf(stderr, "FATAL: expected %ld scores and 0 nacks, got %llu / %llu\n",
+                     total, static_cast<unsigned long long>(merged.scores),
+                     static_cast<unsigned long long>(merged.nacks));
+        return 1;
+      }
+      if (std::abs(merged.checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
+        std::fprintf(stderr,
+                     "FATAL: %s %s checksum mismatch vs sequential baseline (%.9g vs %.9g)\n",
+                     name.c_str(), transport.c_str(), merged.checksum, checksum_base);
+        return 1;
+      }
+      const double samples_per_s = static_cast<double>(total) / seconds;
+      std::printf("%-6s %d client processes: %10.3f s  %12.0f samples/s"
+                  "  (checksum matches sequential baseline)\n",
+                  transport.c_str(), n_clients, seconds, samples_per_s);
+      results.push_back({transport, name, samples_per_s, merged.scores, merged.nacks});
+    }
+  }
+
+  if (!json_path.empty()) write_json(json_path, n_clients, n_streams, n_samples, results);
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -32,7 +32,6 @@
 // Usage: bench_serve_throughput [--quick] [--async] [--shards N] [--streams N]
 //                               [--samples N] [--score-threads N]
 //                               [--detector <name>|all] [--json <path>]
-#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "varade/core/monitor.hpp"
 #include "varade/core/profiles.hpp"
 #include "varade/data/window.hpp"
@@ -53,72 +53,12 @@
 namespace {
 
 using namespace varade;
+using bench::make_sine;
+using bench::parse_long_arg;
 using Clock = std::chrono::steady_clock;
-
-data::MultivariateSeries make_sine(Index length, std::uint64_t seed) {
-  Rng rng(seed);
-  data::MultivariateSeries s(3);
-  std::vector<float> row(3);
-  for (Index t = 0; t < length; ++t) {
-    const bool anomalous = (t % 250) >= 200 && (t % 250) < 215;
-    for (Index c = 0; c < 3; ++c) {
-      row[static_cast<std::size_t>(c)] =
-          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
-          rng.normal(0.0F, anomalous ? 0.9F : 0.03F);
-    }
-    s.append(row);
-  }
-  return s;
-}
-
-/// Tiny-footprint configurations so every detector trains in seconds; the
-/// serving-layer behaviour under test does not depend on model size.
-core::Profile bench_profile() {
-  core::Profile p = core::repro_profile();
-  p.varade.window = 32;
-  p.varade.base_channels = 16;
-  p.varade.epochs = 2;
-  p.varade.learning_rate = 1e-3F;
-  p.varade.train_stride = 4;
-
-  p.ar_lstm.window = 32;
-  p.ar_lstm.hidden = 16;
-  p.ar_lstm.n_layers = 1;
-  p.ar_lstm.epochs = 1;
-  p.ar_lstm.learning_rate = 1e-3F;
-  p.ar_lstm.train_stride = 8;
-
-  p.gbrf.window = 32;
-  p.gbrf.feature_steps = 4;
-  p.gbrf.forest.n_trees = 8;
-  p.gbrf.forest.tree.max_depth = 3;
-
-  p.ae.window = 32;
-  p.ae.base_channels = 8;
-  p.ae.epochs = 1;
-  p.ae.learning_rate = 1e-3F;
-  p.ae.train_stride = 8;
-
-  p.knn.max_reference_points = 1000;
-  return p;
-}
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Checked integer parsing for numeric flags: exits naming the offending
-/// flag on anything that is not a clean decimal number (std::atol would
-/// silently turn garbage into 0 and let negatives through unremarked).
-long parse_long_arg(const char* flag, const char* value) {
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (errno != 0 || end == value || *end != '\0') {
-    std::fprintf(stderr, "error: %s expects an integer, got \"%s\"\n", flag, value);
-    std::exit(2);
-  }
-  return parsed;
 }
 
 struct BenchResult {
@@ -520,7 +460,7 @@ int main(int argc, char** argv) {
     names.push_back(detector_arg);
   }
 
-  const core::Profile profile = bench_profile();
+  const core::Profile profile = bench::tiny_serve_profile();
   const auto train_raw = make_sine(1200, 1);
   data::MinMaxNormalizer normalizer;
   normalizer.fit(train_raw);

@@ -3,9 +3,11 @@
 #
 # Configure the Release preset, build everything with -j, run the fast CTest
 # preset (everything except LABELS slow), then run the batched-vs-sequential
-# parity suites explicitly by label, and finish with a serve throughput smoke
-# run covering all six detectors. src/core and src/serve are compiled with
-# -Werror unconditionally, so a warning in either breaks the build itself.
+# parity suites explicitly by label, a serve throughput smoke run covering
+# all six detectors, and a network-serving smoke: start varade-served on a
+# Unix socket, drive it with forked client processes, and shut it down over
+# the wire. src/core, src/serve, and src/net are compiled with -Werror
+# unconditionally, so a warning in any of them breaks the build itself.
 #
 # --sanitize instead builds the library and tests under ASan + UBSan
 # (RelWithDebInfo, VARADE_SANITIZE=ON, separate build-asan tree) and runs the
@@ -84,5 +86,20 @@ ctest --test-dir "$BUILD_DIR" -L parity --output-on-failure -j "$JOBS"
 echo "== smoke: serve throughput bench (quick, all six detectors, async + sharded) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
 "$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all --async --shards 2
+
+echo "== smoke: net serving (in-process daemon, forked clients, checksum-pinned) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_net_throughput varade-served
+"$BUILD_DIR/bench/bench_net_throughput" --quick
+
+echo "== smoke: varade-served daemon over a unix socket, SHUTDOWN over the wire =="
+NET_SOCK="/tmp/varade_ci_$$.sock"
+"$BUILD_DIR/src/net/varade-served" --listen "unix:$NET_SOCK" --streams 8 --quiet &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [[ -S "$NET_SOCK" ]] && break; sleep 0.2; done
+[[ -S "$NET_SOCK" ]] || { echo "FATAL: daemon never bound $NET_SOCK"; kill "$DAEMON_PID"; exit 1; }
+"$BUILD_DIR/bench/bench_net_throughput" \
+  --connect "unix:$NET_SOCK" --clients 2 --streams 8 --samples 300 --shutdown
+wait "$DAEMON_PID"
+rm -f "$NET_SOCK"
 
 echo "CI OK"

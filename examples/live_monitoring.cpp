@@ -7,14 +7,29 @@
 // consumes the live stream sample by sample through a ring buffer, raising
 // alarms in real time. At the end the alarm log is compared with the
 // ground-truth collision schedule.
+//
+// Three modes:
+//   (default)            — everything in one process, as above.
+//   --daemon <endpoint>  — train, then serve the detector over the wire
+//                          (varade::net) until SIGINT or a SHUTDOWN frame.
+//   --client <endpoint>  — run only the simulated cell; stream raw samples
+//                          to a daemon and report the ALARM frames it sends
+//                          back against the local ground truth.
+// Split across two terminals, --daemon/--client is the paper's loop with the
+// sensor script and the scoring engine in separate processes.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <deque>
+#include <memory>
 
 #include "varade/core/varade.hpp"
 #include "varade/data/normalize.hpp"
 #include "varade/data/window.hpp"
 #include "varade/eval/metrics.hpp"
+#include "varade/net/client.hpp"
+#include "varade/net/server.hpp"
 #include "varade/robot/simulator.hpp"
 
 namespace {
@@ -48,23 +63,24 @@ class ContextRing {
   std::deque<std::vector<float>> buffer_;
 };
 
-}  // namespace
-
-int main() {
-  using namespace varade;
-
-  // Offline phase: record, normalise, train, calibrate threshold.
+/// Shared sampling config so daemon and client agree on rates and seeds.
+robot::SimulatorConfig base_sim_config() {
   robot::SimulatorConfig sim_cfg;
   sim_cfg.sample_rate_hz = 50.0;
   sim_cfg.seed = 11;
   sim_cfg.noise_seed = 111;
-  robot::RobotCellSimulator train_sim(sim_cfg);
-  const data::MultivariateSeries train_raw = train_sim.record(180.0);
+  return sim_cfg;
+}
 
+/// Offline phase: record a normal run, fit the normalizer and detector,
+/// calibrate the alarm threshold (99.5th percentile of training scores).
+struct Offline {
   data::MinMaxNormalizer normalizer;
-  normalizer.fit(train_raw);
-  const data::MultivariateSeries train = normalizer.transform(train_raw);
+  std::unique_ptr<core::VaradeDetector> detector;  // not movable by value
+  float threshold = 0.0F;
+};
 
+core::VaradeConfig example_varade_config() {
   core::VaradeConfig cfg;
   cfg.window = 32;
   cfg.base_channels = 16;
@@ -72,21 +88,37 @@ int main() {
   cfg.epochs = 12;
   cfg.learning_rate = 1e-3F;
   cfg.train_stride = 4;
-  core::VaradeDetector detector(cfg);
-  std::printf("offline: training VARADE on %ld samples...\n", train.length());
-  detector.fit(train);
+  return cfg;
+}
 
-  // Calibrate the alarm threshold at the 99.5th percentile of train scores.
+Offline train_offline() {
+  robot::RobotCellSimulator train_sim(base_sim_config());
+  const data::MultivariateSeries train_raw = train_sim.record(180.0);
+
+  const core::VaradeConfig cfg = example_varade_config();
+  Offline off;
+  off.detector = std::make_unique<core::VaradeDetector>(cfg);
+  off.normalizer.fit(train_raw);
+  const data::MultivariateSeries train = off.normalizer.transform(train_raw);
+  std::printf("offline: training VARADE on %ld samples...\n", train.length());
+  off.detector->fit(train);
+
   std::vector<float> train_scores;
   for (Index t = cfg.window; t < train.length(); t += 4)
-    train_scores.push_back(detector.variance_score(data::extract_context(train, t - 1, cfg.window)));
+    train_scores.push_back(
+        off.detector->variance_score(data::extract_context(train, t - 1, cfg.window)));
   std::sort(train_scores.begin(), train_scores.end());
-  const float threshold =
+  off.threshold =
       train_scores[static_cast<std::size_t>(0.995 * static_cast<double>(train_scores.size()))];
   std::printf("offline: alarm threshold %.5f (99.5th percentile of %zu train scores)\n",
-              threshold, train_scores.size());
+              off.threshold, train_scores.size());
+  return off;
+}
 
-  // Live phase: the monitoring loop.
+/// The live cell with its scheduled collisions — identical in every mode, so
+/// the client-mode ground truth matches what the default mode sees.
+robot::RobotCellSimulator make_live_sim() {
+  robot::SimulatorConfig sim_cfg = base_sim_config();
   sim_cfg.noise_seed = 112;
   robot::RobotCellSimulator live_sim(sim_cfg);
   robot::CollisionScheduleConfig collisions;
@@ -94,6 +126,148 @@ int main() {
   collisions.experiment_duration = 120.0;
   collisions.seed = 113;
   live_sim.set_collision_schedule(robot::CollisionSchedule(collisions));
+  return live_sim;
+}
+
+net::Server* g_server = nullptr;
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+/// --daemon: train, then hand the detector to a varade::net server and block
+/// until SIGINT/SIGTERM or a client's SHUTDOWN frame.
+int run_daemon(const std::string& endpoint_spec) {
+  const net::Endpoint endpoint = net::parse_endpoint(endpoint_spec);
+  Offline off = train_offline();
+
+  net::ServerConfig config;
+  if (endpoint.kind == net::Endpoint::Kind::Unix) {
+    config.uds_path = endpoint.path;
+  } else {
+    config.tcp_host = endpoint.host;
+    config.tcp_port = endpoint.port;
+  }
+  config.n_streams = 1;  // one robot cell
+  config.threshold = off.threshold;
+  net::Server server(*off.detector, off.normalizer, config);
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("daemon: serving 1 stream x %ld channels on %s (ctrl-C to stop)\n",
+              static_cast<long>(data::kKukaChannelCount), net::to_string(endpoint).c_str());
+  server.run();
+  g_server = nullptr;
+  std::printf("daemon: stopped\n");
+  return 0;
+}
+
+/// --client: no model in this process at all — stream raw sensor samples to
+/// the daemon and fold its ALARM frames back onto the local ground truth.
+int run_client(const std::string& endpoint_spec) {
+  const net::Endpoint endpoint = net::parse_endpoint(endpoint_spec);
+  net::Client client(endpoint);
+  if (client.n_channels() != data::kKukaChannelCount) {
+    std::fprintf(stderr, "daemon serves %ld channels, the cell has %ld\n",
+                 static_cast<long>(client.n_channels()),
+                 static_cast<long>(data::kKukaChannelCount));
+    return 1;
+  }
+  std::printf("client: connected to %s (threshold %.5f)\n", net::to_string(endpoint).c_str(),
+              client.welcome().threshold);
+
+  robot::RobotCellSimulator live_sim = make_live_sim();
+  const double sample_rate = base_sim_config().sample_rate_hz;
+  const long n_steps = static_cast<long>(120.0 * sample_rate);
+  std::printf("client: streaming %ld samples (%.0f s at %.0f Hz)...\n\n", n_steps, 120.0,
+              sample_rate);
+
+  // Ground-truth bookkeeping: label per sample, plus [first, last] sample
+  // ranges of each collision event, filled in as the simulation advances.
+  std::vector<bool> labels;
+  std::vector<std::pair<long, long>> events;
+  std::vector<bool> event_detected;
+  std::vector<double> times;
+
+  long alarms = 0;
+  long true_alarms = 0;
+  std::uint64_t scores_seen = 0;
+  net::ClientEvent ev;
+  auto handle = [&](const net::ClientEvent& e) {
+    if (e.kind == net::ClientEvent::Kind::Score) {
+      ++scores_seen;
+    } else if (e.kind == net::ClientEvent::Kind::Alarm) {
+      const auto onset = static_cast<long>(e.alarm.onset_sample);
+      const auto last = static_cast<long>(e.alarm.last_sample);
+      if (e.alarm.raised) {
+        ++alarms;
+        const bool labelled = onset < static_cast<long>(labels.size()) &&
+                              labels[static_cast<std::size_t>(onset)];
+        if (labelled) ++true_alarms;
+        std::printf("  t=%7.2fs  ALARM  score %.5f  (ground truth: %s)\n",
+                    times[static_cast<std::size_t>(onset)], e.alarm.peak_score,
+                    labelled ? "collision" : "normal");
+      }
+      // Any alarm overlapping a collision event marks that event detected.
+      for (std::size_t i = 0; i < events.size(); ++i)
+        if (onset <= events[i].second && last >= events[i].first) event_detected[i] = true;
+    }
+  };
+
+  bool in_event = false;
+  for (long step = 0; step < n_steps; ++step) {
+    const robot::RobotSample sample = live_sim.step();
+    labels.push_back(sample.label);
+    times.push_back(sample.time);
+    if (sample.label && !in_event) {
+      events.emplace_back(step, step);
+      event_detected.push_back(false);
+      in_event = true;
+    } else if (sample.label) {
+      events.back().second = step;
+    } else {
+      in_event = false;
+    }
+    client.send_sample(0, static_cast<std::uint64_t>(step), sample.channels.data());
+    while (client.poll_event(ev, 0)) handle(ev);
+  }
+  client.flush();
+  while (scores_seen < static_cast<std::uint64_t>(n_steps) && client.poll_event(ev, 30000))
+    handle(ev);
+  client.send_goodbye();
+
+  const long detected =
+      static_cast<long>(std::count(event_detected.begin(), event_detected.end(), true));
+  std::printf("\nsummary: %ld alarms raised, %ld on labelled samples; %ld / %zu collision "
+              "events detected\n",
+              alarms, true_alarms, detected, events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace varade;
+
+  if (argc == 3 && std::strcmp(argv[1], "--daemon") == 0) return run_daemon(argv[2]);
+  if (argc == 3 && std::strcmp(argv[1], "--client") == 0) return run_client(argv[2]);
+  if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s                     # in-process monitoring loop\n"
+                 "       %s --daemon <endpoint> # train + serve over the wire\n"
+                 "       %s --client <endpoint> # stream the cell to a daemon\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+
+  Offline off = train_offline();
+  data::MinMaxNormalizer& normalizer = off.normalizer;
+  core::VaradeDetector& detector = *off.detector;
+  const float threshold = off.threshold;
+  const core::VaradeConfig cfg = example_varade_config();
+  robot::SimulatorConfig sim_cfg = base_sim_config();
+
+  // Live phase: the monitoring loop.
+  robot::RobotCellSimulator live_sim = make_live_sim();
 
   ContextRing ring(data::kKukaChannelCount, cfg.window);
   std::vector<float> normalised(data::kKukaChannelCount);

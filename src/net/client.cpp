@@ -1,0 +1,130 @@
+#include "varade/net/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace varade::net {
+
+namespace {
+
+/// Connect with retries while the daemon is still binding its socket: ECONNREFUSED
+/// (TCP) and ENOENT/ECONNREFUSED (UDS, file not created yet) back off and retry
+/// until the window closes; anything else propagates immediately.
+Socket connect_with_retry(const Endpoint& endpoint, int window_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(window_ms);
+  for (;;) {
+    try {
+      return connect_endpoint(endpoint);
+    } catch (const Error&) {
+      if (Clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+}  // namespace
+
+Client::Client(const Endpoint& endpoint, ClientConfig config)
+    : config_(config), sock_(connect_with_retry(endpoint, config.connect_retry_ms)) {
+  append_hello(out_, config_.policy);
+  flush();
+  // The WELCOME is the handshake's second half; nothing else is legal first.
+  std::uint8_t buf[4096];
+  Frame frame;
+  for (;;) {
+    if (reader_.next(frame)) break;
+    check(wait_readable(sock_.fd(), 5000), "net: timed out waiting for WELCOME");
+    const long n = read_some(sock_.fd(), buf, sizeof(buf));
+    check(n != 0, "net: connection closed before WELCOME");
+    if (n > 0) reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (frame.type == FrameType::WireError) throw Error(decode_wire_error(frame));
+  welcome_ = decode_welcome(frame);
+}
+
+void Client::send_sample(Index stream, std::uint64_t seq, const float* values) {
+  append_sample(out_, stream, seq, values, welcome_.n_channels);
+  if (out_.size() >= config_.flush_bytes) flush();
+}
+
+void Client::flush() {
+  if (out_.empty()) return;
+  send_all(sock_.fd(), out_.data(), out_.size());
+  out_.clear();
+}
+
+void Client::request_stats() {
+  append_stats_request(out_);
+  flush();
+}
+
+void Client::request_shutdown() {
+  append_shutdown(out_);
+  flush();
+}
+
+void Client::send_goodbye() {
+  append_goodbye(out_);
+  flush();
+}
+
+bool Client::take_frame(ClientEvent& out) {
+  Frame frame;
+  if (!reader_.next(frame)) return false;
+  switch (frame.type) {
+    case FrameType::Score:
+      out.kind = ClientEvent::Kind::Score;
+      out.score = decode_score(frame);
+      return true;
+    case FrameType::Alarm:
+      out.kind = ClientEvent::Kind::Alarm;
+      out.alarm = decode_alarm(frame);
+      return true;
+    case FrameType::Nack:
+      out.kind = ClientEvent::Kind::Nack;
+      out.nack = decode_nack(frame);
+      return true;
+    case FrameType::StatsReply:
+      out.kind = ClientEvent::Kind::Stats;
+      out.stats = decode_stats_reply(frame);
+      return true;
+    case FrameType::Goodbye:
+      out.kind = ClientEvent::Kind::Goodbye;
+      closed_ = true;
+      return true;
+    case FrameType::WireError:
+      throw Error(decode_wire_error(frame));
+    default:
+      fail("net: unexpected ", to_string(frame.type), " frame from the daemon");
+  }
+}
+
+bool Client::poll_event(ClientEvent& out, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const bool forever = timeout_ms < 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  std::uint8_t buf[65536];
+  for (;;) {
+    if (take_frame(out)) return true;
+    if (closed_) return false;  // clean EOF already seen; nothing will arrive
+    int remaining = -1;
+    if (!forever) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+      if (left <= 0) return false;
+      remaining = static_cast<int>(left);
+    }
+    if (!wait_readable(sock_.fd(), remaining)) return false;
+    const long n = read_some(sock_.fd(), buf, sizeof(buf));
+    if (n == 0) {
+      check(reader_.buffered() == 0, "net: connection dropped mid-frame");
+      closed_ = true;
+      return false;
+    }
+    if (n > 0) reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace varade::net

@@ -1,0 +1,96 @@
+// varade::net::Client — the blocking producer-side session against a
+// varade-served daemon.
+//
+// Construction connects, sends HELLO, and blocks for the WELCOME, so a live
+// Client always knows the daemon's stream/channel counts, threshold, and the
+// admission policy resolved for this connection. Samples are encoded into a
+// user-space buffer and flushed in large writes (one syscall carries many
+// frames); everything the daemon sends back — scores, alarms, NACKs, stats,
+// the GOODBYE — is surfaced through poll_event() in arrival order.
+//
+// A WIRE_ERROR frame from the daemon (this client broke the protocol) and
+// any malformed frame from the peer both throw varade::Error; the socket is
+// useless at that point, so the Client is too.
+//
+// Thread contract: one Client per thread; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "varade/net/socket.hpp"
+#include "varade/net/wire.hpp"
+
+namespace varade::net {
+
+struct ClientConfig {
+  /// Admission policy requested in HELLO; nullopt defers to the daemon's
+  /// configured default (the resolved policy arrives in the WELCOME).
+  std::optional<serve::BackpressurePolicy> policy;
+  /// send_sample() flushes automatically once this many bytes are buffered.
+  std::size_t flush_bytes = 32768;
+  /// Connect retry window: a daemon that listens but has not entered run()
+  /// yet holds connections in the backlog, so this mostly covers the
+  /// daemon-not-yet-bound race in tests and forked benchmarks.
+  int connect_retry_ms = 2000;
+};
+
+/// One frame from the daemon, tagged by kind; exactly one member is valid.
+struct ClientEvent {
+  enum class Kind { Score, Alarm, Nack, Stats, Goodbye };
+  Kind kind = Kind::Score;
+  ScoreData score;
+  AlarmData alarm;
+  NackData nack;
+  WireStats stats;
+};
+
+class Client {
+ public:
+  /// Connects (retrying refused connects for config.connect_retry_ms),
+  /// performs the HELLO/WELCOME handshake, and is ready to push.
+  explicit Client(const Endpoint& endpoint, ClientConfig config = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// The daemon's session announcement (valid for the Client's lifetime).
+  const Welcome& welcome() const { return welcome_; }
+  Index n_streams() const { return welcome_.n_streams; }
+  Index n_channels() const { return welcome_.n_channels; }
+
+  /// Encodes one SAMPLE frame (values must hold n_channels() floats);
+  /// flushes when the buffer crosses config.flush_bytes.
+  void send_sample(Index stream, std::uint64_t seq, const float* values);
+  /// Writes out everything buffered (blocking).
+  void flush();
+
+  void request_stats();
+  /// Asks the daemon to shut down (it drains, flushes, and says GOODBYE).
+  void request_shutdown();
+  /// Announces an orderly departure, releasing this client's streams.
+  void send_goodbye();
+
+  /// Blocks up to timeout_ms for the next frame from the daemon. True with
+  /// `out` filled, false on timeout. Throws on WIRE_ERROR (carrying the
+  /// daemon's message), a malformed frame, or a connection drop mid-frame.
+  /// timeout_ms < 0 waits indefinitely (until a frame or EOF).
+  bool poll_event(ClientEvent& out, int timeout_ms);
+
+  /// True once the daemon's GOODBYE (or a clean EOF) was observed.
+  bool closed() const { return closed_; }
+
+ private:
+  bool take_frame(ClientEvent& out);
+
+  ClientConfig config_;
+  Socket sock_;
+  FrameReader reader_;
+  std::vector<std::uint8_t> out_;
+  Welcome welcome_;
+  bool closed_ = false;
+};
+
+}  // namespace varade::net

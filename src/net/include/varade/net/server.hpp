@@ -1,0 +1,162 @@
+// varade::net::Server — the serving daemon's connection loop: the network
+// front door over the AsyncScoringRuntime.
+//
+// One poll()-driven thread owns every socket: it accepts connections on a
+// TCP and/or Unix-domain listener, parses length-prefixed frames out of
+// whatever fragments the kernel delivers (wire.hpp survives partial reads by
+// construction), pushes SAMPLE frames into the runtime's lock-free rings,
+// and routes the runtime's scores back out as SCORE/ALARM frames to the
+// connection that owns each stream. The runtime's scorer shards run on their
+// own threads underneath, so socket I/O and scoring overlap.
+//
+// Admission control: each connection picks a BackpressurePolicy in its HELLO
+// (or inherits the daemon default). Block applies ring backpressure by
+// stalling intake (the poll thread waits for the scorer, which propagates to
+// every client through the kernel socket buffers — the semantics of Block
+// end to end); DropOldest evicts silently (the drop is visible in STATS);
+// Reject surfaces as a NACK frame carrying the PushResult. A SAMPLE for a
+// stream owned by another live connection is NACKed with reason StreamBusy —
+// stream ownership is first-push-wins and released on disconnect.
+//
+// Protocol violations (bad magic/version/length, wrong payload size,
+// non-finite floats, out-of-range stream ids, frames before HELLO) never
+// kill the daemon: the offender gets a WIRE_ERROR frame naming the problem
+// and its connection is closed after the flush.
+//
+// Determinism across the socket: per-stream sample order is the client's
+// send order (TCP/UDS are ordered, the ring is FIFO, one owner per stream),
+// scores travel as exact IEEE-754 bit patterns, and the server's per-stream
+// alarm mirror feeds the same AlarmTracker state machine the engine runs —
+// so scores and alarm events received by a client are bit-identical to a
+// synchronous in-process ScoringEngine fed the same samples.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "varade/net/socket.hpp"
+#include "varade/net/wire.hpp"
+#include "varade/serve/runtime.hpp"
+
+namespace varade::net {
+
+struct ServerConfig {
+  /// TCP listener: port >= 0 enables it (0 picks an ephemeral port, readable
+  /// via tcp_port() after construction); -1 disables.
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Unix-domain listener path; empty disables. A stale socket file is
+  /// replaced.
+  std::string uds_path;
+  /// Streams the runtime serves (wire stream ids are [0, n_streams)).
+  Index n_streams = 16;
+  /// Calibrated alarm threshold (the daemon calibrates before serving).
+  float threshold = 0.0F;
+  /// Runtime configuration: ring capacity, shard count, engine batching, and
+  /// the *default* admission policy (config.runtime.backpressure) used by
+  /// connections whose HELLO does not override it.
+  serve::AsyncRuntimeConfig runtime;
+  /// poll() timeout: the score-routing latency floor while connections are
+  /// quiet.
+  int poll_interval_ms = 2;
+  Index max_connections = 128;
+  int listen_backlog = 64;
+};
+
+class Server {
+ public:
+  /// Borrows a fitted detector + normalizer (same contract as the runtime).
+  /// Creates the listeners and the (not yet started) runtime, so the
+  /// resolved tcp_port()/uds_path() are readable — and clients may already
+  /// connect and queue in the backlog — before run() is entered.
+  Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+         ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Resolved TCP port (after an ephemeral bind), or -1 when TCP is off.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& uds_path() const { return config_.uds_path; }
+  Index n_streams() const { return config_.n_streams; }
+  Index n_channels() const { return n_channels_; }
+
+  /// Starts the runtime and serves until a SHUTDOWN frame or request_stop().
+  /// Shutdown is orderly: intake closes, the runtime drains every accepted
+  /// sample, the resulting scores are flushed, and every connection gets a
+  /// GOODBYE. Call once.
+  void run();
+
+  /// Thread- and signal-safe stop request (a self-pipe write); run() returns
+  /// after the orderly shutdown.
+  void request_stop();
+
+  /// Counters for tests and the daemon's exit report (poll-thread-written;
+  /// read them after run() returns, or accept approximate values).
+  long connections_accepted() const { return connections_accepted_.load(); }
+  long frames_nacked() const { return frames_nacked_.load(); }
+  long protocol_errors() const { return protocol_errors_.load(); }
+  /// Scores whose owning connection was already gone (dropped, not sent).
+  long scores_unrouted() const { return scores_unrouted_.load(); }
+
+  const serve::AsyncScoringRuntime& runtime() const { return runtime_; }
+
+ private:
+  struct Connection {
+    Socket sock;
+    FrameReader reader;
+    std::vector<std::uint8_t> out;  // encoded frames awaiting write
+    std::size_t out_off = 0;        // already-written prefix of `out`
+    serve::BackpressurePolicy policy;
+    SampleData sample;  // decode scratch, reused per frame
+    bool helloed = false;
+    bool closing = false;  // flush `out`, then close
+  };
+
+  /// Per-stream mirror of the engine's alarm state machine, fed the drained
+  /// scores in emission order — same inputs, same AlarmTracker code, so the
+  /// ALARM frames match the engine's events bit for bit.
+  struct StreamMirror {
+    core::AlarmTracker tracker;
+    std::size_t n_events = 0;          // events already announced
+    core::AnomalyEvent last_event{};   // last announced state of the tail event
+    Connection* owner = nullptr;       // first-push-wins; null when unowned
+  };
+
+  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_sample(Connection& conn, const Frame& frame);
+  /// Sends WIRE_ERROR with `message` and schedules the connection for close.
+  void protocol_error(Connection& conn, const std::string& message);
+  void route_scores();
+  void read_connection(Connection& conn);
+  void write_connection(Connection& conn);
+  void release_streams(Connection& conn);
+  void begin_shutdown();
+
+  core::AnomalyDetector* detector_;
+  ServerConfig config_;
+  serve::AsyncScoringRuntime runtime_;
+  Index window_ = 0;      // detector context window: scores before it are warm-up
+  Index n_channels_ = 0;  // fixes every SAMPLE frame's payload size
+
+  Socket tcp_listener_;
+  Socket uds_listener_;
+  int tcp_port_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<StreamMirror> streams_;
+
+  bool running_ = false;
+  bool shutting_down_ = false;
+
+  std::atomic<long> connections_accepted_{0};
+  std::atomic<long> frames_nacked_{0};
+  std::atomic<long> protocol_errors_{0};
+  std::atomic<long> scores_unrouted_{0};
+};
+
+}  // namespace varade::net

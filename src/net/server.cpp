@@ -1,0 +1,382 @@
+#include "varade/net/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace varade::net {
+
+namespace {
+
+/// Hard ceiling on the orderly-shutdown flush: a client that stops reading
+/// must not wedge the daemon forever.
+constexpr std::chrono::seconds kShutdownFlushDeadline{5};
+
+}  // namespace
+
+Server::Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+               ServerConfig config)
+    : detector_(&detector),
+      config_(std::move(config)),
+      runtime_(detector, normalizer, config_.runtime) {
+  check(config_.n_streams >= 1, "Server needs n_streams >= 1");
+  check(config_.n_streams <= static_cast<Index>(0xFFFFFFFFU),
+        "net: n_streams exceeds the wire's u32 stream id space");
+  check(config_.tcp_port >= -1 && config_.tcp_port <= 65535,
+        "net: tcp_port out of range [-1, 65535]");
+  check(config_.tcp_port >= 0 || !config_.uds_path.empty(),
+        "Server needs at least one listener (tcp_port >= 0 or a uds_path)");
+  check(config_.max_connections >= 1, "net: max_connections must be >= 1");
+  check(config_.poll_interval_ms >= 1, "net: poll_interval_ms must be >= 1");
+
+  runtime_.add_streams(config_.n_streams);
+  runtime_.set_threshold(config_.threshold);
+  window_ = detector.context_window();
+  n_channels_ = normalizer.n_channels();
+  check(n_channels_ >= 1, "net: normalizer reports zero channels");
+
+  streams_.reserve(static_cast<std::size_t>(config_.n_streams));
+  for (Index s = 0; s < config_.n_streams; ++s) {
+    StreamMirror m;
+    m.tracker = core::AlarmTracker(config_.runtime.engine.monitor);
+    streams_.push_back(std::move(m));
+  }
+
+  if (config_.tcp_port >= 0) {
+    tcp_port_ = config_.tcp_port;
+    tcp_listener_ = tcp_listen(config_.tcp_host, tcp_port_, config_.listen_backlog);
+    set_nonblocking(tcp_listener_.fd(), true);
+  }
+  if (!config_.uds_path.empty()) {
+    uds_listener_ = unix_listen(config_.uds_path, config_.listen_backlog);
+    set_nonblocking(uds_listener_.fd(), true);
+  }
+  if (pipe(stop_pipe_) != 0) fail("net: pipe(): ", std::strerror(errno));
+  set_nonblocking(stop_pipe_[0], true);
+  set_nonblocking(stop_pipe_[1], true);
+}
+
+Server::~Server() {
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (!config_.uds_path.empty()) (void)unlink(config_.uds_path.c_str());
+}
+
+void Server::request_stop() {
+  // Async-signal-safe: one byte down the self-pipe wakes the poll loop.
+  const char byte = 's';
+  if (stop_pipe_[1] >= 0) {
+    const ssize_t rc = ::write(stop_pipe_[1], &byte, 1);
+    (void)rc;  // a full pipe already guarantees a pending wakeup
+  }
+}
+
+void Server::release_streams(Connection& conn) {
+  for (StreamMirror& m : streams_)
+    if (m.owner == &conn) m.owner = nullptr;
+}
+
+void Server::protocol_error(Connection& conn, const std::string& message) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  append_wire_error(conn.out, message);
+  conn.closing = true;
+}
+
+void Server::handle_sample(Connection& conn, const Frame& frame) {
+  decode_sample(frame, n_channels_, conn.sample);  // throws on size/NaN -> WIRE_ERROR
+  const auto stream = static_cast<Index>(conn.sample.stream);
+  if (stream >= config_.n_streams) {
+    protocol_error(conn, "net: " + serve::detail::stream_range_message(stream, config_.n_streams));
+    return;
+  }
+  StreamMirror& mirror = streams_[static_cast<std::size_t>(stream)];
+  if (mirror.owner == nullptr) mirror.owner = &conn;  // first-push-wins ownership
+  if (mirror.owner != &conn) {
+    NackData nack;
+    nack.stream = conn.sample.stream;
+    nack.seq = conn.sample.seq;
+    nack.result = serve::PushResult::Rejected;
+    nack.reason = NackReason::StreamBusy;
+    append_nack(conn.out, nack);
+    frames_nacked_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const serve::PushResult result =
+      runtime_.push(stream, conn.sample.values.data(), conn.policy);
+  if (result == serve::PushResult::Rejected) {
+    NackData nack;
+    nack.stream = conn.sample.stream;
+    nack.seq = conn.sample.seq;
+    nack.result = result;
+    nack.reason = NackReason::Backpressure;
+    append_nack(conn.out, nack);
+    frames_nacked_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handle_frame(Connection& conn, const Frame& frame) {
+  if (!conn.helloed) {
+    if (frame.type != FrameType::Hello) {
+      protocol_error(conn, std::string("net: expected HELLO as the first frame, got ") +
+                               net::to_string(frame.type));
+      return;
+    }
+    conn.policy = decode_hello(frame).value_or(config_.runtime.backpressure);
+    conn.helloed = true;
+    Welcome welcome;
+    welcome.n_streams = config_.n_streams;
+    welcome.n_channels = n_channels_;
+    welcome.threshold = runtime_.threshold();
+    welcome.policy = conn.policy;
+    append_welcome(conn.out, welcome);
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::Hello:
+      protocol_error(conn, "net: duplicate HELLO frame");
+      return;
+    case FrameType::Sample:
+      handle_sample(conn, frame);
+      return;
+    case FrameType::StatsRequest: {
+      const serve::RuntimeStats rs = runtime_.stats();
+      WireStats ws;
+      ws.pushed = static_cast<std::uint64_t>(rs.pushed);
+      ws.dropped = static_cast<std::uint64_t>(rs.dropped);
+      ws.rejected = static_cast<std::uint64_t>(rs.rejected);
+      ws.rounds = static_cast<std::uint64_t>(rs.rounds);
+      ws.naps = static_cast<std::uint64_t>(rs.naps);
+      ws.n_streams = config_.n_streams;
+      ws.n_shards = runtime_.n_shards();
+      ws.n_connections = static_cast<Index>(conns_.size());
+      append_stats_reply(conn.out, ws);
+      return;
+    }
+    case FrameType::Shutdown:
+      begin_shutdown();
+      return;
+    case FrameType::Goodbye:
+      conn.closing = true;
+      return;
+    default:
+      protocol_error(conn, std::string("net: unexpected ") + net::to_string(frame.type) +
+                               " frame from client");
+      return;
+  }
+}
+
+void Server::read_connection(Connection& conn) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const long n = read_some(conn.sock.fd(), buf, sizeof(buf));
+    if (n == -1) return;  // drained
+    if (n == 0) {
+      // Orderly (or abortive) peer close: pending output is moot.
+      release_streams(conn);
+      conn.sock.close();
+      return;
+    }
+    try {
+      conn.reader.feed(buf, static_cast<std::size_t>(n));
+      Frame frame;
+      while (conn.reader.next(frame)) {
+        handle_frame(conn, frame);
+        if (conn.closing) return;  // discard the rest of the read buffer
+      }
+    } catch (const Error& e) {
+      protocol_error(conn, e.what());
+      return;
+    }
+    if (n < static_cast<long>(sizeof(buf))) return;  // socket very likely drained
+  }
+}
+
+void Server::write_connection(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t rc = ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      release_streams(conn);  // peer is gone (EPIPE/ECONNRESET/...)
+      conn.sock.close();
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(rc);
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > 65536) {
+    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+}
+
+void Server::route_scores() {
+  const float threshold = runtime_.threshold();
+  for (const serve::StreamScore& score : runtime_.drain_scores()) {
+    StreamMirror& m = streams_[static_cast<std::size_t>(score.stream)];
+    Connection* owner = m.owner;
+    const bool routable = owner != nullptr && owner->sock.valid() && !owner->closing;
+    if (routable) {
+      append_score(owner->out, score.stream, static_cast<std::uint64_t>(score.sample),
+                   score.score);
+    } else {
+      scores_unrouted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Alarm mirror: identical inputs through the identical state machine as
+    // the engine's own per-stream tracker (which only updates once the ring
+    // holds a full context — sample index >= window).
+    if (score.sample >= window_) {
+      m.tracker.update(score.score, threshold, score.sample);
+      const std::vector<core::AnomalyEvent>& events = m.tracker.events();
+      if (!events.empty()) {
+        const core::AnomalyEvent& e = events.back();
+        const bool is_new = events.size() != m.n_events;
+        const bool changed = is_new || e.onset_sample != m.last_event.onset_sample ||
+                             e.last_sample != m.last_event.last_sample ||
+                             e.peak_score != m.last_event.peak_score;
+        if (changed) {
+          if (routable) {
+            AlarmData alarm;
+            alarm.stream = score.stream;
+            alarm.onset_sample = static_cast<std::uint64_t>(e.onset_sample);
+            alarm.last_sample = static_cast<std::uint64_t>(e.last_sample);
+            alarm.peak_score = e.peak_score;
+            alarm.raised = is_new;
+            append_alarm(owner->out, alarm);
+          }
+          m.n_events = events.size();
+          m.last_event = e;
+        }
+      }
+    }
+  }
+}
+
+void Server::begin_shutdown() {
+  if (shutting_down_) return;
+  shutting_down_ = true;
+  tcp_listener_.close();
+  uds_listener_.close();
+  // Drain every accepted sample (close() blocks until the scorers finish),
+  // then flush the final scores and say goodbye.
+  runtime_.close();
+  route_scores();
+  for (const std::unique_ptr<Connection>& conn : conns_) {
+    if (!conn->sock.valid()) continue;
+    append_goodbye(conn->out);
+    conn->closing = true;
+  }
+}
+
+void Server::run() {
+  check(!running_, "Server::run() called twice");
+  running_ = true;
+  runtime_.start();
+
+  std::vector<pollfd> pfds;
+  std::vector<Connection*> pfd_conns;  // parallel to the connection pfds
+  std::chrono::steady_clock::time_point shutdown_started{};
+
+  while (!(shutting_down_ && conns_.empty())) {
+    pfds.clear();
+    pfd_conns.clear();
+    pfds.push_back({stop_pipe_[0], POLLIN, 0});
+    std::size_t n_listeners = 0;
+    if (!shutting_down_) {
+      if (tcp_listener_.valid()) {
+        pfds.push_back({tcp_listener_.fd(), POLLIN, 0});
+        ++n_listeners;
+      }
+      if (uds_listener_.valid()) {
+        pfds.push_back({uds_listener_.fd(), POLLIN, 0});
+        ++n_listeners;
+      }
+    }
+    const std::size_t first_conn = pfds.size();
+    for (const std::unique_ptr<Connection>& conn : conns_) {
+      if (!conn->sock.valid()) continue;
+      short events = 0;
+      if (!conn->closing) events |= POLLIN;
+      if (conn->out_off < conn->out.size()) events |= POLLOUT;
+      pfds.push_back({conn->sock.fd(), events, 0});
+      pfd_conns.push_back(conn.get());
+    }
+
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                          config_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) fail("net: poll(): ", std::strerror(errno));
+
+    if (pfds[0].revents & POLLIN) {
+      char sink[64];
+      while (::read(stop_pipe_[0], sink, sizeof(sink)) > 0) {
+      }
+      begin_shutdown();
+    }
+
+    // Accepts (listener pfds sit between the stop pipe and the connections).
+    for (std::size_t i = 1; i <= n_listeners && i < first_conn; ++i) {
+      if (!(pfds[i].revents & POLLIN)) continue;
+      for (;;) {
+        const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN (drained) or a transient accept failure
+        }
+        if (static_cast<Index>(conns_.size()) >= config_.max_connections) {
+          ::close(fd);  // over capacity: refuse outright
+          continue;
+        }
+        set_nonblocking(fd, true);
+        auto conn = std::make_unique<Connection>();
+        conn->sock = Socket(fd);
+        conn->policy = config_.runtime.backpressure;
+        conns_.push_back(std::move(conn));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+      Connection& conn = *pfd_conns[i - first_conn];
+      if (!conn.sock.valid()) continue;
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_connection(conn);
+    }
+
+    if (!shutting_down_) route_scores();
+
+    // Flush everything with pending output (fresh frames may have been
+    // queued this iteration, after the poll — write eagerly, not only on
+    // POLLOUT, so a quiet socket does not add a poll interval of latency).
+    for (const std::unique_ptr<Connection>& conn : conns_) {
+      if (conn->sock.valid() && conn->out_off < conn->out.size()) write_connection(*conn);
+    }
+
+    // Sweep: drop dead sockets and fully flushed closing connections.
+    for (std::size_t i = 0; i < conns_.size();) {
+      Connection& conn = *conns_[i];
+      const bool flushed = conn.out_off >= conn.out.size();
+      if (!conn.sock.valid() || (conn.closing && flushed)) {
+        release_streams(conn);
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (shutting_down_) {
+      if (shutdown_started == std::chrono::steady_clock::time_point{})
+        shutdown_started = std::chrono::steady_clock::now();
+      else if (std::chrono::steady_clock::now() - shutdown_started > kShutdownFlushDeadline)
+        conns_.clear();  // a non-reading client shall not wedge the daemon
+    }
+  }
+}
+
+}  // namespace varade::net

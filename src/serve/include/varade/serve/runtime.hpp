@@ -117,6 +117,22 @@ struct ShardStats {
   long naps = 0;        ///< times the shard's scorer actually went to sleep
 };
 
+/// One aggregate snapshot of the whole runtime: the per-stream ingestion
+/// totals summed across streams, the per-shard scorer totals summed across
+/// shards, plus the full per-stream/per-shard breakdowns — everything a
+/// serving daemon's stats endpoint reports in one call. Same consistency
+/// contract as the individual accessors: each counter is exact, the set is a
+/// consistent snapshot only once quiescent.
+struct RuntimeStats {
+  long pushed = 0;    ///< sum of IngestStats::pushed over all streams
+  long dropped = 0;   ///< sum of IngestStats::dropped over all streams
+  long rejected = 0;  ///< sum of IngestStats::rejected over all streams
+  long rounds = 0;    ///< sum of ShardStats::rounds over all shards
+  long naps = 0;      ///< sum of ShardStats::naps over all shards
+  std::vector<IngestStats> streams;  ///< by global stream id
+  std::vector<ShardStats> shards;    ///< by shard id
+};
+
 class AsyncScoringRuntime {
  public:
   /// Same borrow contract as ScoringEngine: detector fitted, normalizer
@@ -194,6 +210,8 @@ class AsyncScoringRuntime {
 
   /// Per-stream ingestion counters; valid any time.
   IngestStats stats(Index stream) const;
+  /// Aggregate snapshot across every stream and shard; valid any time.
+  RuntimeStats stats() const;
   /// Scoring rounds (drain + engine step) across all shards.
   long rounds() const;
   /// Per-shard scorer counters (shard in [0, n_shards())).

@@ -424,6 +424,24 @@ IngestStats AsyncScoringRuntime::stats(Index stream) const {
   return s;
 }
 
+RuntimeStats AsyncScoringRuntime::stats() const {
+  RuntimeStats total;
+  total.streams.reserve(static_cast<std::size_t>(n_streams_));
+  for (Index s = 0; s < n_streams_; ++s) {
+    total.streams.push_back(stats(s));
+    total.pushed += total.streams.back().pushed;
+    total.dropped += total.streams.back().dropped;
+    total.rejected += total.streams.back().rejected;
+  }
+  total.shards.reserve(static_cast<std::size_t>(n_shards()));
+  for (Index k = 0; k < n_shards(); ++k) {
+    total.shards.push_back(shard_stats(k));
+    total.rounds += total.shards.back().rounds;
+    total.naps += total.shards.back().naps;
+  }
+  return total;
+}
+
 long AsyncScoringRuntime::rounds() const {
   long total = 0;
   for (const Shard& shard : shards_) total += shard.rounds.load(std::memory_order_relaxed);

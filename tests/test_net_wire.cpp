@@ -1,0 +1,802 @@
+// Tests for varade::net: wire-protocol round-trips, the malformed-input
+// sweep (every rejection path is a named error, never UB — this binary runs
+// under ASan/UBSan in ci.sh --sanitize), and the loopback end-to-end parity
+// suite pinning the serving determinism contract across the socket: scores
+// and alarm events received by concurrent clients are bit-identical to a
+// synchronous in-process ScoringEngine fed the same samples. Carries the
+// `concurrency` label, so the daemon + multi-client suites also run under
+// ThreadSanitizer (ci.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "varade/core/varade.hpp"
+#include "varade/net/client.hpp"
+#include "varade/net/server.hpp"
+#include "varade/net/socket.hpp"
+#include "varade/net/wire.hpp"
+#include "varade/serve/scoring_engine.hpp"
+
+namespace varade::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire round-trips
+// ---------------------------------------------------------------------------
+
+/// Feeds `bytes` into a FrameReader either whole or one byte at a time and
+/// returns every complete frame.
+std::vector<Frame> reparse(const std::vector<std::uint8_t>& bytes, bool byte_at_a_time) {
+  FrameReader reader;
+  std::vector<Frame> frames;
+  Frame frame;
+  if (byte_at_a_time) {
+    for (const std::uint8_t b : bytes) {
+      reader.feed(&b, 1);
+      while (reader.next(frame)) frames.push_back(frame);
+    }
+  } else {
+    reader.feed(bytes.data(), bytes.size());
+    while (reader.next(frame)) frames.push_back(frame);
+  }
+  EXPECT_EQ(reader.buffered(), 0U);
+  return frames;
+}
+
+TEST(Wire, EveryFrameTypeRoundTrips) {
+  std::vector<std::uint8_t> bytes;
+  append_hello(bytes, serve::BackpressurePolicy::Reject);
+  append_hello(bytes);  // daemon-default policy request
+  append_welcome(bytes, {.n_streams = 16,
+                         .n_channels = 3,
+                         .threshold = 0.75F,
+                         .policy = serve::BackpressurePolicy::DropOldest});
+  const float values[3] = {0.25F, -1.5F, 3.0F};
+  append_sample(bytes, 7, 42, values, 3);
+  append_score(bytes, 7, 42, 0.125F);
+  append_alarm(bytes, {.stream = 7,
+                       .onset_sample = 40,
+                       .last_sample = 44,
+                       .peak_score = 2.5F,
+                       .raised = true});
+  append_nack(bytes, {.stream = 7,
+                      .seq = 43,
+                      .result = serve::PushResult::Rejected,
+                      .reason = NackReason::StreamBusy});
+  append_stats_request(bytes);
+  append_stats_reply(bytes, {.pushed = 100,
+                             .dropped = 5,
+                             .rejected = 2,
+                             .rounds = 50,
+                             .naps = 3,
+                             .n_streams = 16,
+                             .n_shards = 2,
+                             .n_connections = 4});
+  append_shutdown(bytes);
+  append_goodbye(bytes);
+  append_wire_error(bytes, "net: something went wrong");
+
+  for (const bool byte_wise : {false, true}) {
+    const std::vector<Frame> frames = reparse(bytes, byte_wise);
+    ASSERT_EQ(frames.size(), 12U);
+
+    EXPECT_EQ(decode_hello(frames[0]), serve::BackpressurePolicy::Reject);
+    EXPECT_EQ(decode_hello(frames[1]), std::nullopt);
+
+    const Welcome w = decode_welcome(frames[2]);
+    EXPECT_EQ(w.n_streams, 16);
+    EXPECT_EQ(w.n_channels, 3);
+    EXPECT_EQ(w.threshold, 0.75F);
+    EXPECT_EQ(w.policy, serve::BackpressurePolicy::DropOldest);
+
+    SampleData sample;
+    decode_sample(frames[3], 3, sample);
+    EXPECT_EQ(sample.stream, 7);
+    EXPECT_EQ(sample.seq, 42U);
+    ASSERT_EQ(sample.values.size(), 3U);
+    EXPECT_EQ(std::memcmp(sample.values.data(), values, sizeof(values)), 0);
+
+    const ScoreData score = decode_score(frames[4]);
+    EXPECT_EQ(score.stream, 7);
+    EXPECT_EQ(score.sample, 42U);
+    EXPECT_EQ(score.score, 0.125F);
+
+    const AlarmData alarm = decode_alarm(frames[5]);
+    EXPECT_EQ(alarm.stream, 7);
+    EXPECT_EQ(alarm.onset_sample, 40U);
+    EXPECT_EQ(alarm.last_sample, 44U);
+    EXPECT_EQ(alarm.peak_score, 2.5F);
+    EXPECT_TRUE(alarm.raised);
+
+    const NackData nack = decode_nack(frames[6]);
+    EXPECT_EQ(nack.stream, 7);
+    EXPECT_EQ(nack.seq, 43U);
+    EXPECT_EQ(nack.result, serve::PushResult::Rejected);
+    EXPECT_EQ(nack.reason, NackReason::StreamBusy);
+
+    EXPECT_EQ(frames[7].type, FrameType::StatsRequest);
+
+    const WireStats stats = decode_stats_reply(frames[8]);
+    EXPECT_EQ(stats.pushed, 100U);
+    EXPECT_EQ(stats.dropped, 5U);
+    EXPECT_EQ(stats.rejected, 2U);
+    EXPECT_EQ(stats.rounds, 50U);
+    EXPECT_EQ(stats.naps, 3U);
+    EXPECT_EQ(stats.n_streams, 16);
+    EXPECT_EQ(stats.n_shards, 2);
+    EXPECT_EQ(stats.n_connections, 4);
+
+    EXPECT_EQ(frames[9].type, FrameType::Shutdown);
+    EXPECT_EQ(frames[10].type, FrameType::Goodbye);
+    EXPECT_EQ(decode_wire_error(frames[11]), "net: something went wrong");
+  }
+}
+
+TEST(Wire, ScoresTravelBitExactly) {
+  // Denormals, negative zero, extremes: the payload is the IEEE-754 bit
+  // pattern, so every value round-trips to the identical bits.
+  const float cases[] = {0.0F, -0.0F, 1e-45F, std::numeric_limits<float>::max(),
+                         -std::numeric_limits<float>::min(), 3.14159265F};
+  for (const float v : cases) {
+    std::vector<std::uint8_t> bytes;
+    append_score(bytes, 0, 0, v);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    const ScoreData score = decode_score(frame);
+    EXPECT_EQ(std::memcmp(&score.score, &v, sizeof(float)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input sweep: every rejection is a named error
+// ---------------------------------------------------------------------------
+
+/// Expects feeding `bytes` to throw an Error whose message contains `what`.
+void expect_feed_error(std::vector<std::uint8_t> bytes, const std::string& what) {
+  FrameReader reader;
+  try {
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    while (reader.next(frame)) {
+    }
+    FAIL() << "expected an Error containing \"" << what << "\"";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(WireMalformed, BadMagic) {
+  std::vector<std::uint8_t> bytes;
+  append_shutdown(bytes);
+  bytes[0] = 0x00;
+  expect_feed_error(bytes, "bad magic byte");
+}
+
+TEST(WireMalformed, BadVersion) {
+  std::vector<std::uint8_t> bytes;
+  append_shutdown(bytes);
+  bytes[1] = 9;
+  expect_feed_error(bytes, "unsupported wire version 9");
+}
+
+TEST(WireMalformed, UnknownFrameType) {
+  std::vector<std::uint8_t> bytes;
+  append_shutdown(bytes);
+  bytes[2] = 200;
+  expect_feed_error(bytes, "unknown frame type 200");
+}
+
+TEST(WireMalformed, NonzeroReservedByte) {
+  std::vector<std::uint8_t> bytes;
+  append_shutdown(bytes);
+  bytes[3] = 1;
+  expect_feed_error(bytes, "nonzero reserved header byte");
+}
+
+TEST(WireMalformed, OversizedLength) {
+  // Header claims a payload beyond kMaxPayload: rejected from the header
+  // alone, before any payload is buffered (or allocated).
+  std::vector<std::uint8_t> bytes = {kMagic, kWireVersion,
+                                     static_cast<std::uint8_t>(FrameType::Sample),
+                                     0,      0xFF,         0xFF,
+                                     0xFF,   0x7F};
+  expect_feed_error(bytes, "oversized frame length");
+}
+
+TEST(WireMalformed, TruncatedFrameIsDetectableAtEof) {
+  std::vector<std::uint8_t> bytes;
+  const float values[3] = {1.0F, 2.0F, 3.0F};
+  append_sample(bytes, 0, 0, values, 3);
+  bytes.resize(bytes.size() - 5);  // peer dies mid-payload
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_GT(reader.buffered(), 0U);  // what a connection checks at EOF
+}
+
+TEST(WireMalformed, GoodFrameBeforeGarbageIsStillDelivered) {
+  std::vector<std::uint8_t> bytes;
+  append_goodbye(bytes);
+  bytes.push_back(0x13);  // garbage follows a complete well-formed frame
+  bytes.resize(bytes.size() + 7, 0);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());  // front header is fine: no throw
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));  // the good frame is delivered first...
+  EXPECT_EQ(frame.type, FrameType::Goodbye);
+  EXPECT_THROW(reader.next(frame), Error);  // ...then the garbage is named
+  // The error poisons the reader permanently.
+  EXPECT_THROW(reader.next(frame), Error);
+  const std::uint8_t byte = 0;
+  EXPECT_THROW(reader.feed(&byte, 1), Error);
+}
+
+TEST(WireMalformed, GarbageAfterAFrameFiresOnNextCallNotOnDelivery) {
+  // Fed incrementally (frame first, garbage later), the good frame is
+  // delivered before the following garbage header is even complete.
+  std::vector<std::uint8_t> bytes;
+  append_goodbye(bytes);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame.type, FrameType::Goodbye);
+  const std::uint8_t garbage[kHeaderSize] = {0x13, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(reader.feed(garbage, sizeof(garbage)), Error);
+}
+
+TEST(WireMalformed, WrongPayloadSize) {
+  std::vector<std::uint8_t> bytes;
+  const float values[3] = {1.0F, 2.0F, 3.0F};
+  append_sample(bytes, 0, 0, values, 3);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  SampleData sample;
+  try {
+    decode_sample(frame, 5, sample);  // server expects 5 channels
+    FAIL() << "expected a payload-size Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("SAMPLE frame payload is"), std::string::npos);
+  }
+}
+
+TEST(WireMalformed, NonFiniteSampleValueIsNamedByChannel) {
+  std::vector<std::uint8_t> bytes;
+  const float values[3] = {1.0F, std::numeric_limits<float>::quiet_NaN(), 3.0F};
+  append_sample(bytes, 4, 9, values, 3);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  SampleData sample;
+  try {
+    decode_sample(frame, 3, sample);
+    FAIL() << "expected a non-finite Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite value in SAMPLE frame (stream 4, channel 1)"),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+  // Infinities are equally rejected.
+  bytes.clear();
+  const float inf_values[3] = {std::numeric_limits<float>::infinity(), 0.0F, 0.0F};
+  append_sample(bytes, 0, 0, inf_values, 3);
+  FrameReader fresh;
+  fresh.feed(bytes.data(), bytes.size());
+  ASSERT_TRUE(fresh.next(frame));
+  EXPECT_THROW(decode_sample(frame, 3, sample), Error);
+}
+
+TEST(WireMalformed, BadEnumBytes) {
+  std::vector<std::uint8_t> bytes;
+  append_hello(bytes, serve::BackpressurePolicy::Block);
+  bytes[kHeaderSize] = 7;  // policy byte
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_THROW(decode_hello(frame), Error);
+
+  bytes.clear();
+  append_nack(bytes, {});
+  bytes[kHeaderSize + 12] = 9;  // PushResult byte
+  FrameReader r2;
+  r2.feed(bytes.data(), bytes.size());
+  ASSERT_TRUE(r2.next(frame));
+  EXPECT_THROW(decode_nack(frame), Error);
+
+  bytes.clear();
+  append_alarm(bytes, {});
+  bytes[kHeaderSize + 24] = 2;  // raised byte
+  FrameReader r3;
+  r3.feed(bytes.data(), bytes.size());
+  ASSERT_TRUE(r3.next(frame));
+  EXPECT_THROW(decode_alarm(frame), Error);
+}
+
+TEST(WireMalformed, OversizedEncodeIsRejectedToo) {
+  std::vector<std::uint8_t> out;
+  std::vector<float> values(static_cast<std::size_t>(kMaxPayload) / 4 + 16, 0.0F);
+  EXPECT_THROW(
+      append_sample(out, 0, 0, values.data(), static_cast<Index>(values.size())), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint specs
+// ---------------------------------------------------------------------------
+
+TEST(Endpoint, ParsesAllSpecForms) {
+  const Endpoint uds = parse_endpoint("unix:/tmp/x.sock");
+  EXPECT_EQ(uds.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(uds.path, "/tmp/x.sock");
+  EXPECT_EQ(to_string(uds), "unix:/tmp/x.sock");
+
+  const Endpoint tcp = parse_endpoint("tcp:127.0.0.1:7733");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7733);
+  EXPECT_EQ(to_string(tcp), "tcp:127.0.0.1:7733");
+
+  const Endpoint bare = parse_endpoint("localhost:80");
+  EXPECT_EQ(bare.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(bare.host, "localhost");
+  EXPECT_EQ(bare.port, 80);
+
+  EXPECT_THROW(parse_endpoint("unix:"), Error);
+  EXPECT_THROW(parse_endpoint("justahost"), Error);
+  EXPECT_THROW(parse_endpoint("host:notaport"), Error);
+  EXPECT_THROW(parse_endpoint("host:99999"), Error);
+  EXPECT_THROW(parse_endpoint(":80"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback end-to-end: daemon-scored == synchronous ScoringEngine
+// ---------------------------------------------------------------------------
+
+data::MultivariateSeries make_sine(Index length, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MultivariateSeries s(3);
+  std::vector<float> row(3);
+  for (Index t = 0; t < length; ++t) {
+    const bool anomalous = (t % 120) >= 90 && (t % 120) < 100;
+    for (Index c = 0; c < 3; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
+          rng.normal(0.0F, anomalous ? 0.9F : 0.03F);
+    }
+    s.append(row);
+  }
+  return s;
+}
+
+/// One tiny fitted VARADE shared by every e2e test (fitting dominates; the
+/// server only reads the model). Small enough to stay fast under TSan.
+struct NetRig {
+  data::MultivariateSeries train_raw = make_sine(400, 1);
+  data::MinMaxNormalizer normalizer;
+  data::MultivariateSeries train;
+  core::VaradeDetector detector;
+  float threshold = 0.0F;
+
+  NetRig()
+      : detector({.window = 16,
+                  .base_channels = 4,
+                  .epochs = 1,
+                  .learning_rate = 1e-3F,
+                  .train_stride = 4}) {
+    normalizer.fit(train_raw);
+    train = normalizer.transform(train_raw);
+    detector.fit(train);
+    threshold = core::calibrate_threshold(detector, train, {});
+  }
+};
+
+NetRig& rig() {
+  static NetRig* r = new NetRig();
+  return *r;
+}
+
+/// What one client observed for the streams it owns.
+struct ClientView {
+  std::map<Index, std::vector<float>> scores;  // by stream, in arrival order
+  std::map<Index, std::vector<core::AnomalyEvent>> events;  // reconstructed
+  long nacks = 0;
+};
+
+/// Drives one client: pushes `n_samples` of each owned stream's series, then
+/// polls until every owned stream has all its scores. ALARM frames
+/// reconstruct the exact event list (raised appends, extension overwrites).
+/// Void with an out-param so gtest ASSERTs can early-return.
+void run_client(const Endpoint& endpoint, const std::vector<Index>& streams,
+                const std::vector<data::MultivariateSeries>& series, Index n_samples,
+                ClientView& view) {
+  Client client(endpoint);
+  for (Index t = 0; t < n_samples; ++t)
+    for (const Index s : streams)
+      client.send_sample(s, static_cast<std::uint64_t>(t),
+                         series[static_cast<std::size_t>(s)].sample(t));
+  client.flush();
+  const auto want = static_cast<std::size_t>(n_samples);
+  ClientEvent ev;
+  auto done = [&] {
+    if (view.scores.size() != streams.size()) return false;
+    for (const auto& [s, scores] : view.scores)
+      if (scores.size() < want) return false;
+    return true;
+  };
+  while (!done()) {
+    if (!client.poll_event(ev, 30000)) break;  // generous under TSan
+    switch (ev.kind) {
+      case ClientEvent::Kind::Score:
+        view.scores[ev.score.stream].push_back(ev.score.score);
+        break;
+      case ClientEvent::Kind::Alarm: {
+        auto& events = view.events[ev.alarm.stream];
+        core::AnomalyEvent e;
+        e.onset_sample = static_cast<Index>(ev.alarm.onset_sample);
+        e.last_sample = static_cast<Index>(ev.alarm.last_sample);
+        e.peak_score = ev.alarm.peak_score;
+        if (ev.alarm.raised) {
+          events.push_back(e);
+        } else {
+          ASSERT_FALSE(events.empty()) << "extension ALARM before any raised ALARM";
+          events.back() = e;
+        }
+        break;
+      }
+      case ClientEvent::Kind::Nack:
+        ++view.nacks;
+        break;
+      default:
+        break;
+    }
+  }
+  client.send_goodbye();
+}
+
+/// The parity pin: 4 concurrent clients x 16 streams against one daemon,
+/// compared bit-for-bit to a synchronous ScoringEngine fed the same samples.
+void expect_loopback_parity(const Endpoint& endpoint, Server& server, Index n_streams,
+                            Index n_samples) {
+  NetRig& r = rig();
+  std::vector<data::MultivariateSeries> series;
+  for (Index s = 0; s < n_streams; ++s)
+    series.push_back(make_sine(n_samples, 100 + static_cast<std::uint64_t>(s)));
+
+  std::thread server_thread([&server] { server.run(); });
+
+  constexpr int kClients = 4;
+  std::vector<ClientView> views(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<Index> mine;
+        for (Index s = c; s < n_streams; s += kClients) mine.push_back(s);
+        run_client(endpoint, mine, series, n_samples, views[static_cast<std::size_t>(c)]);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  server.request_stop();
+  server_thread.join();
+
+  // Synchronous baseline: one ScoringEngine, same streams, same samples.
+  serve::ScoringEngine engine(r.detector, r.normalizer, {});
+  engine.add_streams(n_streams);
+  engine.set_threshold(r.threshold);
+  std::map<Index, std::vector<float>> expected;
+  for (Index t = 0; t < n_samples; ++t) {
+    for (Index s = 0; s < n_streams; ++s)
+      engine.push(s, series[static_cast<std::size_t>(s)].sample(t));
+    for (const serve::StreamScore& score : engine.step())
+      expected[score.stream].push_back(score.score);
+  }
+
+  long scores_checked = 0;
+  for (const ClientView& view : views) {
+    EXPECT_EQ(view.nacks, 0);
+    for (const auto& [stream, scores] : view.scores) {
+      const std::vector<float>& want = expected[stream];
+      ASSERT_EQ(scores.size(), want.size()) << "stream " << stream;
+      EXPECT_EQ(std::memcmp(scores.data(), want.data(), scores.size() * sizeof(float)), 0)
+          << "stream " << stream << " scores drifted across the socket";
+      scores_checked += static_cast<long>(scores.size());
+    }
+    for (const auto& [stream, events] : view.events) {
+      const std::vector<core::AnomalyEvent>& want = engine.events(stream);
+      ASSERT_EQ(events.size(), want.size()) << "stream " << stream;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].onset_sample, want[i].onset_sample);
+        EXPECT_EQ(events[i].last_sample, want[i].last_sample);
+        EXPECT_EQ(std::memcmp(&events[i].peak_score, &want[i].peak_score, sizeof(float)), 0);
+      }
+    }
+  }
+  EXPECT_EQ(scores_checked, static_cast<long>(n_streams) * n_samples);
+  // Every client saw every ALARM its streams raised.
+  std::size_t events_seen = 0;
+  for (const ClientView& view : views)
+    for (const auto& [stream, events] : view.events) events_seen += events.size();
+  std::size_t events_expected = 0;
+  for (Index s = 0; s < n_streams; ++s) events_expected += engine.events(s).size();
+  EXPECT_EQ(events_seen, events_expected);
+  EXPECT_GT(events_expected, 0U) << "workload never alarmed; the event parity was vacuous";
+}
+
+TEST(NetE2E, LoopbackUnixParityFourClientsSixteenStreams) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_e2e_uds.sock";
+  config.n_streams = 16;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  expect_loopback_parity(Endpoint{.kind = Endpoint::Kind::Unix, .path = config.uds_path},
+                         server, 16, 150);
+}
+
+TEST(NetE2E, LoopbackTcpParitySharded) {
+  net::ServerConfig config;
+  config.tcp_port = 0;  // ephemeral
+  config.n_streams = 16;
+  config.threshold = rig().threshold;
+  config.runtime.n_shards = 2;  // parity must hold across the shard map too
+  Server server(rig().detector, rig().normalizer, config);
+  expect_loopback_parity(
+      Endpoint{.kind = Endpoint::Kind::Tcp, .host = "127.0.0.1", .port = server.tcp_port()},
+      server, 16, 150);
+}
+
+TEST(NetE2E, WelcomeAnnouncesSessionConfig) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_welcome.sock";
+  config.n_streams = 5;
+  config.threshold = rig().threshold;
+  config.runtime.backpressure = serve::BackpressurePolicy::DropOldest;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  {
+    // Defaulted policy resolves to the daemon's.
+    Client defaulted(parse_endpoint("unix:" + config.uds_path));
+    EXPECT_EQ(defaulted.n_streams(), 5);
+    EXPECT_EQ(defaulted.n_channels(), 3);
+    EXPECT_EQ(std::memcmp(&defaulted.welcome().threshold, &rig().threshold, sizeof(float)), 0);
+    EXPECT_EQ(defaulted.welcome().policy, serve::BackpressurePolicy::DropOldest);
+    // An explicit request overrides it.
+    Client rejecting(parse_endpoint("unix:" + config.uds_path),
+                     {.policy = serve::BackpressurePolicy::Reject});
+    EXPECT_EQ(rejecting.welcome().policy, serve::BackpressurePolicy::Reject);
+  }
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(NetE2E, SecondConnectionPushingAnOwnedStreamIsNackedStreamBusy) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_busy.sock";
+  config.n_streams = 2;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  const Endpoint endpoint = parse_endpoint("unix:" + config.uds_path);
+  {
+    Client owner(endpoint);
+    const float sample[3] = {0.1F, 0.2F, 0.3F};
+    owner.send_sample(0, 0, sample);
+    owner.flush();
+    // Its score proves the daemon registered ownership of stream 0.
+    ClientEvent ev;
+    ASSERT_TRUE(owner.poll_event(ev, 30000));
+    ASSERT_EQ(ev.kind, ClientEvent::Kind::Score);
+    EXPECT_EQ(ev.score.stream, 0);
+
+    Client intruder(endpoint);
+    intruder.send_sample(0, 77, sample);
+    intruder.flush();
+    ASSERT_TRUE(intruder.poll_event(ev, 30000));
+    ASSERT_EQ(ev.kind, ClientEvent::Kind::Nack);
+    EXPECT_EQ(ev.nack.stream, 0);
+    EXPECT_EQ(ev.nack.seq, 77U);
+    EXPECT_EQ(ev.nack.result, serve::PushResult::Rejected);
+    EXPECT_EQ(ev.nack.reason, NackReason::StreamBusy);
+    // The intruder is free to claim the unowned stream.
+    intruder.send_sample(1, 0, sample);
+    intruder.flush();
+    ASSERT_TRUE(intruder.poll_event(ev, 30000));
+    EXPECT_EQ(ev.kind, ClientEvent::Kind::Score);
+    EXPECT_EQ(ev.score.stream, 1);
+  }
+  server.request_stop();
+  server_thread.join();
+  EXPECT_EQ(server.frames_nacked(), 1);
+}
+
+TEST(NetE2E, StatsProbeCountsPushes) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_stats.sock";
+  config.n_streams = 3;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  {
+    Client client(parse_endpoint("unix:" + config.uds_path));
+    const float sample[3] = {0.5F, 0.5F, 0.5F};
+    for (int t = 0; t < 10; ++t)
+      client.send_sample(0, static_cast<std::uint64_t>(t), sample);
+    client.flush();
+    client.request_stats();
+    ClientEvent ev;
+    WireStats stats{};
+    bool got_stats = false;
+    while (client.poll_event(ev, 30000)) {
+      if (ev.kind == ClientEvent::Kind::Stats) {
+        stats = ev.stats;
+        got_stats = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(got_stats);
+    EXPECT_EQ(stats.pushed, 10U);
+    EXPECT_EQ(stats.dropped, 0U);
+    EXPECT_EQ(stats.rejected, 0U);
+    EXPECT_EQ(stats.n_streams, 3);
+    EXPECT_EQ(stats.n_shards, 1);
+    EXPECT_EQ(stats.n_connections, 1);
+  }
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(NetE2E, ShutdownFrameDrainsAndSaysGoodbye) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_shutdown.sock";
+  config.n_streams = 1;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  {
+    Client client(parse_endpoint("unix:" + config.uds_path));
+    const float sample[3] = {0.5F, 0.5F, 0.5F};
+    const Index n = 20;
+    for (Index t = 0; t < n; ++t)
+      client.send_sample(0, static_cast<std::uint64_t>(t), sample);
+    client.request_shutdown();
+    // Every accepted sample is scored before the GOODBYE: the drain
+    // guarantee crosses the socket.
+    Index scores = 0;
+    bool goodbye = false;
+    ClientEvent ev;
+    while (client.poll_event(ev, 30000)) {
+      if (ev.kind == ClientEvent::Kind::Score) ++scores;
+      if (ev.kind == ClientEvent::Kind::Goodbye) {
+        goodbye = true;
+        break;
+      }
+    }
+    EXPECT_EQ(scores, n);
+    EXPECT_TRUE(goodbye);
+    EXPECT_TRUE(client.closed());
+  }
+  server_thread.join();  // run() returned because of the SHUTDOWN frame
+}
+
+TEST(NetE2E, ProtocolViolationsGetNamedWireErrors) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_violation.sock";
+  config.n_streams = 2;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  const Endpoint endpoint = parse_endpoint("unix:" + config.uds_path);
+
+  auto expect_wire_error = [&](const std::vector<std::uint8_t>& bytes,
+                               const std::string& what) {
+    Socket sock = connect_endpoint(endpoint);
+    send_all(sock.fd(), bytes.data(), bytes.size());
+    FrameReader reader;
+    std::uint8_t buf[4096];
+    std::string message;
+    for (;;) {
+      ASSERT_TRUE(wait_readable(sock.fd(), 30000)) << "no WIRE_ERROR for: " << what;
+      const long n = read_some(sock.fd(), buf, sizeof(buf));
+      ASSERT_NE(n, 0) << "daemon closed without a WIRE_ERROR for: " << what;
+      if (n < 0) continue;
+      reader.feed(buf, static_cast<std::size_t>(n));
+      Frame frame;
+      bool got = false;
+      while (reader.next(frame)) {
+        if (frame.type == FrameType::WireError) {
+          message = decode_wire_error(frame);
+          got = true;
+          break;
+        }
+        // A WELCOME (for the cases that HELLO first) precedes the error.
+        ASSERT_EQ(frame.type, FrameType::Welcome);
+      }
+      if (got) break;
+    }
+    EXPECT_NE(message.find(what), std::string::npos) << "actual message: " << message;
+  };
+
+  {
+    // A SAMPLE before HELLO.
+    std::vector<std::uint8_t> bytes;
+    const float sample[3] = {0.0F, 0.0F, 0.0F};
+    append_sample(bytes, 0, 0, sample, 3);
+    expect_wire_error(bytes, "expected HELLO as the first frame, got SAMPLE");
+  }
+  {
+    // An out-of-range stream id, in the serving layer's canonical wording.
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    const float sample[3] = {0.0F, 0.0F, 0.0F};
+    append_sample(bytes, 99, 0, sample, 3);
+    expect_wire_error(bytes, "stream id 99 out of range [0, 2)");
+  }
+  {
+    // A NaN sample value.
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    const float sample[3] = {0.0F, std::numeric_limits<float>::quiet_NaN(), 0.0F};
+    append_sample(bytes, 0, 0, sample, 3);
+    expect_wire_error(bytes, "non-finite value in SAMPLE frame (stream 0, channel 1)");
+  }
+  {
+    // A wrong channel count.
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    const float sample[5] = {0.0F, 0.0F, 0.0F, 0.0F, 0.0F};
+    append_sample(bytes, 0, 0, sample, 5);
+    expect_wire_error(bytes, "SAMPLE frame payload is");
+  }
+  {
+    // A server-only frame from a client.
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    append_score(bytes, 0, 0, 1.0F);
+    expect_wire_error(bytes, "unexpected SCORE frame from client");
+  }
+  {
+    // Garbage bytes (bad magic).
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    bytes.push_back(0x13);
+    bytes.resize(bytes.size() + 7, 0);
+    expect_wire_error(bytes, "bad magic byte");
+  }
+
+  server.request_stop();
+  server_thread.join();
+  EXPECT_EQ(server.protocol_errors(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration validation
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, RejectsInvalidConfigs) {
+  NetRig& r = rig();
+  net::ServerConfig none;  // no listener at all
+  none.threshold = r.threshold;
+  EXPECT_THROW(Server(r.detector, r.normalizer, none), Error);
+
+  net::ServerConfig bad_streams;
+  bad_streams.uds_path = "/tmp/varade_test_cfg.sock";
+  bad_streams.threshold = r.threshold;
+  bad_streams.n_streams = 0;
+  EXPECT_THROW(Server(r.detector, r.normalizer, bad_streams), Error);
+}
+
+}  // namespace
+}  // namespace varade::net

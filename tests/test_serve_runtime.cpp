@@ -313,6 +313,21 @@ TEST(AsyncScoringRuntime, DropOldestEvictsAndCountsPerStream) {
   const auto scores = runtime.drain_scores();
   EXPECT_EQ(static_cast<long>(scores.size()), runtime.samples_seen(0));
   for (const StreamScore& s : scores) EXPECT_EQ(s.stream, 0);
+
+  // The aggregate snapshot sums the same counters and carries the full
+  // per-stream / per-shard breakdowns.
+  const RuntimeStats total = runtime.stats();
+  EXPECT_EQ(total.pushed, stats.pushed);
+  EXPECT_EQ(total.dropped, stats.dropped);
+  EXPECT_EQ(total.rejected, 0);
+  ASSERT_EQ(total.streams.size(), 2U);
+  EXPECT_EQ(total.streams[0].pushed, stats.pushed);
+  EXPECT_EQ(total.streams[0].dropped, stats.dropped);
+  EXPECT_EQ(total.streams[1].pushed, 0);
+  ASSERT_EQ(total.shards.size(), 1U);
+  EXPECT_EQ(total.rounds, runtime.rounds());
+  EXPECT_EQ(total.shards[0].rounds, runtime.rounds());
+  EXPECT_EQ(total.naps, total.shards[0].naps);
 }
 
 TEST(AsyncScoringRuntime, RejectReturnsAndCountsWithoutBlocking) {
@@ -346,6 +361,12 @@ TEST(AsyncScoringRuntime, RejectReturnsAndCountsWithoutBlocking) {
   const auto scores = runtime.drain_scores();
   ASSERT_EQ(static_cast<long>(scores.size()), ok);
   for (long i = 0; i < ok; ++i) EXPECT_EQ(scores[static_cast<std::size_t>(i)].sample, i);
+
+  // Rejections show up in the aggregate snapshot too.
+  const RuntimeStats total = runtime.stats();
+  EXPECT_EQ(total.pushed, ok);
+  EXPECT_EQ(total.rejected, rejected);
+  EXPECT_EQ(total.dropped, 0);
 }
 
 TEST(AsyncScoringRuntime, BlockNeverLosesUnderTinyRing) {

@@ -161,6 +161,19 @@ TEST(ShardedRuntime, ClampsShardsToStreamsAndReportsStats) {
   // Empty shards never ran a round.
   EXPECT_EQ(runtime.shard_stats(2).rounds, 0);
   EXPECT_EQ(runtime.shard_stats(3).rounds, 0);
+
+  // The aggregate snapshot spans every stream and every shard (including
+  // the empty ones) and sums across the shard map.
+  const RuntimeStats total = runtime.stats();
+  EXPECT_EQ(total.pushed, 2);
+  EXPECT_EQ(total.dropped, 0);
+  EXPECT_EQ(total.rejected, 0);
+  ASSERT_EQ(total.streams.size(), 2U);
+  EXPECT_EQ(total.streams[0].pushed, 1);
+  EXPECT_EQ(total.streams[1].pushed, 1);
+  ASSERT_EQ(total.shards.size(), 4U);
+  EXPECT_EQ(total.rounds, runtime.rounds());
+  EXPECT_EQ(total.shards[2].rounds + total.shards[3].rounds, 0);
 }
 
 TEST(ShardedRuntime, GlobalStreamIdWordingSurvivesRemapping) {
