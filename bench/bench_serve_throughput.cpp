@@ -29,11 +29,25 @@
 // across N detector-side workers via AnomalyDetector::set_scoring_threads.
 // Scores stay bit-identical at any N (asserted); 0 = hardware concurrency.
 //
+// --stream-sweep [N] replaces the grid with the fleet-capacity sweep: stream
+// counts {1k, 10k, 100k, 1M} (or the single count N) through one
+// SoA ScoringEngine, reporting samples/s and resident bytes per stream at
+// each point. Every stream replays one of 64 input archetypes (stream s
+// plays archetype s % 64, values fully determined by (archetype, t, c)), so
+// the sequential OnlineMonitor baseline runs once per archetype and every
+// stream's score sum is required to match its archetype's to the last bit —
+// a bit-exact fleet-scale parity check that doesn't need a million
+// monitors. --samples (default 96 here) bounds per-stream length; --json
+// writes the sweep record (BENCH_pr8.json format).
+//
 // Usage: bench_serve_throughput [--quick] [--async] [--shards N] [--streams N]
 //                               [--samples N] [--score-threads N]
+//                               [--stream-sweep [N]]
 //                               [--detector <name>|all] [--json <path>]
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -214,7 +228,7 @@ double bench_async_once(core::AnomalyDetector& detector,
     producers.emplace_back([&, p] {
       for (Index t = 0; t < n_samples; ++t) {
         for (Index s = p; s < n_streams; s += n_producers) {
-          const auto r = runtime.push(s, streams[static_cast<std::size_t>(s)].sample(t));
+          const auto r = runtime.push(s, streams[static_cast<std::size_t>(s)].sample(t), 3);
           if (r == serve::PushResult::Rejected) {
             std::fprintf(stderr, "FATAL: Block push rejected mid-run\n");
             std::exit(1);
@@ -290,7 +304,7 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
       const Index t1 = std::min(n_samples, t0_ + kBurst);
       for (Index s = 0; s < n_streams; ++s) {
         const auto& in = streams[static_cast<std::size_t>(s)];
-        for (Index t = t0_; t < t1; ++t) engine.push(s, in.sample(t));
+        for (Index t = t0_; t < t1; ++t) engine.push(s, in.sample(t), in.n_channels());
       }
       for (const serve::StreamScore& r : engine.step()) checksum += r.score;
     }
@@ -400,6 +414,210 @@ void write_json(const std::string& path, Index n_streams, Index n_samples, Index
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-capacity stream sweep (--stream-sweep)
+// ---------------------------------------------------------------------------
+
+/// Input archetypes shared by all sweep streams: stream s replays archetype
+/// s % kArchetypes, so the bit-exact baseline needs kArchetypes monitors no
+/// matter how many streams the engine serves.
+constexpr Index kArchetypes = 64;
+constexpr Index kSweepChannels = 3;
+
+/// Deterministic noise in [-0.1, 0.1] from an integer key (splitmix64
+/// finaliser) — stateless, so a sample's value depends only on
+/// (archetype, t, c) and any stream can be regenerated on the fly.
+float hash_noise(std::uint64_t key) {
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31U;
+  return (static_cast<float>(z >> 40U) / static_cast<float>(1U << 24U) - 0.5F) * 0.2F;
+}
+
+/// One 3-channel sample of `archetype` at time t: phase-shifted sines plus
+/// hash noise, in the value range of the training cell.
+void sweep_sample(Index archetype, Index t, float* out) {
+  const auto a = static_cast<double>(archetype);
+  const auto x = static_cast<double>(t);
+  out[0] = static_cast<float>(std::sin(0.050 * x + 0.10 * a));
+  out[1] = static_cast<float>(0.8 * std::sin(0.110 * x + 0.07 * a) + 0.1);
+  out[2] = static_cast<float>(0.5 * std::sin(0.023 * x + 0.13 * a) - 0.2);
+  const auto base = (static_cast<std::uint64_t>(archetype) << 40U) |
+                    (static_cast<std::uint64_t>(t) << 8U);
+  for (Index c = 0; c < kSweepChannels; ++c)
+    out[c] += hash_noise(base | static_cast<std::uint64_t>(c));
+}
+
+/// Resident set size from /proc/self/status (0 where unavailable) — the
+/// sweep's memory-per-stream numbers are OS-resident bytes, not allocator
+/// estimates.
+long resident_bytes() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      long kb = 0;
+      if (std::sscanf(line.c_str() + 6, "%ld", &kb) == 1) return kb * 1024;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+struct SweepPoint {
+  Index streams = 0;
+  double engine_samples_per_s = 0.0;
+  double monitor_samples_per_s = 0.0;
+  double bytes_per_stream = 0.0;
+  bool bit_exact = false;
+};
+
+/// Replays `n_streams` archetype streams of `n_samples` samples through one
+/// SoA ScoringEngine and checks every stream's score sum bit-exactly against
+/// the per-archetype sequential OnlineMonitor baseline. Exits on mismatch.
+SweepPoint sweep_one(core::AnomalyDetector& detector, const data::MinMaxNormalizer& normalizer,
+                     float threshold, Index n_streams, Index n_samples) {
+  SweepPoint point;
+  point.streams = n_streams;
+  float sample[kSweepChannels];
+
+  // Baseline: one OnlineMonitor per archetype, sequential. Score sums
+  // accumulate in push order (doubles), the exact order the engine emits a
+  // stream's scores in — so equality below can demand the last bit.
+  const Index n_archetypes = std::min(kArchetypes, n_streams);
+  std::vector<double> base_sum(static_cast<std::size_t>(n_archetypes), 0.0);
+  const auto t0 = Clock::now();
+  for (Index a = 0; a < n_archetypes; ++a) {
+    core::OnlineMonitor monitor(detector, normalizer);
+    monitor.set_threshold(threshold);
+    for (Index t = 0; t < n_samples; ++t) {
+      sweep_sample(a, t, sample);
+      base_sum[static_cast<std::size_t>(a)] += static_cast<double>(monitor.push(sample));
+    }
+  }
+  point.monitor_samples_per_s =
+      static_cast<double>(n_archetypes) * static_cast<double>(n_samples) / seconds_since(t0);
+
+  // Per-stream score sums, allocated before the memory baseline so the
+  // bytes-per-stream figure isolates the engine's own state.
+  std::vector<double> sums(static_cast<std::size_t>(n_streams), 0.0);
+  const long rss_before = resident_bytes();
+
+  serve::ScoringEngine engine(detector, normalizer, {.n_threads = 1, .max_batch = 64});
+  engine.add_streams(n_streams);
+  engine.set_threshold(threshold);
+
+  // Replay in bursts of a few samples per stream per step(), the pattern a
+  // loaded frontend produces. Samples are regenerated on the fly — storing
+  // 1M streams' inputs would dwarf the state being measured.
+  constexpr Index kBurst = 8;
+  const auto run0 = Clock::now();
+  for (Index t0_ = 0; t0_ < n_samples; t0_ += kBurst) {
+    const Index t1 = std::min(n_samples, t0_ + kBurst);
+    for (Index s = 0; s < n_streams; ++s) {
+      for (Index t = t0_; t < t1; ++t) {
+        sweep_sample(s % kArchetypes, t, sample);
+        engine.push(s, sample, kSweepChannels);
+      }
+    }
+    for (const serve::StreamScore& r : engine.step())
+      sums[static_cast<std::size_t>(r.stream)] += static_cast<double>(r.score);
+  }
+  const double secs = seconds_since(run0);
+  const long rss_after = resident_bytes();
+
+  point.engine_samples_per_s =
+      static_cast<double>(n_streams) * static_cast<double>(n_samples) / secs;
+  point.bytes_per_stream =
+      static_cast<double>(rss_after - rss_before) / static_cast<double>(n_streams);
+
+  for (Index s = 0; s < n_streams; ++s) {
+    // Bit-exact, not epsilon: identical accumulation order makes == the
+    // right comparison, and the whole point is catching layout bugs.
+    if (sums[static_cast<std::size_t>(s)] !=
+        base_sum[static_cast<std::size_t>(s % kArchetypes)]) {
+      std::fprintf(stderr,
+                   "FATAL: stream %ld score sum %.17g != archetype %ld baseline %.17g\n",
+                   static_cast<long>(s), sums[static_cast<std::size_t>(s)],
+                   static_cast<long>(s % kArchetypes),
+                   base_sum[static_cast<std::size_t>(s % kArchetypes)]);
+      std::exit(1);
+    }
+  }
+  point.bit_exact = true;
+  return point;
+}
+
+void write_sweep_json(const std::string& path, const std::string& detector, Index n_samples,
+                      const std::vector<SweepPoint>& points) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "error: cannot open --json path %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  f << "{\n";
+  f << "  \"bench\": \"stream_sweep\",\n";
+  f << "  \"detector\": \"" << detector << "\",\n";
+  f << "  \"samples\": " << n_samples << ",\n";
+  f << "  \"archetypes\": " << kArchetypes << ",\n";
+  f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  f << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"streams\": %ld, \"engine_samples_per_s\": %.1f, "
+                  "\"monitor_samples_per_s\": %.1f, \"bytes_per_stream\": %.1f, "
+                  "\"checksum_bit_exact\": %s}%s\n",
+                  static_cast<long>(p.streams), p.engine_samples_per_s,
+                  p.monitor_samples_per_s, p.bytes_per_stream,
+                  p.bit_exact ? "true" : "false", i + 1 < points.size() ? "," : "");
+    f << line;
+  }
+  f << "  ]\n}\n";
+  if (!f) {
+    std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run_stream_sweep(const std::string& detector_name, Index n_samples,
+                     const std::vector<Index>& points, const std::string& json_path) {
+  const core::Profile profile = bench::tiny_serve_profile();
+  const auto train_raw = make_sine(1200, 1);
+  data::MinMaxNormalizer normalizer;
+  normalizer.fit(train_raw);
+  const auto train = normalizer.transform(train_raw);
+
+  std::printf("Training %s (tiny bench configuration)...\n", detector_name.c_str());
+  const std::unique_ptr<core::AnomalyDetector> detector =
+      core::make_detector(profile, detector_name);
+  detector->fit(train);
+  const float threshold = core::calibrate_threshold(*detector, train, {});
+
+  std::printf("stream sweep: %s, %ld samples/stream, %ld archetypes  (%u hardware threads)\n",
+              detector_name.c_str(), static_cast<long>(n_samples),
+              static_cast<long>(kArchetypes), std::thread::hardware_concurrency());
+  std::printf("%12s %16s %16s %16s %10s\n", "streams", "engine s/s", "monitor s/s",
+              "bytes/stream", "parity");
+
+  std::vector<SweepPoint> results;
+  for (const Index n : points) {
+    const SweepPoint p = sweep_one(*detector, normalizer, threshold, n, n_samples);
+    std::printf("%12ld %16.0f %16.0f %16.0f %10s\n", static_cast<long>(p.streams),
+                p.engine_samples_per_s, p.monitor_samples_per_s, p.bytes_per_stream,
+                p.bit_exact ? "bit-exact" : "FAIL");
+    results.push_back(p);
+  }
+  std::printf("all %zu sweep points matched the per-archetype baseline bit-exactly\n",
+              results.size());
+  if (!json_path.empty()) write_sweep_json(json_path, detector_name, n_samples, results);
+  std::printf("\nDone.\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -410,6 +628,10 @@ int main(int argc, char** argv) {
   std::string detector_arg = "VARADE";
   std::string json_path;
   bool run_async = false;
+  bool stream_sweep = false;
+  bool samples_given = false;
+  bool detector_given = false;
+  std::vector<Index> sweep_points;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       n_streams = 8;
@@ -422,16 +644,24 @@ int main(int argc, char** argv) {
       n_streams = parse_long_arg("--streams", argv[++a]);
     } else if (std::strcmp(argv[a], "--samples") == 0 && a + 1 < argc) {
       n_samples = parse_long_arg("--samples", argv[++a]);
+      samples_given = true;
     } else if (std::strcmp(argv[a], "--score-threads") == 0 && a + 1 < argc) {
       score_threads = static_cast<int>(parse_long_arg("--score-threads", argv[++a]));
+    } else if (std::strcmp(argv[a], "--stream-sweep") == 0) {
+      stream_sweep = true;
+      // Optional numeric operand: one sweep point instead of the full curve.
+      if (a + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[a + 1][0])) != 0)
+        sweep_points.push_back(parse_long_arg("--stream-sweep", argv[++a]));
     } else if (std::strcmp(argv[a], "--detector") == 0 && a + 1 < argc) {
       detector_arg = argv[++a];
+      detector_given = true;
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--async] [--shards N] [--streams N] [--samples N]"
-                   " [--score-threads N] [--detector <name>|all] [--json <path>]\n"
+                   " [--score-threads N] [--stream-sweep [N]] [--detector <name>|all]"
+                   " [--json <path>]\n"
                    "detectors: all",
                    argv[0]);
       for (const std::string& name : core::detector_names())
@@ -451,6 +681,24 @@ int main(int argc, char** argv) {
   if (score_threads < 0) {
     std::fprintf(stderr, "error: --score-threads must be >= 0 (0 = hardware concurrency)\n");
     return 2;
+  }
+  if (stream_sweep) {
+    if (sweep_points.empty()) sweep_points = {1000, 10000, 100000, 1000000};
+    for (const Index p : sweep_points) {
+      if (p < 1) {
+        std::fprintf(stderr, "error: --stream-sweep point must be >= 1\n");
+        return 2;
+      }
+    }
+    // Sweep defaults differ from the grid's: GBRF (the fastest scorer, so
+    // the sweep probes the serving layer, not the detector) and a short
+    // per-stream replay (stream count is the swept axis).
+    if (detector_arg == "all") {
+      std::fprintf(stderr, "error: --stream-sweep needs a single --detector\n");
+      return 2;
+    }
+    return run_stream_sweep(detector_given ? detector_arg : "GBRF",
+                            samples_given ? n_samples : 96, sweep_points, json_path);
   }
 
   std::vector<std::string> names;

@@ -87,6 +87,12 @@ echo "== smoke: serve throughput bench (quick, all six detectors, async + sharde
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_serve_throughput
 "$BUILD_DIR/bench/bench_serve_throughput" --quick --detector all --async --shards 2
 
+echo "== smoke: fleet-scale stream sweep (10k SoA streams, checksum vs OnlineMonitor) =="
+# The sweep exits non-zero if any per-stream score sum diverges from the
+# per-archetype OnlineMonitor baseline by a single bit.
+"$BUILD_DIR/bench/bench_serve_throughput" --stream-sweep 10000 --samples 50 \
+  --json "$BUILD_DIR/stream_sweep_smoke.json"
+
 echo "== smoke: net serving (in-process daemon, forked clients, checksum-pinned) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_net_throughput varade-served
 "$BUILD_DIR/bench/bench_net_throughput" --quick

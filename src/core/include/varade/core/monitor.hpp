@@ -80,6 +80,13 @@ float calibrate_threshold(AnomalyDetector& detector, const data::MultivariateSer
 void write_context(const std::deque<std::vector<float>>& ring, Index channels, Index window,
                    float* dst);
 
+/// Flat-slab overload: the ring is a contiguous channels-major [C, T] row
+/// (serve::ScoringEngine's per-stream slice of the context slab) whose
+/// oldest sample lives at time index `oldest`. Unrolls the ring into `dst`
+/// oldest-first with the same [C, T] layout as the deque overload — two
+/// memcpys per channel instead of a per-sample scatter.
+void write_context(const float* ring_row, Index channels, Index window, Index oldest, float* dst);
+
 class OnlineMonitor {
  public:
   /// The detector must already be fitted; the normalizer must carry the

@@ -1,6 +1,7 @@
 #include "varade/core/monitor.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace varade::core {
 
@@ -19,6 +20,20 @@ void write_context(const std::deque<std::vector<float>>& ring, Index channels, I
     const std::vector<float>& sample = ring[static_cast<std::size_t>(t)];
     for (Index ch = 0; ch < channels; ++ch)
       dst[ch * window + t] = sample[static_cast<std::size_t>(ch)];
+  }
+}
+
+void write_context(const float* ring_row, Index channels, Index window, Index oldest, float* dst) {
+  if (oldest == 0) {
+    std::memcpy(dst, ring_row, static_cast<std::size_t>(channels * window) * sizeof(float));
+    return;
+  }
+  const Index head = window - oldest;
+  for (Index ch = 0; ch < channels; ++ch) {
+    const float* src = ring_row + ch * window;
+    float* out = dst + ch * window;
+    std::memcpy(out, src + oldest, static_cast<std::size_t>(head) * sizeof(float));
+    std::memcpy(out + head, src, static_cast<std::size_t>(oldest) * sizeof(float));
   }
 }
 

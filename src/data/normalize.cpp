@@ -47,6 +47,23 @@ void MinMaxNormalizer::transform_sample(const float* in, float* out) const {
   }
 }
 
+void MinMaxNormalizer::transform_rows(const float* in, Index rows, float* out) const {
+  check(fitted(), "normalizer used before fit");
+  const Index d = n_channels();
+  const float* mins = mins_.data();
+  const float* maxs = maxs_.data();
+  for (Index i = 0; i < rows; ++i) {
+    const float* src = in + i * d;
+    float* dst = out + i * d;
+    for (Index j = 0; j < d; ++j) {
+      // Exact transform_sample expression (no hoisted reciprocal): bit
+      // parity with the per-sample path is part of the serving contract.
+      const float range = maxs[j] - mins[j];
+      dst[j] = range > 0.0F ? 2.0F * (src[j] - mins[j]) / range - 1.0F : 0.0F;
+    }
+  }
+}
+
 Tensor MinMaxNormalizer::transform(const Tensor& x) const {
   check(fitted(), "normalizer used before fit");
   check(x.rank() == 2 && x.dim(1) == n_channels(), "transform expects [n, " +

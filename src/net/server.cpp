@@ -107,7 +107,8 @@ void Server::handle_sample(Connection& conn, const Frame& frame) {
     return;
   }
   const serve::PushResult result =
-      runtime_.push(stream, conn.sample.values.data(), conn.policy);
+      runtime_.push(stream, conn.sample.values.data(),
+                    static_cast<Index>(conn.sample.values.size()), conn.policy);
   if (result == serve::PushResult::Rejected) {
     NackData nack;
     nack.stream = conn.sample.stream;

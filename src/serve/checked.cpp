@@ -1,0 +1,29 @@
+#include "varade/serve/checked.hpp"
+
+#include <string>
+
+namespace varade::serve::detail {
+
+namespace {
+
+[[noreturn]] void overflow(const char* what) {
+  throw Error(std::string(what) + " overflows Index");
+}
+
+}  // namespace
+
+Index checked_mul(Index a, Index b, const char* what) {
+  check(a >= 0 && b >= 0, "checked size arithmetic expects non-negative counts");
+  Index out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) overflow(what);
+  return out;
+}
+
+Index checked_add(Index a, Index b, const char* what) {
+  check(a >= 0 && b >= 0, "checked size arithmetic expects non-negative counts");
+  Index out = 0;
+  if (__builtin_add_overflow(a, b, &out)) overflow(what);
+  return out;
+}
+
+}  // namespace varade::serve::detail

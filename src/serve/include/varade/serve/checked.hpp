@@ -1,0 +1,26 @@
+// Checked 64-bit size arithmetic for fleet-scale serving structures.
+//
+// At 100k-1M streams the products that size slabs, rings, and score chunks
+// (n_streams * channels * window, chunk_index * max_batch, n_rings *
+// capacity) leave the range where "it obviously fits" holds, and a silent
+// wrap would corrupt state instead of failing. Every such product in the
+// serving layer goes through these helpers: the multiply/add is performed
+// with overflow detection and throws a varade::Error naming the quantity,
+// so a sweep that exceeds the representable range dies loudly at sizing
+// time rather than scribbling at runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::serve::detail {
+
+/// a * b as Index, or throws "<what> overflows Index". Also rejects negative
+/// operands: every sized quantity in the serving layer is a count.
+Index checked_mul(Index a, Index b, const char* what);
+
+/// a + b as Index, or throws "<what> overflows Index". Rejects negatives.
+Index checked_add(Index a, Index b, const char* what);
+
+}  // namespace varade::serve::detail

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "varade/tensor/tensor.hpp"
@@ -44,12 +45,26 @@ enum class PushResult {
 const char* to_string(BackpressurePolicy policy);
 const char* to_string(PushResult result);
 
-/// Bounded lock-free ring of fixed-width float samples.
+/// Bounded lock-free ring of fixed-width float samples. Storage is either
+/// owned (the two-argument constructor) or borrowed from a RingArena slab
+/// (the four-argument constructor) — the protocol is identical; arena-backed
+/// rings exist so 100k+ streams cost two large allocations per shard instead
+/// of two small ones per stream.
 class SampleRing {
  public:
   /// `channels` floats per sample; `min_capacity` samples, rounded up to the
-  /// next power of two (capacity() reports the actual value).
+  /// next power of two (capacity() reports the actual value). Owns storage.
   SampleRing(Index channels, Index min_capacity);
+
+  /// Arena-backed ring over caller-owned storage: `slots` must hold
+  /// `capacity_pow2` sequence slots and `data` `capacity_pow2 * channels`
+  /// floats, both outliving the ring (the RingArena contract). `capacity_pow2`
+  /// must already be a power of two. Slot sequences are (re)initialised here.
+  SampleRing(Index channels, Index capacity_pow2, std::atomic<std::uint64_t>* slots, float* data);
+
+  /// The capacity the two-argument constructor would pick for `min_capacity`
+  /// — exposed so a RingArena can size its slabs before building rings.
+  static Index round_up_capacity(Index min_capacity);
 
   SampleRing(const SampleRing&) = delete;
   SampleRing& operator=(const SampleRing&) = delete;
@@ -76,12 +91,12 @@ class SampleRing {
   bool try_pop_with(Sink&& sink) {
     std::uint64_t pos = 0;
     if (!claim_pop(pos)) return false;
-    const float* src = data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_);
+    const float* src = data_ + (pos & mask_) * static_cast<std::uint64_t>(channels_);
     struct Recycle {
       SampleRing* ring;
       std::uint64_t pos;
-      ~Recycle() { ring->slots_[pos & ring->mask_].seq.store(pos + ring->mask_ + 1,
-                                                             std::memory_order_release); }
+      ~Recycle() { ring->slots_[pos & ring->mask_].store(pos + ring->mask_ + 1,
+                                                         std::memory_order_release); }
     } recycle{this, pos};
     sink(static_cast<const float*>(src));
     return true;
@@ -100,20 +115,52 @@ class SampleRing {
   //                               seq == pos + 1 : slot full, pop may claim.
   // Push publishes data with a release store of pos + 1; pop recycles the
   // slot for the next lap with pos + capacity.
-  struct Slot {
-    std::atomic<std::uint64_t> seq{0};
-  };
   static constexpr std::size_t kCacheLine = 64;
 
   bool claim_pop(std::uint64_t& pos_out);
+  void init_slots();
 
   Index channels_ = 0;
   std::uint64_t mask_ = 0;
-  std::vector<Slot> slots_;
-  std::vector<float> data_;  // capacity * channels floats, slot-major
+  std::atomic<std::uint64_t>* slots_ = nullptr;  // capacity sequence tickets
+  float* data_ = nullptr;                        // capacity * channels floats, slot-major
+
+  // Set only by the owning constructor; arena-backed rings leave both empty.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> owned_slots_;
+  std::vector<float> owned_data_;
 
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // next push position
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // next pop position
+};
+
+/// Backing storage for a shard's worth of SampleRings: one slot-sequence slab
+/// and one sample-data slab, carved into `n_rings` equal-capacity rings. All
+/// sizing arithmetic is overflow-checked, so a fleet-scale configuration that
+/// cannot fit in Index fails at construction instead of wrapping.
+class RingArena {
+ public:
+  /// Storage for `n_rings` rings of `channels`-float samples, each with the
+  /// capacity SampleRing would round `min_capacity` up to.
+  RingArena(Index n_rings, Index channels, Index min_capacity);
+
+  RingArena(const RingArena&) = delete;
+  RingArena& operator=(const RingArena&) = delete;
+
+  Index n_rings() const { return n_rings_; }
+  Index channels() const { return channels_; }
+  /// Per-ring capacity (already a power of two) — pass to the arena-backed
+  /// SampleRing constructor together with slots(i)/data(i).
+  Index capacity() const { return capacity_; }
+
+  std::atomic<std::uint64_t>* slots(Index ring);
+  float* data(Index ring);
+
+ private:
+  Index n_rings_ = 0;
+  Index channels_ = 0;
+  Index capacity_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::vector<float> data_;
 };
 
 }  // namespace varade::serve

@@ -182,13 +182,15 @@ class AsyncScoringRuntime {
   void start();
 
   /// Enqueues one raw sample for `stream` under the config's (or the given)
-  /// backpressure policy. Thread-safe against any other push and the
-  /// scorers; one producer per stream keeps that stream's order (see header
-  /// comment). After close() begins, returns Rejected without enqueueing.
-  /// Block-policy pushes also unblock with Rejected when the runtime closes
-  /// under them.
-  PushResult push(Index stream, const float* raw_sample);
-  PushResult push(Index stream, const float* raw_sample, BackpressurePolicy policy);
+  /// backpressure policy. `count` is the number of floats at `raw_sample`
+  /// and must equal the normalizer's channel count (validated — the explicit
+  /// length contract of the raw-pointer path). Thread-safe against any other
+  /// push and the scorers; one producer per stream keeps that stream's order
+  /// (see header comment). After close() begins, returns Rejected without
+  /// enqueueing. Block-policy pushes also unblock with Rejected when the
+  /// runtime closes under them.
+  PushResult push(Index stream, const float* raw_sample, Index count);
+  PushResult push(Index stream, const float* raw_sample, Index count, BackpressurePolicy policy);
   PushResult push(Index stream, const std::vector<float>& raw_sample);
   PushResult push(Index stream, const std::vector<float>& raw_sample, BackpressurePolicy policy);
 
@@ -236,9 +238,11 @@ class AsyncScoringRuntime {
   const AsyncRuntimeConfig& config() const { return config_; }
 
  private:
+  /// Per-stream ingestion counters. The stream's ring itself lives in the
+  /// owning Shard's arena-backed `rings` (built by start()); this struct is
+  /// pure bookkeeping so registering 100k streams allocates no ring storage
+  /// until the shard layout is final.
   struct StreamIngest {
-    explicit StreamIngest(Index channels, Index capacity) : ring(channels, capacity) {}
-    SampleRing ring;
     std::atomic<long> pushed{0};
     std::atomic<long> dropped{0};
     std::atomic<long> rejected{0};
@@ -250,10 +254,18 @@ class AsyncScoringRuntime {
   /// nap state are all per shard, so shards share no mutable state on the
   /// hot path (except the detector in the non-replicable fallback).
   struct Shard {
-    /// Rings of the streams this shard owns, in local-index order. Deque:
+    /// Counters of the streams this shard owns, in local-index order. Deque:
     /// StreamIngest holds atomics (immovable) and producers keep references
     /// across add_stream() calls made before start().
     std::deque<StreamIngest> ingest;
+    /// Backing slabs for this shard's rings: one slot-sequence array and one
+    /// float array for ALL owned streams, instead of two heap blocks per
+    /// stream — the allocation layout that makes 100k+ streams per host
+    /// cheap. Built by start(), before intake opens.
+    std::unique_ptr<RingArena> arena;
+    /// Arena-backed rings in local-index order (deque: SampleRing is
+    /// immovable). Only touched after start() published `started_`.
+    std::deque<SampleRing> rings;
     /// This shard's detector replica; null for shard 0 (which scores
     /// through the borrowed detector) and in the shared-detector fallback.
     std::unique_ptr<core::AnomalyDetector> replica;

@@ -10,17 +10,29 @@
 // (optionally sharded across per-worker clone_fitted() replicas), and the
 // per-stream alarm logic is applied.
 //
+// Per-stream state is structure-of-arrays, sized for fleets: context rings
+// live in one contiguous [n_streams, C, T] float slab (ring-indexed per
+// stream), raw pushed samples are staged in one append-only arena, and all
+// bookkeeping (ring positions, warm-up counts, scores) is flat parallel
+// arrays. Pushing a sample and scoring a round allocate nothing per stream,
+// step()'s gather memcpys from contiguous slab rows, and normalisation runs
+// vectorised over stream-major blocks — the layout that keeps 100k–1M
+// streams memory- and cache-viable on one host.
+//
 // The engine is generic over core::AnomalyDetector: any of the paper's six
 // detectors plugs in unchanged. Detectors whose clone_fitted() returns null
 // are served unsharded through the single borrowed instance.
 //
 // Determinism: score_batch is bit-identical to score_step by the detector
 // contract, per-stream state is only ever touched by the one task that owns
-// the stream in a given phase, and replicas carry identical state — so
-// scores and alarm events are bit-for-bit identical to running one
-// OnlineMonitor per stream sequentially, at any thread count or batch size.
+// the stream in a given phase, the slab normalisation applies the exact
+// per-element expression of transform_sample, and replicas carry identical
+// state — so scores and alarm events are bit-for-bit identical to running
+// one OnlineMonitor per stream sequentially, at any thread count or batch
+// size.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -36,6 +48,9 @@ namespace detail {
 /// The one wording for stream-id range errors, shared by every serve
 /// frontend (ScoringEngine, AsyncScoringRuntime) so callers can match on it.
 std::string stream_range_message(Index id, Index n_streams);
+/// The one wording for per-sample channel-count errors, shared by the
+/// raw-pointer push paths of ScoringEngine and AsyncScoringRuntime.
+std::string channel_mismatch_message(Index expected, Index got);
 }  // namespace detail
 
 struct ScoringEngineConfig {
@@ -85,12 +100,14 @@ class ScoringEngine {
   /// returned, used by push()/events()/...), but StreamScore::stream carries
   /// `global_id` — so a sharded frontend can run one engine per disjoint
   /// slice of a larger stream space and merge the scores without remapping.
+  /// Throws on negative or already-registered global ids (either would emit
+  /// misattributed StreamScores through a subset view).
   Index add_stream(Index global_id);
   Index add_streams(Index n);
-  Index n_streams() const { return static_cast<Index>(streams_.size()); }
+  Index n_streams() const { return static_cast<Index>(global_ids_.size()); }
   /// Global id of a local stream (== the local id unless the subset-view
   /// overload chose otherwise).
-  Index global_id(Index stream) const { return stream_at(stream).global_id; }
+  Index global_id(Index stream) const;
   /// Channels per sample, as fixed by the normalizer (runtime wiring: the
   /// AsyncScoringRuntime sizes its ingestion rings off this).
   Index n_channels() const;
@@ -105,8 +122,10 @@ class ScoringEngine {
   bool calibrated() const { return calibrated_; }
 
   /// Buffers one raw (unnormalised) sample for a stream; scored at the next
-  /// step().
-  void push(Index stream, const float* raw_sample);
+  /// step(). `count` is the number of floats at `raw_sample` and must equal
+  /// n_channels() — the explicit length contract that lets the engine
+  /// validate raw-pointer pushes the way the vector overload always could.
+  void push(Index stream, const float* raw_sample, Index count);
   void push(Index stream, const std::vector<float>& raw_sample);
 
   /// Drains every buffered sample; returns scores ordered chronologically
@@ -114,8 +133,8 @@ class ScoringEngine {
   std::vector<StreamScore> step();
 
   bool in_alarm(Index stream) const;
-  /// Reference stays valid across add_stream()/push()/step() (streams live
-  /// in a deque); it is appended to by subsequent step() calls.
+  /// Reference stays valid across add_stream()/push()/step() (alarm trackers
+  /// live in a deque); it is appended to by subsequent step() calls.
   const std::vector<core::AnomalyEvent>& events(Index stream) const;
   Index samples_seen(Index stream) const;
 
@@ -128,25 +147,16 @@ class ScoringEngine {
   const ScoringEngineConfig& config() const { return config_; }
 
  private:
-  struct StreamState {
-    std::deque<std::vector<float>> ring;     // last `window` normalised samples
-    std::deque<std::vector<float>> pending;  // raw samples awaiting step()
-    core::AlarmTracker alarm;
-    std::vector<float> scratch;  // normalised sample of the current round
-    Index global_id = 0;  // id reported in StreamScore (subset views remap)
-    Index samples_seen = 0;
-    bool ready = false;   // ring was full at the start of this round
-    float score = -1.0F;  // this round's score
-  };
-
-  const StreamState& stream_at(Index id) const;
-  StreamState& stream_at(Index id);
+  /// Throws the standard range error unless `id` names a registered stream.
+  /// Branch-before-message: push() runs through here once per sample and
+  /// must not allocate on success.
+  void require_stream(Index id) const;
   /// Re-clones the detector into one replica per extra worker (no-op when
   /// sharding is off or the detector is not replicable).
   void rebuild_replicas();
   /// Scores the per-chunk batches (chunk ci holds the contexts/observations
   /// of streams ready[ci*max_batch ...]) and writes each row's score into
-  /// its stream.
+  /// score_[stream].
   void score_chunks(const std::vector<Tensor>& contexts, const std::vector<Tensor>& observed,
                     const std::vector<Index>& ready);
 
@@ -161,9 +171,42 @@ class ScoringEngine {
   float threshold_ = 0.0F;
   bool calibrated_ = false;
   std::atomic<long> forward_calls_{0};
+
+  Index window_ = 0;    // detector context window, fixed at construction
+  Index channels_ = 0;  // normalizer channel count, fixed at construction
+
+  // --- Structure-of-arrays per-stream state (indexed by local stream id) ---
+  // Context rings: one [C, T] row per stream in a single contiguous slab.
+  // ring_start_ is the time index of the oldest sample (always 0 while the
+  // ring is filling); ring_fill_ counts stored samples (== window_ once warm).
+  std::vector<float> ctx_slab_;  // [n_streams, C, T]
+  std::vector<Index> ring_start_;
+  std::vector<Index> ring_fill_;
+  std::vector<Index> samples_seen_;
+  std::vector<Index> global_ids_;  // id reported in StreamScore
+  std::vector<float> score_;       // this round's score per stream
   /// Deque, not vector: references handed out by events() must survive
   /// add_stream().
-  std::deque<StreamState> streams_;
+  std::deque<core::AlarmTracker> alarms_;
+  Index max_global_id_ = -1;  // fast duplicate check for increasing ids
+
+  // Pending raw samples: one append-only float arena shared by all streams
+  // (no per-sample allocation), plus per-stream offset queues into it.
+  // pending_head_[s] is the next unconsumed entry of pending_[s]; both reset
+  // at the end of every step().
+  std::vector<float> pending_arena_;        // count * channels_ floats
+  std::vector<std::vector<Index>> pending_;  // per-stream sample offsets
+  std::vector<Index> pending_head_;
+
+  // Round-scratch slabs reused across step() rounds (sized to the round's
+  // active streams; capacity retained).
+  std::vector<float> round_raw_;           // [n_active, C] raw samples
+  std::vector<float> round_norm_;          // [n_active, C] normalised samples
+  std::vector<std::uint8_t> round_ready_;  // per active stream: ring was full
+  std::vector<Index> active_;
+  std::vector<Index> next_active_;
+  std::vector<Index> ready_;
+  std::vector<Index> ready_pos_;  // index into the round slabs per ready row
 };
 
 }  // namespace varade::serve

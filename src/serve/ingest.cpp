@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "varade/serve/checked.hpp"
+
 namespace varade::serve {
 
 const char* to_string(BackpressurePolicy policy) {
@@ -22,40 +24,75 @@ const char* to_string(PushResult result) {
   return "?";
 }
 
-namespace {
-
-std::uint64_t round_up_pow2(std::uint64_t v) {
-  std::uint64_t p = 1;
-  while (p < v) p <<= 1U;
+Index SampleRing::round_up_capacity(Index min_capacity) {
+  check(min_capacity >= 1, "SampleRing capacity must be >= 1");
+  check(min_capacity <= (Index{1} << 30U), "SampleRing capacity unreasonably large");
+  Index p = 1;
+  while (p < min_capacity) p <<= 1U;
   return p;
 }
 
-}  // namespace
+void SampleRing::init_slots() {
+  const std::uint64_t capacity = mask_ + 1;
+  for (std::uint64_t i = 0; i < capacity; ++i) slots_[i].store(i, std::memory_order_relaxed);
+}
 
 SampleRing::SampleRing(Index channels, Index min_capacity) : channels_(channels) {
   check(channels >= 1, "SampleRing needs at least one channel");
-  check(min_capacity >= 1, "SampleRing capacity must be >= 1");
-  check(min_capacity <= (Index{1} << 30U), "SampleRing capacity unreasonably large");
-  const std::uint64_t capacity = round_up_pow2(static_cast<std::uint64_t>(min_capacity));
+  const auto capacity = static_cast<std::uint64_t>(round_up_capacity(min_capacity));
   mask_ = capacity - 1;
-  slots_ = std::vector<Slot>(capacity);
-  for (std::uint64_t i = 0; i < capacity; ++i)
-    slots_[i].seq.store(i, std::memory_order_relaxed);
-  data_.assign(capacity * static_cast<std::uint64_t>(channels), 0.0F);
+  owned_slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(capacity);
+  owned_data_.assign(capacity * static_cast<std::uint64_t>(channels), 0.0F);
+  slots_ = owned_slots_.get();
+  data_ = owned_data_.data();
+  init_slots();
+}
+
+SampleRing::SampleRing(Index channels, Index capacity_pow2, std::atomic<std::uint64_t>* slots,
+                       float* data)
+    : channels_(channels), slots_(slots), data_(data) {
+  check(channels >= 1, "SampleRing needs at least one channel");
+  check(capacity_pow2 >= 1 && (capacity_pow2 & (capacity_pow2 - 1)) == 0,
+        "arena-backed SampleRing capacity must be a power of two");
+  check(slots != nullptr && data != nullptr, "arena-backed SampleRing needs storage");
+  mask_ = static_cast<std::uint64_t>(capacity_pow2) - 1;
+  init_slots();
+}
+
+RingArena::RingArena(Index n_rings, Index channels, Index min_capacity)
+    : n_rings_(n_rings), channels_(channels), capacity_(SampleRing::round_up_capacity(min_capacity)) {
+  check(n_rings >= 1, "RingArena needs at least one ring");
+  check(channels >= 1, "RingArena needs at least one channel");
+  const Index total_slots = detail::checked_mul(n_rings_, capacity_, "ring arena slot count");
+  const Index total_floats =
+      detail::checked_mul(total_slots, channels_, "ring arena sample storage");
+  slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(total_slots));
+  data_.assign(static_cast<std::size_t>(total_floats), 0.0F);
+}
+
+std::atomic<std::uint64_t>* RingArena::slots(Index ring) {
+  check(ring >= 0 && ring < n_rings_, "RingArena ring index out of range");
+  return slots_.get() + static_cast<std::size_t>(ring) * static_cast<std::size_t>(capacity_);
+}
+
+float* RingArena::data(Index ring) {
+  check(ring >= 0 && ring < n_rings_, "RingArena ring index out of range");
+  return data_.data() +
+         static_cast<std::size_t>(ring) * static_cast<std::size_t>(capacity_ * channels_);
 }
 
 bool SampleRing::try_push(const float* sample) {
   std::uint64_t pos = tail_.load(std::memory_order_relaxed);
   for (;;) {
-    Slot& slot = slots_[pos & mask_];
-    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    std::atomic<std::uint64_t>& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.load(std::memory_order_acquire);
     const auto dif = static_cast<std::int64_t>(seq - pos);
     if (dif == 0) {
       // Slot free on this lap: claim the position, then publish the data.
       if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
         std::copy(sample, sample + channels_,
-                  data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_));
-        slot.seq.store(pos + 1, std::memory_order_release);
+                  data_ + (pos & mask_) * static_cast<std::uint64_t>(channels_));
+        slot.store(pos + 1, std::memory_order_release);
         return true;
       }
       // CAS updated pos to the current tail; retry with it.
@@ -70,8 +107,8 @@ bool SampleRing::try_push(const float* sample) {
 bool SampleRing::claim_pop(std::uint64_t& pos_out) {
   std::uint64_t pos = head_.load(std::memory_order_relaxed);
   for (;;) {
-    Slot& slot = slots_[pos & mask_];
-    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    std::atomic<std::uint64_t>& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.load(std::memory_order_acquire);
     const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
     if (dif == 0) {
       if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
@@ -89,17 +126,17 @@ bool SampleRing::claim_pop(std::uint64_t& pos_out) {
 bool SampleRing::try_pop(float* out) {
   std::uint64_t pos = 0;
   if (!claim_pop(pos)) return false;
-  const float* src = data_.data() + (pos & mask_) * static_cast<std::uint64_t>(channels_);
+  const float* src = data_ + (pos & mask_) * static_cast<std::uint64_t>(channels_);
   std::copy(src, src + channels_, out);
   // Recycle the slot for the next lap.
-  slots_[pos & mask_].seq.store(pos + mask_ + 1, std::memory_order_release);
+  slots_[pos & mask_].store(pos + mask_ + 1, std::memory_order_release);
   return true;
 }
 
 bool SampleRing::try_pop_discard() {
   std::uint64_t pos = 0;
   if (!claim_pop(pos)) return false;
-  slots_[pos & mask_].seq.store(pos + mask_ + 1, std::memory_order_release);
+  slots_[pos & mask_].store(pos + mask_ + 1, std::memory_order_release);
   return true;
 }
 

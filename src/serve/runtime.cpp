@@ -45,8 +45,9 @@ AsyncScoringRuntime::~AsyncScoringRuntime() {
 Index AsyncScoringRuntime::add_stream() {
   check(!started_, "add_stream after start()");
   const Index id = n_streams_;
-  shards_[static_cast<std::size_t>(partition_.shard_of(id))].ingest.emplace_back(
-      normalizer_->n_channels(), config_.ring_capacity);
+  // Counters only: the ring storage for every stream a shard owns is one
+  // arena built by start(), once the stream set is final.
+  shards_[static_cast<std::size_t>(partition_.shard_of(id))].ingest.emplace_back();
   ++n_streams_;
   return id;
 }
@@ -106,6 +107,15 @@ void AsyncScoringRuntime::start() {
     const Index owned = partition_.n_owned(k, n_streams_);
     for (Index i = 0; i < owned; ++i) shard.engine->add_stream(partition_.global_of(k, i));
     shard.engine->set_threshold(threshold_);
+    // Ring storage: one arena per shard backing every owned stream's ring —
+    // two slab allocations instead of two per stream. Built before the
+    // accepting_/started_ stores below, so any push that observes an open
+    // intake also sees fully constructed rings.
+    shard.arena =
+        std::make_unique<RingArena>(owned, normalizer_->n_channels(), config_.ring_capacity);
+    for (Index i = 0; i < owned; ++i)
+      shard.rings.emplace_back(normalizer_->n_channels(), shard.arena->capacity(),
+                               shard.arena->slots(i), shard.arena->data(i));
   }
 
   // accepting_ first: a push that observes started_ must find intake open.
@@ -148,14 +158,17 @@ const AsyncScoringRuntime::Shard& AsyncScoringRuntime::shard_at(Index shard) con
   return shards_[static_cast<std::size_t>(shard)];
 }
 
-PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample) {
-  return push(stream, raw_sample, config_.backpressure);
+PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample, Index count) {
+  return push(stream, raw_sample, count, config_.backpressure);
 }
 
-PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
+PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample, Index count,
                                      BackpressurePolicy policy) {
   StreamIngest& ingest = ingest_at(stream);
+  if (count != normalizer_->n_channels())
+    throw Error(detail::channel_mismatch_message(normalizer_->n_channels(), count));
   Shard& shard = shards_[static_cast<std::size_t>(partition_.shard_of(stream))];
+  const auto local = static_cast<std::size_t>(partition_.local_of(stream));
   if (!started_.load(std::memory_order_acquire)) {
     // A closed runtime rejects (documented contract) even if it was never
     // started; pushing before start() on a live runtime is a usage error.
@@ -174,10 +187,13 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
   ingest.active_pushers.fetch_add(1, std::memory_order_seq_cst);
   PushResult result = PushResult::Rejected;
   if (accepting_.load(std::memory_order_seq_cst)) {
+    // Safe to touch only here: an open intake implies start() finished
+    // building the shard's arena-backed rings (release/acquire on started_).
+    SampleRing& ring = shard.rings[local];
     bool dropped_any = false;
     Backoff backoff;
     for (;;) {
-      if (ingest.ring.try_push(raw_sample)) {
+      if (ring.try_push(raw_sample)) {
         result = dropped_any ? PushResult::DroppedOldest : PushResult::Ok;
         break;
       }
@@ -186,7 +202,7 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample,
         // Evict from the consumer side (lock-free multi-popper ring); the
         // scorer may empty the ring first, in which case the retry just
         // succeeds without a drop.
-        if (ingest.ring.try_pop_discard()) {
+        if (ring.try_pop_discard()) {
           ingest.dropped.fetch_add(1, std::memory_order_relaxed);
           dropped_any = true;
         }
@@ -219,9 +235,7 @@ PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw
 
 PushResult AsyncScoringRuntime::push(Index stream, const std::vector<float>& raw_sample,
                                      BackpressurePolicy policy) {
-  if (static_cast<Index>(raw_sample.size()) != normalizer_->n_channels())
-    throw Error("sample channel count mismatch");
-  return push(stream, raw_sample.data(), policy);
+  return push(stream, raw_sample.data(), static_cast<Index>(raw_sample.size()), policy);
 }
 
 void AsyncScoringRuntime::wake_shard(Shard& shard) {
@@ -230,14 +244,17 @@ void AsyncScoringRuntime::wake_shard(Shard& shard) {
 }
 
 long AsyncScoringRuntime::drain_ring(Shard& shard, Index local, bool bounded) {
-  SampleRing& ring = shard.ingest[static_cast<std::size_t>(local)].ring;
+  SampleRing& ring = shard.rings[static_cast<std::size_t>(local)];
   ScoringEngine& engine = *shard.engine;
+  const Index channels = ring.channels();
   const Index max_pops = bounded ? ring.capacity() : -1;
   long drained = 0;
   for (Index k = 0; max_pops < 0 || k < max_pops; ++k) {
     // Zero-copy: the engine buffers the sample straight from the ring slot;
     // no staging vector in between.
-    if (!ring.try_pop_with([&](const float* sample) { engine.push(local, sample); })) break;
+    if (!ring.try_pop_with(
+            [&](const float* sample) { engine.push(local, sample, channels); }))
+      break;
     ++drained;
   }
   return drained;
@@ -285,7 +302,7 @@ void AsyncScoringRuntime::shard_loop(Shard& shard) {
 }
 
 void AsyncScoringRuntime::shard_loop_impl(Shard& shard) {
-  const auto n = static_cast<Index>(shard.ingest.size());
+  const auto n = static_cast<Index>(shard.rings.size());
   // Engine calls go through here so the non-replicable fallback (all shards
   // share the borrowed detector) serialises scoring without touching the
   // replicated fast path. Ring drains stay concurrent either way: push()
@@ -349,7 +366,7 @@ void AsyncScoringRuntime::shard_loop_impl(Shard& shard) {
       shard.asleep.store(true, std::memory_order_release);
       bool pending = stop_.load(std::memory_order_acquire);
       for (Index i = 0; i < n && !pending; ++i)
-        pending = !shard.ingest[static_cast<std::size_t>(i)].ring.empty_approx();
+        pending = !shard.rings[static_cast<std::size_t>(i)].empty_approx();
       if (!pending) {
         shard.naps.fetch_add(1, std::memory_order_relaxed);
         timed_out = shard.wake_cv.wait_for(lock, nap) == std::cv_status::timeout;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "varade/serve/checked.hpp"
+
 namespace varade::serve {
 
 namespace detail {
@@ -13,9 +15,25 @@ std::string stream_range_message(Index id, Index n_streams) {
          ")";
 }
 
+std::string channel_mismatch_message(Index expected, Index got) {
+  return "sample channel count mismatch: expected " + std::to_string(expected) +
+         " channels, got " + std::to_string(got);
+}
+
 }  // namespace detail
 
+using detail::channel_mismatch_message;
+using detail::checked_mul;
 using detail::stream_range_message;
+
+namespace {
+
+/// Rows per vectorised-normalisation task: large enough that the per-task
+/// dispatch cost vanishes, small enough that a fleet-sized round still
+/// splits across workers.
+constexpr Index kNormBlock = 4096;
+
+}  // namespace
 
 ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
                              const data::MinMaxNormalizer& normalizer,
@@ -28,6 +46,9 @@ ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
   check(normalizer.fitted(), "ScoringEngine requires a fitted normalizer");
   check(config_.max_batch >= 1, "max_batch must be >= 1");
   core::validate(config_.monitor);
+  window_ = detector.context_window();
+  channels_ = normalizer.n_channels();
+  check(window_ >= 1, "ScoringEngine requires a detector with a context window");
   // Intra-batch parallelism is a detector-side setting; the engine applies
   // it to the borrowed instance here and to every replica as it is cloned.
   detector.set_scoring_threads(config_.scoring_threads);
@@ -38,15 +59,33 @@ ScoringEngine::ScoringEngine(core::AnomalyDetector& detector,
 Index ScoringEngine::add_stream() { return add_stream(n_streams()); }
 
 Index ScoringEngine::add_stream(Index global_id) {
-  StreamState state;
-  state.alarm = core::AlarmTracker(config_.monitor);
-  state.scratch.resize(static_cast<std::size_t>(normalizer_->n_channels()));
-  state.global_id = global_id;
-  streams_.push_back(std::move(state));
-  return n_streams() - 1;
+  if (global_id < 0)
+    throw Error("stream id " + std::to_string(global_id) +
+                " out of range: global stream ids must be >= 0");
+  // Both production callers (the dense overload and the sharded runtime's
+  // subset views) register strictly increasing ids, so the duplicate check
+  // is O(1) on the hot path and a scan only for out-of-order registration.
+  if (global_id <= max_global_id_ &&
+      std::find(global_ids_.begin(), global_ids_.end(), global_id) != global_ids_.end())
+    throw Error("stream id " + std::to_string(global_id) + " already registered");
+
+  const Index s = n_streams();
+  const Index row = checked_mul(channels_, window_, "per-stream context row");
+  const Index slab = checked_mul(s + 1, row, "context slab");
+  ctx_slab_.resize(static_cast<std::size_t>(slab), 0.0F);
+  ring_start_.push_back(0);
+  ring_fill_.push_back(0);
+  samples_seen_.push_back(0);
+  global_ids_.push_back(global_id);
+  score_.push_back(-1.0F);
+  alarms_.emplace_back(config_.monitor);
+  pending_.emplace_back();
+  pending_head_.push_back(0);
+  max_global_id_ = std::max(max_global_id_, global_id);
+  return s;
 }
 
-Index ScoringEngine::n_channels() const { return normalizer_->n_channels(); }
+Index ScoringEngine::n_channels() const { return channels_; }
 
 Index ScoringEngine::add_streams(Index n) {
   check(n >= 1, "add_streams needs n >= 1");
@@ -86,27 +125,26 @@ void ScoringEngine::set_threshold(float threshold) {
   calibrated_ = true;
 }
 
-const ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) const {
-  // Branch before building the message: push() runs through here once per
-  // sample, and must not allocate on success.
+void ScoringEngine::require_stream(Index id) const {
   if (id < 0 || id >= n_streams()) throw Error(stream_range_message(id, n_streams()));
-  return streams_[static_cast<std::size_t>(id)];
 }
 
-ScoringEngine::StreamState& ScoringEngine::stream_at(Index id) {
-  if (id < 0 || id >= n_streams()) throw Error(stream_range_message(id, n_streams()));
-  return streams_[static_cast<std::size_t>(id)];
+Index ScoringEngine::global_id(Index stream) const {
+  require_stream(stream);
+  return global_ids_[static_cast<std::size_t>(stream)];
 }
 
-void ScoringEngine::push(Index stream, const float* raw_sample) {
-  const auto n = static_cast<std::size_t>(normalizer_->n_channels());
-  stream_at(stream).pending.emplace_back(raw_sample, raw_sample + n);
+void ScoringEngine::push(Index stream, const float* raw_sample, Index count) {
+  require_stream(stream);
+  if (count != channels_) throw Error(channel_mismatch_message(channels_, count));
+  const auto s = static_cast<std::size_t>(stream);
+  const Index offset = static_cast<Index>(pending_arena_.size()) / channels_;
+  pending_arena_.insert(pending_arena_.end(), raw_sample, raw_sample + channels_);
+  pending_[s].push_back(offset);
 }
 
 void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
-  if (static_cast<Index>(raw_sample.size()) != normalizer_->n_channels())
-    throw Error("sample channel count mismatch");
-  push(stream, raw_sample.data());
+  push(stream, raw_sample.data(), static_cast<Index>(raw_sample.size()));
 }
 
 void ScoringEngine::score_chunks(const std::vector<Tensor>& contexts,
@@ -117,8 +155,8 @@ void ScoringEngine::score_chunks(const std::vector<Tensor>& contexts,
     std::vector<float> scores(static_cast<std::size_t>(rows));
     det.score_batch(contexts[ci], observed[ci], scores.data());
     for (Index r = 0; r < rows; ++r) {
-      streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(row_offset + r)])]
-          .score = scores[static_cast<std::size_t>(r)];
+      score_[static_cast<std::size_t>(ready[static_cast<std::size_t>(row_offset + r)])] =
+          scores[static_cast<std::size_t>(r)];
     }
     forward_calls_.fetch_add(1, std::memory_order_relaxed);
   };
@@ -135,48 +173,81 @@ void ScoringEngine::score_chunks(const std::vector<Tensor>& contexts,
   }
 
   // Sharded: each worker scores chunks on its own detector replica. All
-  // chunks except the last hold exactly max_batch rows.
+  // chunks except the last hold exactly max_batch rows. The row offset is
+  // checked once per chunk: at fleet-scale stream counts ci * max_batch is
+  // exactly the product that would wrap silently.
   pool_.parallel_for(static_cast<Index>(contexts.size()), [&](Index ci, int worker) {
     core::AnomalyDetector& det =
         (worker == 0) ? *detector_ : *replicas_[static_cast<std::size_t>(worker - 1)];
-    score_rows(det, static_cast<std::size_t>(ci), ci * config_.max_batch);
+    score_rows(det, static_cast<std::size_t>(ci),
+               checked_mul(ci, config_.max_batch, "score chunk row offset"));
   });
 }
 
 std::vector<StreamScore> ScoringEngine::step() {
   check(calibrated_, "ScoringEngine::step before calibrate()/set_threshold()");
-  const Index window = detector_->context_window();
-  const Index channels = normalizer_->n_channels();
+  const Index window = window_;
+  const Index channels = channels_;
+  const Index row_floats = channels * window;  // checked at add_stream time
 
   std::vector<StreamScore> out;
-  std::vector<Index> active;
-  std::vector<Index> ready;
 
-  for (;;) {
-    active.clear();
-    for (Index s = 0; s < n_streams(); ++s)
-      if (!streams_[static_cast<std::size_t>(s)].pending.empty()) active.push_back(s);
-    if (active.empty()) break;
+  // Round 0's active set is every stream with buffered work; later rounds
+  // filter it in place, so the full scan happens once per step().
+  active_.clear();
+  for (Index s = 0; s < n_streams(); ++s)
+    if (pending_head_[static_cast<std::size_t>(s)] <
+        static_cast<Index>(pending_[static_cast<std::size_t>(s)].size()))
+      active_.push_back(s);
+  // Streams drained this step(): their offset queues are reset at the end,
+  // together with the shared arena.
+  const std::vector<Index> drained = active_;
 
-    // Phase 1 (parallel over streams): normalise this round's sample and
-    // flag streams whose ring already holds a full context.
-    pool_.parallel_for(static_cast<Index>(active.size()), [&](Index i, int) {
-      StreamState& st = streams_[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])];
-      const std::vector<float>& raw = st.pending.front();
-      normalizer_->transform_sample(raw.data(), st.scratch.data());
-      st.ready = static_cast<Index>(st.ring.size()) == window;
-      st.score = -1.0F;
+  while (!active_.empty()) {
+    const auto n_active = static_cast<Index>(active_.size());
+
+    // Phase 1a (parallel over streams): stage this round's raw sample from
+    // the arena into the round slab and flag streams whose ring already
+    // holds a full context.
+    round_raw_.resize(static_cast<std::size_t>(
+        checked_mul(n_active, channels, "round staging slab")));
+    round_norm_.resize(round_raw_.size());
+    round_ready_.resize(static_cast<std::size_t>(n_active));
+    pool_.parallel_for(n_active, [&](Index i, int) {
+      const auto s = static_cast<std::size_t>(active_[static_cast<std::size_t>(i)]);
+      const Index offset = pending_[s][static_cast<std::size_t>(pending_head_[s])];
+      const float* src = pending_arena_.data() + offset * channels;
+      std::copy(src, src + channels, round_raw_.data() + i * channels);
+      round_ready_[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(ring_fill_[s] == window);
+      score_[s] = -1.0F;
     });
 
-    ready.clear();
-    for (Index s : active)
-      if (streams_[static_cast<std::size_t>(s)].ready) ready.push_back(s);
+    // Phase 1b (parallel over blocks): vectorised normalisation of the whole
+    // round in stream-major order — the same arithmetic per element as
+    // transform_sample, so results are bit-identical.
+    const Index n_blocks = (n_active + kNormBlock - 1) / kNormBlock;
+    pool_.parallel_for(n_blocks, [&](Index b, int) {
+      const Index lo = b * kNormBlock;
+      const Index hi = std::min(lo + kNormBlock, n_active);
+      normalizer_->transform_rows(round_raw_.data() + lo * channels, hi - lo,
+                                  round_norm_.data() + lo * channels);
+    });
 
-    if (!ready.empty()) {
-      // Phase 2a (parallel over ready streams): gather contexts and current
-      // observations straight into per-chunk [rows, C, T] / [rows, C]
+    ready_.clear();
+    ready_pos_.clear();
+    for (Index i = 0; i < n_active; ++i) {
+      if (round_ready_[static_cast<std::size_t>(i)] != 0U) {
+        ready_.push_back(active_[static_cast<std::size_t>(i)]);
+        ready_pos_.push_back(i);
+      }
+    }
+
+    if (!ready_.empty()) {
+      // Phase 2a (parallel over ready streams): unroll slab context rings and
+      // current observations straight into per-chunk [rows, C, T] / [rows, C]
       // batches; rows are disjoint slices.
-      const auto n_ready = static_cast<Index>(ready.size());
+      const auto n_ready = static_cast<Index>(ready_.size());
       std::vector<Tensor> contexts;
       std::vector<Tensor> observations;
       for (Index b = 0; b < n_ready; b += config_.max_batch) {
@@ -185,45 +256,78 @@ std::vector<StreamScore> ScoringEngine::step() {
         observations.emplace_back(Shape{rows, channels});
       }
       pool_.parallel_for(n_ready, [&](Index i, int) {
-        const StreamState& st =
-            streams_[static_cast<std::size_t>(ready[static_cast<std::size_t>(i)])];
+        const auto s = static_cast<std::size_t>(ready_[static_cast<std::size_t>(i)]);
         const auto chunk = static_cast<std::size_t>(i / config_.max_batch);
         const Index row = i % config_.max_batch;
-        core::write_context(st.ring, channels, window,
-                            contexts[chunk].data() + row * channels * window);
-        std::copy(st.scratch.begin(), st.scratch.end(),
-                  observations[chunk].data() + row * channels);
+        core::write_context(ctx_slab_.data() + static_cast<Index>(s) * row_floats, channels,
+                            window, ring_start_[s], contexts[chunk].data() + row * row_floats);
+        const float* norm = round_norm_.data() +
+                            ready_pos_[static_cast<std::size_t>(i)] * channels;
+        std::copy(norm, norm + channels, observations[chunk].data() + row * channels);
       });
 
       // Phase 2b: batched scoring (chunked by max_batch, sharded when
       // replicas are available).
-      score_chunks(contexts, observations, ready);
+      score_chunks(contexts, observations, ready_);
     }
 
     // Phase 3 (parallel over streams): alarm update and ring advance.
-    pool_.parallel_for(static_cast<Index>(active.size()), [&](Index i, int) {
-      StreamState& st = streams_[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])];
-      ++st.samples_seen;
-      if (st.ready) st.alarm.update(st.score, threshold_, st.samples_seen - 1);
-      st.ring.push_back(st.scratch);
-      if (static_cast<Index>(st.ring.size()) > window) st.ring.pop_front();
-      st.pending.pop_front();
+    pool_.parallel_for(n_active, [&](Index i, int) {
+      const auto s = static_cast<std::size_t>(active_[static_cast<std::size_t>(i)]);
+      ++samples_seen_[s];
+      if (round_ready_[static_cast<std::size_t>(i)] != 0U)
+        alarms_[s].update(score_[s], threshold_, samples_seen_[s] - 1);
+      // Ring advance: while filling, the write position is ring_fill_ (start
+      // stays 0); once warm, the oldest slot is overwritten and start moves.
+      Index pos = ring_start_[s] + ring_fill_[s];
+      if (pos >= window) pos -= window;
+      if (ring_fill_[s] == window)
+        ring_start_[s] = (ring_start_[s] + 1 == window) ? 0 : ring_start_[s] + 1;
+      else
+        ++ring_fill_[s];
+      float* slab_row = ctx_slab_.data() + static_cast<Index>(s) * row_floats;
+      const float* norm = round_norm_.data() + i * channels;
+      for (Index ch = 0; ch < channels; ++ch) slab_row[ch * window + pos] = norm[ch];
+      ++pending_head_[s];
     });
 
-    for (Index s : active) {
-      const StreamState& st = streams_[static_cast<std::size_t>(s)];
-      out.push_back({st.global_id, st.samples_seen - 1, st.score});
+    for (Index s : active_) {
+      const auto si = static_cast<std::size_t>(s);
+      out.push_back({global_ids_[si], samples_seen_[si] - 1, score_[si]});
     }
+
+    next_active_.clear();
+    for (Index s : active_) {
+      const auto si = static_cast<std::size_t>(s);
+      if (pending_head_[si] < static_cast<Index>(pending_[si].size())) next_active_.push_back(s);
+    }
+    std::swap(active_, next_active_);
   }
+
+  // All buffered work consumed: reset the offset queues (capacity retained)
+  // and the shared arena, so push() restarts from a compact staging area.
+  for (Index s : drained) {
+    const auto si = static_cast<std::size_t>(s);
+    pending_[si].clear();
+    pending_head_[si] = 0;
+  }
+  pending_arena_.clear();
   return out;
 }
 
-bool ScoringEngine::in_alarm(Index stream) const { return stream_at(stream).alarm.in_alarm(); }
-
-const std::vector<core::AnomalyEvent>& ScoringEngine::events(Index stream) const {
-  return stream_at(stream).alarm.events();
+bool ScoringEngine::in_alarm(Index stream) const {
+  require_stream(stream);
+  return alarms_[static_cast<std::size_t>(stream)].in_alarm();
 }
 
-Index ScoringEngine::samples_seen(Index stream) const { return stream_at(stream).samples_seen; }
+const std::vector<core::AnomalyEvent>& ScoringEngine::events(Index stream) const {
+  require_stream(stream);
+  return alarms_[static_cast<std::size_t>(stream)].events();
+}
+
+Index ScoringEngine::samples_seen(Index stream) const {
+  require_stream(stream);
+  return samples_seen_[static_cast<std::size_t>(stream)];
+}
 
 }  // namespace varade::serve

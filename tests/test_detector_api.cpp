@@ -270,7 +270,7 @@ TEST(ScoringEngineAllDetectors, MultiStreamParityWithSequentialMonitors) {
     for (Index t0 = 0; t0 < 150; t0 += kChunk) {
       for (Index s = 0; s < kStreams; ++s)
         for (Index t = t0; t < t0 + kChunk; ++t)
-          engine.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+          engine.push(s, inputs[static_cast<std::size_t>(s)].sample(t), 3);
       for (const serve::StreamScore& r : engine.step())
         scores[static_cast<std::size_t>(r.stream)].push_back(r.score);
     }

@@ -500,7 +500,7 @@ void expect_loopback_parity(const Endpoint& endpoint, Server& server, Index n_st
   std::map<Index, std::vector<float>> expected;
   for (Index t = 0; t < n_samples; ++t) {
     for (Index s = 0; s < n_streams; ++s)
-      engine.push(s, series[static_cast<std::size_t>(s)].sample(t));
+      engine.push(s, series[static_cast<std::size_t>(s)].sample(t), 3);
     for (const serve::StreamScore& score : engine.step())
       expected[score.stream].push_back(score.score);
   }

@@ -150,7 +150,7 @@ TEST(ScoringEngine, SingleStreamParityBitForBit) {
 
   std::vector<float> scores;
   for (Index t = 0; t < stream.length(); ++t) {
-    engine.push(0, stream.sample(t));
+    engine.push(0, stream.sample(t), stream.n_channels());
     const auto results = engine.step();
     ASSERT_EQ(results.size(), 1U);
     EXPECT_EQ(results[0].stream, 0);
@@ -187,7 +187,7 @@ TEST(ScoringEngine, EightStreamsFourThreadsMatchSequentialMonitors) {
   constexpr Index kChunk = 25;
   for (Index t0 = 0; t0 < 400; t0 += kChunk) {
     for (Index s = 0; s < kStreams; ++s)
-      for (Index t = t0; t < t0 + kChunk; ++t) engine.push(s, inputs[s].sample(t));
+      for (Index t = t0; t < t0 + kChunk; ++t) engine.push(s, inputs[s].sample(t), 3);
     for (const StreamScore& r : engine.step())
       scores[static_cast<std::size_t>(r.stream)].push_back(r.score);
   }
@@ -215,7 +215,7 @@ TEST(ScoringEngine, DeterministicAcrossRunsAndConfigs) {
     engine.add_streams(kStreams);
     engine.calibrate(rig().train);
     for (Index s = 0; s < kStreams; ++s)
-      for (Index t = 0; t < inputs[s].length(); ++t) engine.push(s, inputs[s].sample(t));
+      for (Index t = 0; t < inputs[s].length(); ++t) engine.push(s, inputs[s].sample(t), 3);
     std::vector<float> flat;
     for (const StreamScore& r : engine.step()) flat.push_back(r.score);
     return flat;
@@ -237,7 +237,7 @@ TEST(ScoringEngine, AlarmEventsLandOnPlantedBursts) {
                        {.n_threads = 2, .max_batch = 16});
   engine.add_stream();
   engine.calibrate(rig().train);
-  for (Index t = 0; t < noisy.length(); ++t) engine.push(0, noisy.sample(t));
+  for (Index t = 0; t < noisy.length(); ++t) engine.push(0, noisy.sample(t), noisy.n_channels());
   engine.step();
 
   // Bursts are planted at phases 200-215 of every 250-sample period; the
@@ -260,8 +260,8 @@ TEST(ScoringEngine, UnevenStreamsWarmupAndBookkeeping) {
 
   const auto quiet = make_sine(50, false, 21);
   // Stream 0 gets 40 samples, stream 1 gets 33 (window is 32), stream 2 none.
-  for (Index t = 0; t < 40; ++t) engine.push(0, quiet.sample(t));
-  for (Index t = 0; t < 33; ++t) engine.push(1, quiet.sample(t));
+  for (Index t = 0; t < 40; ++t) engine.push(0, quiet.sample(t), quiet.n_channels());
+  for (Index t = 0; t < 33; ++t) engine.push(1, quiet.sample(t), quiet.n_channels());
   const auto results = engine.step();
   EXPECT_EQ(results.size(), 73U);
 

@@ -290,7 +290,7 @@ TEST(AsyncScoringRuntime, DropOldestEvictsAndCountsPerStream) {
   long ok = 0;
   long dropped_results = 0;
   for (Index t = 0; t < kPushes; ++t) {
-    const PushResult r = runtime.push(0, series.sample(t));
+    const PushResult r = runtime.push(0, series.sample(t), series.n_channels());
     ASSERT_NE(r, PushResult::Rejected);  // DropOldest always enqueues
     (r == PushResult::Ok ? ok : dropped_results)++;
   }
@@ -344,7 +344,7 @@ TEST(AsyncScoringRuntime, RejectReturnsAndCountsWithoutBlocking) {
   long ok = 0;
   long rejected = 0;
   for (Index t = 0; t < kPushes; ++t) {
-    const PushResult r = runtime.push(0, series.sample(t));
+    const PushResult r = runtime.push(0, series.sample(t), series.n_channels());
     ASSERT_NE(r, PushResult::DroppedOldest);  // Reject never evicts
     (r == PushResult::Ok ? ok : rejected)++;
   }
@@ -381,7 +381,7 @@ TEST(AsyncScoringRuntime, BlockNeverLosesUnderTinyRing) {
 
   const auto series = make_sine(kPushes, false, 7);
   for (Index t = 0; t < kPushes; ++t)
-    ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+    ASSERT_EQ(runtime.push(0, series.sample(t), series.n_channels()), PushResult::Ok);
   runtime.close();
 
   EXPECT_EQ(runtime.stats(0).pushed, kPushes);
@@ -407,7 +407,7 @@ TEST(AsyncScoringRuntime, CloseMidStreamDrainsEverythingAccepted) {
   const auto series = make_sine(500, true, 8);
   for (Index s = 0; s < 3; ++s)
     for (Index t = 0; t < 500; ++t)
-      ASSERT_NE(runtime.push(s, series.sample(t)), PushResult::Rejected);
+      ASSERT_NE(runtime.push(s, series.sample(t), series.n_channels()), PushResult::Rejected);
   runtime.close();
 
   long total = 0;
@@ -442,7 +442,7 @@ TEST(AsyncScoringRuntime, CallbackReceivesEveryScoreInsteadOfQueue) {
 
   const auto series = make_sine(200, false, 9);
   for (Index t = 0; t < 200; ++t)
-    ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+    ASSERT_EQ(runtime.push(0, series.sample(t), series.n_channels()), PushResult::Ok);
   runtime.close();
 
   ASSERT_EQ(seen.size(), 200U);  // close() joins: `seen` is safe to read now
@@ -496,7 +496,7 @@ TEST(AsyncScoringRuntime, FourProducersSixteenStreamsMatchSynchronousEngineBitFo
     sync.add_streams(kStreams);
     sync.calibrate(rig().train);
     for (Index s = 0; s < kStreams; ++s)
-      for (Index t = 0; t < kSamples; ++t) sync.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+      for (Index t = 0; t < kSamples; ++t) sync.push(s, inputs[static_cast<std::size_t>(s)].sample(t), 3);
     for (const StreamScore& r : sync.step())
       want[static_cast<std::size_t>(r.stream)].scores.push_back(r.score);
     for (Index s = 0; s < kStreams; ++s) {
@@ -527,7 +527,7 @@ TEST(AsyncScoringRuntime, FourProducersSixteenStreamsMatchSynchronousEngineBitFo
       // streams from all producers.
       for (Index t = 0; t < kSamples; ++t) {
         for (Index s = p; s < kStreams; s += kProducers) {
-          const PushResult r = runtime.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+          const PushResult r = runtime.push(s, inputs[static_cast<std::size_t>(s)].sample(t), 3);
           ASSERT_EQ(r, PushResult::Ok);
           accepted.fetch_add(1, std::memory_order_relaxed);
         }
@@ -589,7 +589,7 @@ TEST(AsyncScoringRuntime, DestructorClosesAndDrains) {
     runtime.on_score([&seen](const StreamScore& s) { seen.push_back(s); });
     runtime.start();
     for (Index t = 0; t < 100; ++t)
-      ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+      ASSERT_EQ(runtime.push(0, series.sample(t), series.n_channels()), PushResult::Ok);
     // No close(): the destructor must drain and join.
   }
   EXPECT_EQ(seen.size(), 100U);

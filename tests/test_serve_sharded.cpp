@@ -283,7 +283,7 @@ std::vector<StreamRun> sync_reference(core::AnomalyDetector& detector,
   sync.set_threshold(rig_threshold());
   for (Index s = 0; s < kParityStreams; ++s)
     for (Index t = 0; t < kParitySamples; ++t)
-      sync.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+      sync.push(s, inputs[static_cast<std::size_t>(s)].sample(t), 3);
   for (const StreamScore& r : sync.step())
     want[static_cast<std::size_t>(r.stream)].scores.push_back(r.score);
   for (Index s = 0; s < kParityStreams; ++s) {
@@ -319,7 +319,7 @@ std::vector<StreamRun> async_run(core::AnomalyDetector& detector, Index n_shards
       // mix streams from all producers.
       for (Index t = 0; t < kParitySamples; ++t) {
         for (Index s = p; s < kParityStreams; s += n_producers) {
-          const PushResult r = runtime.push(s, inputs[static_cast<std::size_t>(s)].sample(t));
+          const PushResult r = runtime.push(s, inputs[static_cast<std::size_t>(s)].sample(t), 3);
           ASSERT_EQ(r, PushResult::Ok) << label;
         }
       }
@@ -444,7 +444,7 @@ TEST(ShardedRuntime, CloseMidStreamDrainsEveryShard) {
   const auto series = make_sine(400, true, 8);
   for (Index s = 0; s < 6; ++s)
     for (Index t = 0; t < 400; ++t)
-      ASSERT_NE(runtime.push(s, series.sample(t)), PushResult::Rejected);
+      ASSERT_NE(runtime.push(s, series.sample(t), series.n_channels()), PushResult::Rejected);
   runtime.close();
   runtime.close();  // idempotent across shards
 
@@ -474,7 +474,7 @@ TEST(ShardedRuntime, IdleShardSleepsWhileAnotherIsHot) {
   // busy-spinning (its backoff is per shard, not a global scorer nap).
   const auto series = make_sine(600, false, 9);
   for (Index t = 0; t < 600; ++t)
-    ASSERT_EQ(runtime.push(0, series.sample(t)), PushResult::Ok);
+    ASSERT_EQ(runtime.push(0, series.sample(t), series.n_channels()), PushResult::Ok);
   // Give the idle shard time to escalate past its yield rounds into a nap.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   runtime.close();
