@@ -19,12 +19,22 @@
 // smoke step uses exactly this to stop the daemon it started.
 //
 // --json <path> writes the per-transport samples/s as a machine-readable
-// record (the repo's BENCH_*.json perf trajectory points).
+// record (the repo's BENCH_*.json perf trajectory points), including the
+// daemon-side score-latency quantiles (scorer round and sampled push->score
+// p50/p95/p99) read from the runtime telemetry after the load.
+//
+// --scrape-metrics <tcp:HOST:PORT> probes a daemon's Prometheus endpoint
+// instead of running a load: two GET /metrics scrapes a beat apart, asserting
+// the response is HTTP 200, the key series are present, and every sampled
+// counter is monotonically non-decreasing between the scrapes. Exits nonzero
+// on any violation — the ci.sh daemon smoke runs this while the load is in
+// flight.
 //
 // Usage: bench_net_throughput [--quick] [--clients N] [--streams N]
 //                             [--samples N] [--detector <name>|all]
 //                             [--transport uds|tcp|both] [--shards N]
 //                             [--connect <endpoint>] [--shutdown]
+//                             [--scrape-metrics <tcp:HOST:PORT>]
 //                             [--json <path>]
 #include <sys/wait.h>
 #include <unistd.h>
@@ -156,15 +166,142 @@ struct TransportResult {
   double samples_per_s = 0.0;
   std::uint64_t scores = 0;
   std::uint64_t nacks = 0;
+  // Daemon-side score-latency quantiles (ns) from the runtime telemetry,
+  // snapshotted while the server is still up. Zero with -DVARADE_OBS=OFF.
+  std::int64_t round_p50_ns = 0, round_p95_ns = 0, round_p99_ns = 0;
+  std::int64_t push_to_score_p50_ns = 0, push_to_score_p95_ns = 0, push_to_score_p99_ns = 0;
 };
 
 void usage_exit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--clients N] [--streams N] [--samples N]\n"
                "          [--detector <name>|all] [--transport uds|tcp|both] [--shards N]\n"
-               "          [--connect <endpoint>] [--shutdown] [--json <path>]\n",
+               "          [--connect <endpoint>] [--shutdown]\n"
+               "          [--scrape-metrics <tcp:HOST:PORT>] [--json <path>]\n",
                argv0);
   std::exit(2);
+}
+
+// ---------------------------------------------------------------------------
+// --scrape-metrics: Prometheus endpoint probe (the ci.sh daemon smoke runs
+// this while a load is in flight).
+
+/// One GET /metrics over a fresh connection; returns the body. Exits the
+/// process unless the response is an HTTP 200 with a proper header/body split.
+std::string scrape_once(const net::Endpoint& endpoint) {
+  const net::Socket sock = net::connect_endpoint(endpoint);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  net::send_all(sock.fd(), request.data(), request.size());
+  std::string response;
+  char buf[8192];
+  for (;;) {  // the daemon closes after one response (Connection: close)
+    const long n = net::read_some(sock.fd(), buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  if (response.rfind("HTTP/1.0 200", 0) != 0) {
+    std::fprintf(stderr, "FATAL: /metrics scrape did not return HTTP 200, got:\n%.200s\n",
+                 response.c_str());
+    std::exit(1);
+  }
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    std::fprintf(stderr, "FATAL: /metrics response has no header/body separator\n");
+    std::exit(1);
+  }
+  return response.substr(split + 4);
+}
+
+/// Value of the first sample line starting with `prefix` (a metric name, or
+/// name + label-set prefix); exits when the series is missing.
+double series_value(const std::string& body, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (body.compare(pos, len, prefix) == 0) {
+      const std::size_t sp = body.rfind(' ', eol);
+      return std::strtod(body.c_str() + sp + 1, nullptr);
+    }
+    pos = eol + 1;
+  }
+  std::fprintf(stderr, "FATAL: /metrics is missing series %s\n", prefix);
+  std::exit(1);
+}
+
+int run_scrape(const std::string& spec) {
+  const net::Endpoint endpoint = net::parse_endpoint(spec);
+  if (endpoint.kind != net::Endpoint::Kind::Tcp) {
+    std::fprintf(stderr, "error: --scrape-metrics expects tcp:HOST:PORT\n");
+    return 2;
+  }
+
+  const std::string first = scrape_once(endpoint);
+  // The series the roadmap's consumers (dashboards, the future auto-tuner)
+  // key on: sample accounting, per-shard scorer counters, and the
+  // phase-latency histograms. Presence is asserted even in -DVARADE_OBS=OFF
+  // daemons — the families are always exposed, only the values stay zero.
+  const char* required[] = {
+      "varade_samples_pushed_total ",
+      "varade_samples_scored_total ",
+      "varade_scorer_rounds_total{shard=\"0\"}",
+      "varade_scorer_scored_total{shard=\"0\"}",
+      "varade_step_phase_seconds_bucket{phase=\"stage\"",
+      "varade_step_phase_seconds_count{phase=\"score\"}",
+      "varade_engine_step_seconds_count ",
+      "varade_push_to_score_seconds_count ",
+      "varade_scorer_round_seconds_count ",
+      "varade_net_connections ",
+      "varade_net_frames_decoded_total ",
+  };
+  for (const char* series : required) {
+    if (first.find(series) == std::string::npos) {
+      std::fprintf(stderr, "FATAL: /metrics is missing series %s\n", series);
+      return 1;
+    }
+  }
+
+  // Second scrape a beat later: every counter must be monotonically
+  // non-decreasing (and under load, visibly increasing for the push path).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::string second = scrape_once(endpoint);
+  const char* monotonic[] = {
+      "varade_samples_pushed_total ",
+      "varade_samples_scored_total ",
+      "varade_scorer_rounds_total{shard=\"0\"}",
+      "varade_net_frames_decoded_total ",
+      "varade_net_connections_accepted_total ",
+      "varade_net_metrics_scrapes_total ",
+      "varade_engine_step_seconds_count ",
+  };
+  for (const char* series : monotonic) {
+    const double v1 = series_value(first, series);
+    const double v2 = series_value(second, series);
+    if (v2 < v1) {
+      std::fprintf(stderr, "FATAL: series %s went backwards between scrapes (%g -> %g)\n",
+                   series, v1, v2);
+      return 1;
+    }
+  }
+  // The scrape counter must advance by at least our own first scrape —
+  // except against a -DVARADE_OBS=OFF daemon, where the gated counter
+  // legitimately stays 0.
+  const double scrapes1 = series_value(first, "varade_net_metrics_scrapes_total ");
+  const double scrapes2 = series_value(second, "varade_net_metrics_scrapes_total ");
+  if (scrapes2 > 0.0 && scrapes2 < scrapes1 + 1.0) {
+    std::fprintf(stderr, "FATAL: scrape counter did not advance (%g -> %g)\n", scrapes1,
+                 scrapes2);
+    return 1;
+  }
+
+  std::printf("metrics scrape ok: %zu bytes, %zu required series present, %zu counters"
+              " monotonic, pushed %.0f -> %.0f\n",
+              second.size(), sizeof(required) / sizeof(required[0]),
+              sizeof(monotonic) / sizeof(monotonic[0]),
+              series_value(first, "varade_samples_pushed_total "),
+              series_value(second, "varade_samples_pushed_total "));
+  return 0;
 }
 
 void write_json(const std::string& path, int n_clients, Index n_streams, Index n_samples,
@@ -183,13 +320,21 @@ void write_json(const std::string& path, int n_clients, Index n_streams, Index n
   f << "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const TransportResult& r = results[i];
-    char line[256];
+    char line[640];
     std::snprintf(line, sizeof(line),
                   "    {\"transport\": \"%s\", \"detector\": \"%s\", "
-                  "\"samples_per_s\": %.1f, \"scores\": %llu, \"nacks\": %llu}%s\n",
+                  "\"samples_per_s\": %.1f, \"scores\": %llu, \"nacks\": %llu, "
+                  "\"round_p50_ns\": %lld, \"round_p95_ns\": %lld, \"round_p99_ns\": %lld, "
+                  "\"push_to_score_p50_ns\": %lld, \"push_to_score_p95_ns\": %lld, "
+                  "\"push_to_score_p99_ns\": %lld}%s\n",
                   r.transport.c_str(), r.detector.c_str(), r.samples_per_s,
                   static_cast<unsigned long long>(r.scores),
                   static_cast<unsigned long long>(r.nacks),
+                  static_cast<long long>(r.round_p50_ns), static_cast<long long>(r.round_p95_ns),
+                  static_cast<long long>(r.round_p99_ns),
+                  static_cast<long long>(r.push_to_score_p50_ns),
+                  static_cast<long long>(r.push_to_score_p95_ns),
+                  static_cast<long long>(r.push_to_score_p99_ns),
                   i + 1 < results.size() ? "," : "");
     f << line;
   }
@@ -212,6 +357,7 @@ int main(int argc, char** argv) {
   std::string transport_arg = "both";
   std::string json_path;
   std::string connect_spec;
+  std::string scrape_spec;
   bool send_shutdown = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
@@ -232,6 +378,8 @@ int main(int argc, char** argv) {
       transport_arg = argv[++a];
     } else if (std::strcmp(argv[a], "--connect") == 0 && a + 1 < argc) {
       connect_spec = argv[++a];
+    } else if (std::strcmp(argv[a], "--scrape-metrics") == 0 && a + 1 < argc) {
+      scrape_spec = argv[++a];
     } else if (std::strcmp(argv[a], "--shutdown") == 0) {
       send_shutdown = true;
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
@@ -240,6 +388,7 @@ int main(int argc, char** argv) {
       usage_exit(argv[0]);
     }
   }
+  if (!scrape_spec.empty()) return run_scrape(scrape_spec);
   if (n_clients < 1 || n_streams < 1 || n_samples < 1) {
     std::fprintf(stderr, "error: --clients/--streams/--samples must be >= 1\n");
     return 2;
@@ -267,6 +416,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FATAL: expected %ld scores+nacks, got %llu\n", total,
                    static_cast<unsigned long long>(merged.scores + merged.nacks));
       return 1;
+    }
+    // Daemon-side latency quantiles via the STATS wire probe (all zero when
+    // the daemon was built with -DVARADE_OBS=OFF).
+    {
+      net::Client prober(endpoint);
+      prober.request_stats();
+      net::ClientEvent ev;
+      while (prober.poll_event(ev, 30000)) {
+        if (ev.kind != net::ClientEvent::Kind::Stats) continue;
+        std::printf("daemon stats: %llu pushed, %llu scored, %llu dropped; round p50/p95/p99"
+                    " %.1f/%.1f/%.1f us, push->score %.1f/%.1f/%.1f us\n",
+                    static_cast<unsigned long long>(ev.stats.pushed),
+                    static_cast<unsigned long long>(ev.stats.scored),
+                    static_cast<unsigned long long>(ev.stats.dropped),
+                    static_cast<double>(ev.stats.round_p50_ns) * 1e-3,
+                    static_cast<double>(ev.stats.round_p95_ns) * 1e-3,
+                    static_cast<double>(ev.stats.round_p99_ns) * 1e-3,
+                    static_cast<double>(ev.stats.push_to_score_p50_ns) * 1e-3,
+                    static_cast<double>(ev.stats.push_to_score_p95_ns) * 1e-3,
+                    static_cast<double>(ev.stats.push_to_score_p99_ns) * 1e-3);
+        break;
+      }
+      prober.send_goodbye();
     }
     if (send_shutdown) {
       net::Client closer(endpoint);
@@ -394,6 +566,9 @@ int main(int argc, char** argv) {
         merged.nacks += report.nacks;
       }
       const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      // Latency telemetry, snapshotted while the runtime is still up (the
+      // snapshot is documented safe against concurrent scorers).
+      const serve::ShardTelemetry telemetry = server.runtime().telemetry().total;
       server.request_stop();
       server_thread.join();
       if (failed) return 1;
@@ -414,7 +589,22 @@ int main(int argc, char** argv) {
       std::printf("%-6s %d client processes: %10.3f s  %12.0f samples/s"
                   "  (checksum matches sequential baseline)\n",
                   transport.c_str(), n_clients, seconds, samples_per_s);
-      results.push_back({transport, name, samples_per_s, merged.scores, merged.nacks});
+      TransportResult result{transport, name, samples_per_s, merged.scores, merged.nacks,
+                             telemetry.round.quantile(0.50), telemetry.round.quantile(0.95),
+                             telemetry.round.quantile(0.99),
+                             telemetry.engine.push_to_score.quantile(0.50),
+                             telemetry.engine.push_to_score.quantile(0.95),
+                             telemetry.engine.push_to_score.quantile(0.99)};
+      if (result.round_p50_ns > 0)
+        std::printf("       score latency: round p50/p95/p99 %.1f/%.1f/%.1f us,"
+                    " push->score %.1f/%.1f/%.1f us\n",
+                    static_cast<double>(result.round_p50_ns) * 1e-3,
+                    static_cast<double>(result.round_p95_ns) * 1e-3,
+                    static_cast<double>(result.round_p99_ns) * 1e-3,
+                    static_cast<double>(result.push_to_score_p50_ns) * 1e-3,
+                    static_cast<double>(result.push_to_score_p95_ns) * 1e-3,
+                    static_cast<double>(result.push_to_score_p99_ns) * 1e-3);
+      results.push_back(result);
     }
   }
 

@@ -61,6 +61,7 @@
 #include "varade/core/monitor.hpp"
 #include "varade/core/profiles.hpp"
 #include "varade/data/window.hpp"
+#include "varade/obs/telemetry.hpp"
 #include "varade/serve/runtime.hpp"
 #include "varade/serve/scoring_engine.hpp"
 
@@ -95,6 +96,14 @@ struct BenchResult {
   // Sharded runtime (--async --shards N with N != 1 only; 0 otherwise).
   double sharded_samples_per_s = 0.0;  // best multi-shard configuration
   std::string sharded_config;
+  // Score-latency quantiles (ns) from varade::obs telemetry: engine step()
+  // rounds of the best engine configuration, scorer rounds and sampled
+  // push->score latency of the best async configuration. All zero when the
+  // build is -DVARADE_OBS=OFF (the bench still runs; only the latency
+  // columns disappear).
+  std::int64_t step_p50_ns = 0, step_p95_ns = 0, step_p99_ns = 0;
+  std::int64_t round_p50_ns = 0, round_p95_ns = 0, round_p99_ns = 0;
+  std::int64_t push_to_score_p50_ns = 0, push_to_score_p95_ns = 0, push_to_score_p99_ns = 0;
 };
 
 constexpr Index kScoreChunk = 64;
@@ -205,7 +214,7 @@ double bench_async_once(core::AnomalyDetector& detector,
                         const data::MinMaxNormalizer& normalizer, float threshold,
                         const std::vector<data::MultivariateSeries>& streams,
                         Index n_samples, int n_producers, Index n_shards, int score_threads,
-                        double& checksum_out) {
+                        double& checksum_out, serve::ShardTelemetry& telemetry_out) {
   const auto n_streams = static_cast<Index>(streams.size());
   serve::AsyncRuntimeConfig cfg;
   cfg.engine = {.n_threads = 1,
@@ -241,6 +250,7 @@ double bench_async_once(core::AnomalyDetector& detector,
   runtime.close();  // drains the backlog: part of the measured work
   const double secs = seconds_since(start);
   checksum_out = checksum;
+  telemetry_out = runtime.telemetry().total;
   return secs;
 }
 
@@ -321,6 +331,10 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
     if (samples_per_s > result.best_samples_per_s) {
       result.best_samples_per_s = samples_per_s;
       result.best_config = label;
+      const serve::EngineTelemetry et = engine.telemetry();
+      result.step_p50_ns = et.step.quantile(0.50);
+      result.step_p95_ns = et.step.quantile(0.95);
+      result.step_p99_ns = et.step.quantile(0.99);
     }
     if (std::abs(checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
       std::fprintf(stderr, "FATAL: %s checksum mismatch vs baseline (%.9g vs %.9g)\n",
@@ -339,9 +353,10 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
       for (const int producers : {1, 2, 4}) {
         if (static_cast<Index>(producers) > n_streams) break;
         double checksum = 0.0;
+        serve::ShardTelemetry telemetry;
         const double secs = bench_async_once(detector, normalizer, threshold, streams,
                                              n_samples, producers, shards, score_threads,
-                                             checksum);
+                                             checksum, telemetry);
         const double samples_per_s = static_cast<double>(total) / secs;
         char label[64];
         std::snprintf(label, sizeof(label), "async runtime  shards=%ld producers=%d",
@@ -353,6 +368,12 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
         if (shards == 1 && samples_per_s > result.async_samples_per_s) {
           result.async_samples_per_s = samples_per_s;
           result.async_config = label;
+          result.round_p50_ns = telemetry.round.quantile(0.50);
+          result.round_p95_ns = telemetry.round.quantile(0.95);
+          result.round_p99_ns = telemetry.round.quantile(0.99);
+          result.push_to_score_p50_ns = telemetry.engine.push_to_score.quantile(0.50);
+          result.push_to_score_p95_ns = telemetry.engine.push_to_score.quantile(0.95);
+          result.push_to_score_p99_ns = telemetry.engine.push_to_score.quantile(0.99);
         }
         if (shards != 1 && samples_per_s > result.sharded_samples_per_s) {
           result.sharded_samples_per_s = samples_per_s;
@@ -367,6 +388,20 @@ BenchResult bench_detector(core::AnomalyDetector& detector,
     }
     std::printf("all async configurations matched the sequential checksum\n");
   }
+  if (result.step_p50_ns > 0)
+    std::printf("score latency (best engine): step p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+                static_cast<double>(result.step_p50_ns) * 1e-3,
+                static_cast<double>(result.step_p95_ns) * 1e-3,
+                static_cast<double>(result.step_p99_ns) * 1e-3);
+  if (result.round_p50_ns > 0)
+    std::printf("score latency (best async): round p50 %.1f us  p95 %.1f us  p99 %.1f us,"
+                " push->score p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+                static_cast<double>(result.round_p50_ns) * 1e-3,
+                static_cast<double>(result.round_p95_ns) * 1e-3,
+                static_cast<double>(result.round_p99_ns) * 1e-3,
+                static_cast<double>(result.push_to_score_p50_ns) * 1e-3,
+                static_cast<double>(result.push_to_score_p95_ns) * 1e-3,
+                static_cast<double>(result.push_to_score_p99_ns) * 1e-3);
   return result;
 }
 
@@ -386,10 +421,11 @@ void write_json(const std::string& path, Index n_streams, Index n_samples, Index
   f << "  \"shards\": " << serve::ShardPartition::resolve(n_shards) << ",\n";
   f << "  \"score_threads\": " << score_threads << ",\n";
   f << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  f << "  \"telemetry_enabled\": " << (obs::kEnabled ? "true" : "false") << ",\n";
   f << "  \"detectors\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
-    char line[768];
+    char line[1152];
     std::snprintf(line, sizeof(line),
                   "    {\"detector\": \"%s\", \"sequential_samples_per_s\": %.1f, "
                   "\"batched_samples_per_s\": %.1f, \"batched_speedup\": %.3f, "
@@ -397,12 +433,22 @@ void write_json(const std::string& path, Index n_streams, Index n_samples, Index
                   "\"monitor_samples_per_s\": %.1f, \"engine_best_samples_per_s\": %.1f, "
                   "\"engine_best_config\": \"%s\", \"async_samples_per_s\": %.1f, "
                   "\"async_config\": \"%s\", \"sharded_samples_per_s\": %.1f, "
-                  "\"sharded_config\": \"%s\"}%s\n",
+                  "\"sharded_config\": \"%s\", "
+                  "\"step_p50_ns\": %lld, \"step_p95_ns\": %lld, \"step_p99_ns\": %lld, "
+                  "\"round_p50_ns\": %lld, \"round_p95_ns\": %lld, \"round_p99_ns\": %lld, "
+                  "\"push_to_score_p50_ns\": %lld, \"push_to_score_p95_ns\": %lld, "
+                  "\"push_to_score_p99_ns\": %lld}%s\n",
                   r.detector.c_str(), r.seq_samples_per_s, r.batched_samples_per_s,
                   r.batched_samples_per_s / r.seq_samples_per_s, r.parallel_samples_per_s,
                   r.base_samples_per_s,
                   r.best_samples_per_s, r.best_config.c_str(), r.async_samples_per_s,
                   r.async_config.c_str(), r.sharded_samples_per_s, r.sharded_config.c_str(),
+                  static_cast<long long>(r.step_p50_ns), static_cast<long long>(r.step_p95_ns),
+                  static_cast<long long>(r.step_p99_ns), static_cast<long long>(r.round_p50_ns),
+                  static_cast<long long>(r.round_p95_ns), static_cast<long long>(r.round_p99_ns),
+                  static_cast<long long>(r.push_to_score_p50_ns),
+                  static_cast<long long>(r.push_to_score_p95_ns),
+                  static_cast<long long>(r.push_to_score_p99_ns),
                   i + 1 < results.size() ? "," : "");
     f << line;
   }

@@ -97,15 +97,30 @@ echo "== smoke: net serving (in-process daemon, forked clients, checksum-pinned)
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_net_throughput varade-served
 "$BUILD_DIR/bench/bench_net_throughput" --quick
 
-echo "== smoke: varade-served daemon over a unix socket, SHUTDOWN over the wire =="
+echo "== smoke: varade-served daemon + /metrics scrape under load, SHUTDOWN over the wire =="
 NET_SOCK="/tmp/varade_ci_$$.sock"
-"$BUILD_DIR/src/net/varade-served" --listen "unix:$NET_SOCK" --streams 8 --quiet &
+NET_LOG="$BUILD_DIR/served_smoke.log"
+"$BUILD_DIR/src/net/varade-served" --listen "unix:$NET_SOCK" \
+  --metrics tcp:127.0.0.1:0 --streams 8 --quiet > "$NET_LOG" &
 DAEMON_PID=$!
-for _ in $(seq 1 100); do [[ -S "$NET_SOCK" ]] && break; sleep 0.2; done
+for _ in $(seq 1 100); do [[ -S "$NET_SOCK" ]] && grep -q '^metrics on ' "$NET_LOG" && break; sleep 0.2; done
 [[ -S "$NET_SOCK" ]] || { echo "FATAL: daemon never bound $NET_SOCK"; kill "$DAEMON_PID"; exit 1; }
+METRICS_PORT="$(sed -n 's/^metrics on tcp:.*:\([0-9]*\)$/\1/p' "$NET_LOG")"
+[[ -n "$METRICS_PORT" ]] || { echo "FATAL: no metrics port in $NET_LOG"; kill "$DAEMON_PID"; exit 1; }
+# Scrape while client load is in flight: --scrape-metrics asserts the key
+# series are present and that the counters advance monotonically between two
+# scrapes (see bench_net_throughput.cpp).
+"$BUILD_DIR/bench/bench_net_throughput" \
+  --connect "unix:$NET_SOCK" --clients 2 --streams 8 --samples 300 &
+LOAD_PID=$!
+"$BUILD_DIR/bench/bench_net_throughput" --scrape-metrics "tcp:127.0.0.1:$METRICS_PORT"
+wait "$LOAD_PID"
 "$BUILD_DIR/bench/bench_net_throughput" \
   --connect "unix:$NET_SOCK" --clients 2 --streams 8 --samples 300 --shutdown
 wait "$DAEMON_PID"
+# The exit report prints even under --quiet, and its accounting reconciles.
+grep -q '^shutdown: .* samples pushed, .* scored, ' "$NET_LOG" \
+  || { echo "FATAL: daemon exit report missing from $NET_LOG"; cat "$NET_LOG"; exit 1; }
 rm -f "$NET_SOCK"
 
 echo "CI OK"

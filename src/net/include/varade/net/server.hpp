@@ -38,6 +38,7 @@
 
 #include "varade/net/socket.hpp"
 #include "varade/net/wire.hpp"
+#include "varade/obs/telemetry.hpp"
 #include "varade/serve/runtime.hpp"
 
 namespace varade::net {
@@ -63,6 +64,12 @@ struct ServerConfig {
   int poll_interval_ms = 2;
   Index max_connections = 128;
   int listen_backlog = 64;
+  /// Prometheus-style metrics endpoint: port >= 0 enables a plain-HTTP
+  /// listener serving GET /metrics (0 picks an ephemeral port, readable via
+  /// metrics_port() after construction); -1 disables. The endpoint is served
+  /// from the same poll loop as the wire protocol — no extra thread.
+  int metrics_port = -1;
+  std::string metrics_host = "127.0.0.1";
 };
 
 class Server {
@@ -80,6 +87,8 @@ class Server {
 
   /// Resolved TCP port (after an ephemeral bind), or -1 when TCP is off.
   int tcp_port() const { return tcp_port_; }
+  /// Resolved metrics-endpoint port, or -1 when the endpoint is off.
+  int metrics_port() const { return metrics_port_; }
   const std::string& uds_path() const { return config_.uds_path; }
   Index n_streams() const { return config_.n_streams; }
   Index n_channels() const { return n_channels_; }
@@ -101,8 +110,16 @@ class Server {
   long protocol_errors() const { return protocol_errors_.load(); }
   /// Scores whose owning connection was already gone (dropped, not sent).
   long scores_unrouted() const { return scores_unrouted_.load(); }
+  /// Times write_connection() hit EAGAIN with bytes still pending (the
+  /// kernel socket buffer was full — the client is reading too slowly).
+  long flush_stalls() const { return static_cast<long>(flush_stalls_.value()); }
 
   const serve::AsyncScoringRuntime& runtime() const { return runtime_; }
+
+  /// Prometheus text-format exposition of every runtime + server metric —
+  /// exactly the body a GET /metrics scrape receives. Callable from tests
+  /// without a metrics listener.
+  std::string metrics_text() const;
 
  private:
   struct Connection {
@@ -126,6 +143,17 @@ class Server {
     Connection* owner = nullptr;       // first-push-wins; null when unowned
   };
 
+  /// One in-flight metrics scrape: a minimal HTTP/1.0 exchange (read the
+  /// request head, write one response, close). Kept separate from Connection
+  /// so the wire-protocol state machine never sees HTTP bytes.
+  struct MetricsConn {
+    Socket sock;
+    std::string request;            // bytes buffered until the blank line
+    std::vector<std::uint8_t> out;  // encoded response awaiting write
+    std::size_t out_off = 0;
+    bool responded = false;  // response built; close once flushed
+  };
+
   void handle_frame(Connection& conn, const Frame& frame);
   void handle_sample(Connection& conn, const Frame& frame);
   /// Sends WIRE_ERROR with `message` and schedules the connection for close.
@@ -133,6 +161,8 @@ class Server {
   void route_scores();
   void read_connection(Connection& conn);
   void write_connection(Connection& conn);
+  void read_metrics(MetricsConn& conn);
+  void write_metrics(MetricsConn& conn);
   void release_streams(Connection& conn);
   void begin_shutdown();
 
@@ -144,10 +174,13 @@ class Server {
 
   Socket tcp_listener_;
   Socket uds_listener_;
+  Socket metrics_listener_;
   int tcp_port_ = -1;
+  int metrics_port_ = -1;
   int stop_pipe_[2] = {-1, -1};
 
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<MetricsConn>> metrics_conns_;
   std::vector<StreamMirror> streams_;
 
   bool running_ = false;
@@ -157,6 +190,13 @@ class Server {
   std::atomic<long> frames_nacked_{0};
   std::atomic<long> protocol_errors_{0};
   std::atomic<long> scores_unrouted_{0};
+
+  // Poll-thread telemetry (snapshot-safe from any thread; see varade::obs).
+  obs::LogHistogram decode_hist_;     // frame decode+dispatch per read batch
+  obs::LogHistogram out_depth_hist_;  // per-connection pending output bytes
+  obs::Counter frames_decoded_;
+  obs::Counter flush_stalls_;
+  obs::Counter metrics_scrapes_;
 };
 
 }  // namespace varade::net

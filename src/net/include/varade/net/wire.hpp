@@ -34,7 +34,8 @@
 //                         u8 raised}                    alarm event state
 //   Nack         (s->c)  {u32 stream, u64 seq, u8 PushResult, u8 reason}
 //   StatsRequest (c->s)  {}                             runtime stats probe
-//   StatsReply   (s->c)  {5 x u64 counters, 3 x u32}    see WireStats
+//   StatsReply   (s->c)  {12 x u64 counters/latency quantiles, 3 x u32}
+//                                                       see WireStats
 //   Shutdown     (c->s)  {}                             ask the daemon to stop
 //   Goodbye      (s->c)  {}                             orderly close
 //   WireError    (s->c)  {utf-8 message}                protocol violation
@@ -135,13 +136,24 @@ struct NackData {
 };
 
 /// StatsReply payload: the daemon's AsyncScoringRuntime::stats() totals plus
-/// connection accounting.
+/// connection accounting and latency-telemetry quantiles (nanoseconds,
+/// merged across shards; all zero when the daemon was built with
+/// -DVARADE_OBS=OFF or has not scored yet).
 struct WireStats {
   std::uint64_t pushed = 0;
   std::uint64_t dropped = 0;
   std::uint64_t rejected = 0;
   std::uint64_t rounds = 0;
   std::uint64_t naps = 0;
+  std::uint64_t scored = 0;  ///< StreamScores emitted by the runtime
+  /// Productive scorer-round duration quantiles (RuntimeTelemetry round).
+  std::uint64_t round_p50_ns = 0;
+  std::uint64_t round_p95_ns = 0;
+  std::uint64_t round_p99_ns = 0;
+  /// Sampled push->score end-to-end latency quantiles.
+  std::uint64_t push_to_score_p50_ns = 0;
+  std::uint64_t push_to_score_p95_ns = 0;
+  std::uint64_t push_to_score_p99_ns = 0;
   Index n_streams = 0;
   Index n_shards = 0;
   Index n_connections = 0;

@@ -6,13 +6,21 @@
 //
 // Usage:
 //   varade-served --listen unix:/tmp/varade.sock [--listen tcp:127.0.0.1:7733]
-//                 [--streams N] [--detector <name>] [--shards N]
-//                 [--policy block|drop-oldest|reject] [--ring N]
+//                 [--metrics tcp:HOST:PORT] [--streams N] [--detector <name>]
+//                 [--shards N] [--policy block|drop-oldest|reject] [--ring N]
 //                 [--score-threads N] [--quiet]
 //
 // The resolved TCP port (ephemeral when :0 was asked for) is printed as
 //   listening on tcp:HOST:PORT
-// before serving starts, so wrappers can scrape it.
+// before serving starts, so wrappers can scrape it; --metrics prints a
+//   metrics on tcp:HOST:PORT
+// line the same way and serves Prometheus text at GET /metrics.
+//
+// The one-line exit report is printed even under --quiet: it is the ground
+// truth the tests reconcile against the STATS wire counters (in particular
+// "scored" is RuntimeStats::scored — results actually emitted — not the
+// accepted-sample count, which silently diverges when a client disconnects
+// mid-drain and its remaining scores go unrouted).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -46,8 +54,8 @@ serve::BackpressurePolicy parse_policy(const char* value) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --listen <unix:PATH|tcp:HOST:PORT> [--listen ...]\n"
-               "          [--streams N] [--detector <name>] [--shards N]\n"
-               "          [--policy block|drop-oldest|reject] [--ring N]\n"
+               "          [--metrics tcp:HOST:PORT] [--streams N] [--detector <name>]\n"
+               "          [--shards N] [--policy block|drop-oldest|reject] [--ring N]\n"
                "          [--score-threads N] [--quiet]\n",
                argv0);
   return 2;
@@ -71,6 +79,14 @@ int main(int argc, char** argv) {
         config.tcp_port = ep.port;
       }
       have_listener = true;
+    } else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc) {
+      const net::Endpoint ep = net::parse_endpoint(argv[++a]);
+      if (ep.kind != net::Endpoint::Kind::Tcp) {
+        std::fprintf(stderr, "error: --metrics expects tcp:HOST:PORT\n");
+        return 2;
+      }
+      config.metrics_host = ep.host;
+      config.metrics_port = ep.port;
     } else if (std::strcmp(argv[a], "--streams") == 0 && a + 1 < argc) {
       config.n_streams = bench::parse_long_arg("--streams", argv[++a]);
     } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
@@ -119,6 +135,8 @@ int main(int argc, char** argv) {
       std::printf("listening on tcp:%s:%d\n", config.tcp_host.c_str(), server.tcp_port());
     if (!server.uds_path().empty())
       std::printf("listening on unix:%s\n", server.uds_path().c_str());
+    if (server.metrics_port() >= 0)
+      std::printf("metrics on tcp:%s:%d\n", config.metrics_host.c_str(), server.metrics_port());
     std::printf("serving %ld streams x %ld channels (threshold %.6f, policy %s)\n",
                 static_cast<long>(server.n_streams()), static_cast<long>(server.n_channels()),
                 static_cast<double>(config.threshold),
@@ -128,13 +146,19 @@ int main(int argc, char** argv) {
     server.run();
 
     g_server = nullptr;
+    // The exit report is printed even under --quiet (--quiet silences the
+    // training/serving chatter, not the final accounting line). It must
+    // agree with the STATS wire counters: "scored" is stats.scored — the
+    // results the runtime actually emitted — not stats.pushed, which keeps
+    // counting samples whose scores went unrouted after a client
+    // disconnected mid-drain. After the orderly close(),
+    // scored == pushed - dropped holds exactly.
     const serve::RuntimeStats stats = server.runtime().stats();
-    if (!quiet) {
-      std::printf("shutdown: %ld connections, %ld samples scored, %ld dropped, %ld rejected,"
-                  " %ld nacks, %ld protocol errors, %ld unrouted scores\n",
-                  server.connections_accepted(), stats.pushed, stats.dropped, stats.rejected,
-                  server.frames_nacked(), server.protocol_errors(), server.scores_unrouted());
-    }
+    std::printf("shutdown: %ld connections, %ld samples pushed, %ld scored, %ld dropped,"
+                " %ld rejected, %ld nacks, %ld protocol errors, %ld unrouted scores\n",
+                server.connections_accepted(), stats.pushed, stats.scored, stats.dropped,
+                stats.rejected, server.frames_nacked(), server.protocol_errors(),
+                server.scores_unrouted());
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "varade-served: %s\n", e.what());

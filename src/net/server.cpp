@@ -1,5 +1,6 @@
 #include "varade/net/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -9,6 +10,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "varade/obs/prometheus.hpp"
+
 namespace varade::net {
 
 namespace {
@@ -16,6 +19,12 @@ namespace {
 /// Hard ceiling on the orderly-shutdown flush: a client that stops reading
 /// must not wedge the daemon forever.
 constexpr std::chrono::seconds kShutdownFlushDeadline{5};
+
+/// A metrics scrape is one short GET; anything bigger is not a scraper.
+constexpr std::size_t kMaxMetricsRequest = 8192;
+/// Concurrent scrapes are capped independently of wire connections so a
+/// scraper storm cannot crowd out producers.
+constexpr std::size_t kMaxMetricsConns = 16;
 
 }  // namespace
 
@@ -33,6 +42,8 @@ Server::Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& no
         "Server needs at least one listener (tcp_port >= 0 or a uds_path)");
   check(config_.max_connections >= 1, "net: max_connections must be >= 1");
   check(config_.poll_interval_ms >= 1, "net: poll_interval_ms must be >= 1");
+  check(config_.metrics_port >= -1 && config_.metrics_port <= 65535,
+        "net: metrics_port out of range [-1, 65535]");
 
   runtime_.add_streams(config_.n_streams);
   runtime_.set_threshold(config_.threshold);
@@ -55,6 +66,11 @@ Server::Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& no
   if (!config_.uds_path.empty()) {
     uds_listener_ = unix_listen(config_.uds_path, config_.listen_backlog);
     set_nonblocking(uds_listener_.fd(), true);
+  }
+  if (config_.metrics_port >= 0) {
+    metrics_port_ = config_.metrics_port;
+    metrics_listener_ = tcp_listen(config_.metrics_host, metrics_port_, config_.listen_backlog);
+    set_nonblocking(metrics_listener_.fd(), true);
   }
   if (pipe(stop_pipe_) != 0) fail("net: pipe(): ", std::strerror(errno));
   set_nonblocking(stop_pipe_[0], true);
@@ -146,12 +162,23 @@ void Server::handle_frame(Connection& conn, const Frame& frame) {
       return;
     case FrameType::StatsRequest: {
       const serve::RuntimeStats rs = runtime_.stats();
+      const serve::RuntimeTelemetry rt = runtime_.telemetry();
       WireStats ws;
       ws.pushed = static_cast<std::uint64_t>(rs.pushed);
       ws.dropped = static_cast<std::uint64_t>(rs.dropped);
       ws.rejected = static_cast<std::uint64_t>(rs.rejected);
       ws.rounds = static_cast<std::uint64_t>(rs.rounds);
       ws.naps = static_cast<std::uint64_t>(rs.naps);
+      ws.scored = static_cast<std::uint64_t>(rs.scored);
+      ws.round_p50_ns = static_cast<std::uint64_t>(rt.total.round.quantile(0.50));
+      ws.round_p95_ns = static_cast<std::uint64_t>(rt.total.round.quantile(0.95));
+      ws.round_p99_ns = static_cast<std::uint64_t>(rt.total.round.quantile(0.99));
+      ws.push_to_score_p50_ns =
+          static_cast<std::uint64_t>(rt.total.engine.push_to_score.quantile(0.50));
+      ws.push_to_score_p95_ns =
+          static_cast<std::uint64_t>(rt.total.engine.push_to_score.quantile(0.95));
+      ws.push_to_score_p99_ns =
+          static_cast<std::uint64_t>(rt.total.engine.push_to_score.quantile(0.99));
       ws.n_streams = config_.n_streams;
       ws.n_shards = runtime_.n_shards();
       ws.n_connections = static_cast<Index>(conns_.size());
@@ -173,37 +200,55 @@ void Server::handle_frame(Connection& conn, const Frame& frame) {
 
 void Server::read_connection(Connection& conn) {
   std::uint8_t buf[65536];
-  for (;;) {
+  const std::int64_t t_read = obs::tick();
+  long frames = 0;
+  bool done = false;
+  while (!done) {
     const long n = read_some(conn.sock.fd(), buf, sizeof(buf));
-    if (n == -1) return;  // drained
+    if (n == -1) break;  // drained
     if (n == 0) {
       // Orderly (or abortive) peer close: pending output is moot.
       release_streams(conn);
       conn.sock.close();
-      return;
+      break;
     }
     try {
       conn.reader.feed(buf, static_cast<std::size_t>(n));
       Frame frame;
       while (conn.reader.next(frame)) {
+        ++frames;
         handle_frame(conn, frame);
-        if (conn.closing) return;  // discard the rest of the read buffer
+        if (conn.closing) {  // discard the rest of the read buffer
+          done = true;
+          break;
+        }
       }
     } catch (const Error& e) {
       protocol_error(conn, e.what());
-      return;
+      break;
     }
-    if (n < static_cast<long>(sizeof(buf))) return;  // socket very likely drained
+    if (n < static_cast<long>(sizeof(buf))) break;  // socket very likely drained
+  }
+  // Decode+dispatch latency of the whole read batch (one clock pair per
+  // readable socket, not per frame — the telemetry must stay cheaper than
+  // what it measures).
+  if (frames > 0) {
+    obs::record_since(decode_hist_, t_read);
+    obs::count(frames_decoded_, static_cast<std::uint64_t>(frames));
   }
 }
 
 void Server::write_connection(Connection& conn) {
+  obs::record_value(out_depth_hist_, static_cast<std::int64_t>(conn.out.size() - conn.out_off));
   while (conn.out_off < conn.out.size()) {
     const ssize_t rc = ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
                               conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        obs::count(flush_stalls_);  // kernel buffer full: the client reads too slowly
+        break;
+      }
       release_streams(conn);  // peer is gone (EPIPE/ECONNRESET/...)
       conn.sock.close();
       return;
@@ -217,6 +262,157 @@ void Server::write_connection(Connection& conn) {
     conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
     conn.out_off = 0;
   }
+}
+
+std::string Server::metrics_text() const {
+  const serve::RuntimeStats rs = runtime_.stats();
+  const serve::RuntimeTelemetry rt = runtime_.telemetry();
+  obs::PrometheusWriter w;
+
+  // Runtime sample accounting (sums over every stream / shard).
+  w.counter("varade_samples_pushed_total", "Samples accepted into stream rings.",
+            static_cast<std::uint64_t>(rs.pushed));
+  w.counter("varade_samples_dropped_total", "Samples evicted under the DropOldest policy.",
+            static_cast<std::uint64_t>(rs.dropped));
+  w.counter("varade_samples_rejected_total", "Pushes refused (Reject policy or closed intake).",
+            static_cast<std::uint64_t>(rs.rejected));
+  w.counter("varade_samples_scored_total", "Stream scores emitted by the runtime.",
+            static_cast<std::uint64_t>(rs.scored));
+
+  // Per-shard scorer counters.
+  for (std::size_t s = 0; s < rs.shards.size(); ++s) {
+    const serve::ShardStats& sh = rs.shards[s];
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    w.counter("varade_scorer_rounds_total", "Scoring rounds (drain + engine step) per shard.",
+              static_cast<std::uint64_t>(sh.rounds), label);
+  }
+  for (std::size_t s = 0; s < rs.shards.size(); ++s) {
+    const serve::ShardStats& sh = rs.shards[s];
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    w.counter("varade_scorer_naps_total", "Times the shard scorer went to sleep.",
+              static_cast<std::uint64_t>(sh.naps), label);
+  }
+  for (std::size_t s = 0; s < rs.shards.size(); ++s) {
+    const serve::ShardStats& sh = rs.shards[s];
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    w.counter("varade_scorer_scored_total", "Stream scores emitted per shard.",
+              static_cast<std::uint64_t>(sh.scored), label);
+  }
+
+  // Scorer-loop latency (merged across shards; ns recorded, exposed as s).
+  w.histogram("varade_scorer_round_seconds",
+              "Productive scorer round: ring drain + engine step + emit.", rt.total.round);
+  w.histogram("varade_ring_drain_seconds", "Ring-drain sweep of a productive round.",
+              rt.total.drain);
+  w.histogram("varade_result_emit_seconds", "Result-queue / callback hop per round.",
+              rt.total.emit);
+  w.histogram("varade_wake_to_drain_seconds",
+              "Nap wake to the end of the next productive drain sweep.", rt.total.wake_to_drain);
+
+  // Engine step phases (merged across shards).
+  for (int p = 0; p < serve::kStepPhases; ++p) {
+    const std::string label = std::string("phase=\"") + serve::kStepPhaseName[p] + "\"";
+    w.histogram("varade_step_phase_seconds", "Engine step() time per pipeline phase.",
+                rt.total.engine.phases[p], 1e-9, label);
+  }
+  w.histogram("varade_engine_step_seconds", "Whole engine step() call (productive rounds).",
+              rt.total.engine.step);
+  w.histogram("varade_push_to_score_seconds",
+              "Sampled end-to-end latency from push() to the score being computed.",
+              rt.total.engine.push_to_score);
+
+  // Network front door.
+  w.gauge("varade_net_connections", "Live wire-protocol connections.",
+          static_cast<double>(conns_.size()));
+  w.counter("varade_net_connections_accepted_total", "Wire-protocol connections accepted.",
+            static_cast<std::uint64_t>(connections_accepted_.load(std::memory_order_relaxed)));
+  w.counter("varade_net_frames_decoded_total", "Wire frames decoded and dispatched.",
+            frames_decoded_.value());
+  w.counter("varade_net_frames_nacked_total", "SAMPLE frames answered with a NACK.",
+            static_cast<std::uint64_t>(frames_nacked_.load(std::memory_order_relaxed)));
+  w.counter("varade_net_protocol_errors_total", "Connections killed for protocol violations.",
+            static_cast<std::uint64_t>(protocol_errors_.load(std::memory_order_relaxed)));
+  w.counter("varade_net_scores_unrouted_total",
+            "Scores whose owning connection was gone (dropped, not sent).",
+            static_cast<std::uint64_t>(scores_unrouted_.load(std::memory_order_relaxed)));
+  w.counter("varade_net_flush_stalls_total",
+            "Writes that hit a full kernel socket buffer with bytes pending.",
+            flush_stalls_.value());
+  w.counter("varade_net_metrics_scrapes_total", "GET /metrics requests served.",
+            metrics_scrapes_.value());
+  w.histogram("varade_net_frame_decode_seconds",
+              "Frame decode + dispatch time per readable-socket batch.", decode_hist_.snapshot());
+  w.histogram("varade_net_out_buffer_bytes", "Pending output bytes at each flush attempt.",
+              out_depth_hist_.snapshot(), 1.0);
+
+  return w.text();
+}
+
+void Server::read_metrics(MetricsConn& conn) {
+  char buf[4096];
+  for (;;) {
+    const long n = read_some(conn.sock.fd(), buf, sizeof(buf));
+    if (n == -1) break;  // drained
+    if (n == 0) {        // peer closed; whatever was buffered is moot
+      conn.sock.close();
+      return;
+    }
+    conn.request.append(buf, static_cast<std::size_t>(n));
+    if (conn.request.size() > kMaxMetricsRequest) {
+      conn.sock.close();  // not a scrape — drop without ceremony
+      return;
+    }
+    if (n < static_cast<long>(sizeof(buf))) break;
+  }
+  if (conn.responded) return;  // ignore extra bytes after the request head
+  const std::size_t head_end = conn.request.find("\r\n\r\n");
+  if (head_end == std::string::npos) return;  // request head still incomplete
+
+  std::string status = "200 OK";
+  std::string body;
+  const std::size_t line_end = conn.request.find("\r\n");
+  const std::string line = conn.request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    status = "405 Method Not Allowed";
+    body = "only GET is served here\n";
+  } else {
+    const std::size_t path_end = line.find(' ', 4);
+    const std::string path =
+        line.substr(4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+    if (path == "/metrics") {
+      obs::count(metrics_scrapes_);
+      body = metrics_text();
+    } else {
+      status = "404 Not Found";
+      body = "try /metrics\n";
+    }
+  }
+  const std::string response =
+      "HTTP/1.0 " + status +
+      "\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n\r\n" +
+      body;
+  conn.out.assign(response.begin(), response.end());
+  conn.responded = true;
+}
+
+void Server::write_metrics(MetricsConn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t rc = ::send(conn.sock.fd(), conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // flush on the next round
+      conn.sock.close();
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(rc);
+  }
+  conn.sock.close();  // one response per connection (HTTP/1.0, Connection: close)
 }
 
 void Server::route_scores() {
@@ -266,6 +462,8 @@ void Server::begin_shutdown() {
   shutting_down_ = true;
   tcp_listener_.close();
   uds_listener_.close();
+  metrics_listener_.close();
+  metrics_conns_.clear();  // a half-served scrape does not gate shutdown
   // Drain every accepted sample (close() blocks until the scorers finish),
   // then flush the final scores and say goodbye.
   runtime_.close();
@@ -283,14 +481,17 @@ void Server::run() {
   runtime_.start();
 
   std::vector<pollfd> pfds;
-  std::vector<Connection*> pfd_conns;  // parallel to the connection pfds
+  std::vector<Connection*> pfd_conns;      // parallel to the connection pfds
+  std::vector<MetricsConn*> pfd_mconns;    // parallel to the metrics-conn pfds
   std::chrono::steady_clock::time_point shutdown_started{};
 
   while (!(shutting_down_ && conns_.empty())) {
     pfds.clear();
     pfd_conns.clear();
+    pfd_mconns.clear();
     pfds.push_back({stop_pipe_[0], POLLIN, 0});
     std::size_t n_listeners = 0;
+    std::size_t metrics_listener_idx = 0;  // 0 = not polled this round
     if (!shutting_down_) {
       if (tcp_listener_.valid()) {
         pfds.push_back({tcp_listener_.fd(), POLLIN, 0});
@@ -299,6 +500,10 @@ void Server::run() {
       if (uds_listener_.valid()) {
         pfds.push_back({uds_listener_.fd(), POLLIN, 0});
         ++n_listeners;
+      }
+      if (metrics_listener_.valid()) {
+        metrics_listener_idx = pfds.size();
+        pfds.push_back({metrics_listener_.fd(), POLLIN, 0});
       }
     }
     const std::size_t first_conn = pfds.size();
@@ -310,6 +515,15 @@ void Server::run() {
       pfds.push_back({conn->sock.fd(), events, 0});
       pfd_conns.push_back(conn.get());
     }
+    const std::size_t first_mconn = pfds.size();
+    for (const std::unique_ptr<MetricsConn>& mc : metrics_conns_) {
+      if (!mc->sock.valid()) continue;
+      short events = 0;
+      if (!mc->responded) events |= POLLIN;
+      if (mc->out_off < mc->out.size()) events |= POLLOUT;
+      pfds.push_back({mc->sock.fd(), events, 0});
+      pfd_mconns.push_back(mc.get());
+    }
 
     const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
                           config_.poll_interval_ms);
@@ -320,6 +534,26 @@ void Server::run() {
       while (::read(stop_pipe_[0], sink, sizeof(sink)) > 0) {
       }
       begin_shutdown();
+    }
+
+    // Metrics scrapes: accept, read, respond — all subordinate to the wire
+    // traffic and served from the same loop.
+    if (metrics_listener_idx != 0 && (pfds[metrics_listener_idx].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(metrics_listener_.fd(), nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN (drained) or a transient accept failure
+        }
+        if (metrics_conns_.size() >= kMaxMetricsConns) {
+          ::close(fd);  // scraper storm: refuse outright
+          continue;
+        }
+        set_nonblocking(fd, true);
+        auto mc = std::make_unique<MetricsConn>();
+        mc->sock = Socket(fd);
+        metrics_conns_.push_back(std::move(mc));
+      }
     }
 
     // Accepts (listener pfds sit between the stop pipe and the connections).
@@ -344,10 +578,15 @@ void Server::run() {
       }
     }
 
-    for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+    for (std::size_t i = first_conn; i < first_mconn; ++i) {
       Connection& conn = *pfd_conns[i - first_conn];
       if (!conn.sock.valid()) continue;
       if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_connection(conn);
+    }
+    for (std::size_t i = first_mconn; i < pfds.size(); ++i) {
+      MetricsConn& mc = *pfd_mconns[i - first_mconn];
+      if (!mc.sock.valid()) continue;
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_metrics(mc);
     }
 
     if (!shutting_down_) route_scores();
@@ -357,6 +596,9 @@ void Server::run() {
     // POLLOUT, so a quiet socket does not add a poll interval of latency).
     for (const std::unique_ptr<Connection>& conn : conns_) {
       if (conn->sock.valid() && conn->out_off < conn->out.size()) write_connection(*conn);
+    }
+    for (const std::unique_ptr<MetricsConn>& mc : metrics_conns_) {
+      if (mc->sock.valid() && mc->responded) write_metrics(*mc);
     }
 
     // Sweep: drop dead sockets and fully flushed closing connections.
@@ -370,6 +612,10 @@ void Server::run() {
         ++i;
       }
     }
+    metrics_conns_.erase(
+        std::remove_if(metrics_conns_.begin(), metrics_conns_.end(),
+                       [](const std::unique_ptr<MetricsConn>& mc) { return !mc->sock.valid(); }),
+        metrics_conns_.end());
 
     if (shutting_down_) {
       if (shutdown_started == std::chrono::steady_clock::time_point{})

@@ -72,9 +72,11 @@ Endpoint parse_endpoint(const std::string& spec) {
   const std::string port_str = rest.substr(colon + 1);
   check(!port_str.empty() && port_str.find_first_not_of("0123456789") == std::string::npos,
         "net: endpoint \"" + spec + "\" has a non-numeric port");
+  // Port 0 is legal on the listen side only (bind to an ephemeral port, as
+  // --metrics tcp:HOST:0 asks for); connect_endpoint() rejects it.
   const long port = std::strtol(port_str.c_str(), nullptr, 10);
-  check(port >= 1 && port <= 65535,
-        "net: endpoint \"" + spec + "\" port out of range [1, 65535]");
+  check(port >= 0 && port <= 65535,
+        "net: endpoint \"" + spec + "\" port out of range [0, 65535]");
   ep.port = static_cast<int>(port);
   return ep;
 }
@@ -131,6 +133,8 @@ Socket unix_listen(const std::string& path, int backlog) {
 }
 
 Socket tcp_connect(const std::string& host, int port) {
+  check(port >= 1, "net: cannot connect to tcp:" + host + ":" + std::to_string(port) +
+                       " (port 0 is listen-side only)");
   const sockaddr_in addr = resolve_tcp(host, port);
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) fail_errno("socket(AF_INET)");

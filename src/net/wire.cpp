@@ -176,15 +176,22 @@ void append_stats_request(std::vector<std::uint8_t>& out) {
 }
 
 void append_stats_reply(std::vector<std::uint8_t>& out, const WireStats& stats) {
-  std::uint8_t* p = begin_frame(out, FrameType::StatsReply, 52);
+  std::uint8_t* p = begin_frame(out, FrameType::StatsReply, 108);
   store_u64(p, stats.pushed);
   store_u64(p + 8, stats.dropped);
   store_u64(p + 16, stats.rejected);
   store_u64(p + 24, stats.rounds);
   store_u64(p + 32, stats.naps);
-  store_u32(p + 40, static_cast<std::uint32_t>(stats.n_streams));
-  store_u32(p + 44, static_cast<std::uint32_t>(stats.n_shards));
-  store_u32(p + 48, static_cast<std::uint32_t>(stats.n_connections));
+  store_u64(p + 40, stats.scored);
+  store_u64(p + 48, stats.round_p50_ns);
+  store_u64(p + 56, stats.round_p95_ns);
+  store_u64(p + 64, stats.round_p99_ns);
+  store_u64(p + 72, stats.push_to_score_p50_ns);
+  store_u64(p + 80, stats.push_to_score_p95_ns);
+  store_u64(p + 88, stats.push_to_score_p99_ns);
+  store_u32(p + 96, static_cast<std::uint32_t>(stats.n_streams));
+  store_u32(p + 100, static_cast<std::uint32_t>(stats.n_shards));
+  store_u32(p + 104, static_cast<std::uint32_t>(stats.n_connections));
 }
 
 void append_shutdown(std::vector<std::uint8_t>& out) {
@@ -275,7 +282,7 @@ NackData decode_nack(const Frame& frame) {
 
 WireStats decode_stats_reply(const Frame& frame) {
   require_type(frame, FrameType::StatsReply);
-  require_size(frame, 52);
+  require_size(frame, 108);
   const std::uint8_t* p = frame.payload.data();
   WireStats s;
   s.pushed = load_u64(p);
@@ -283,9 +290,16 @@ WireStats decode_stats_reply(const Frame& frame) {
   s.rejected = load_u64(p + 16);
   s.rounds = load_u64(p + 24);
   s.naps = load_u64(p + 32);
-  s.n_streams = static_cast<Index>(load_u32(p + 40));
-  s.n_shards = static_cast<Index>(load_u32(p + 44));
-  s.n_connections = static_cast<Index>(load_u32(p + 48));
+  s.scored = load_u64(p + 40);
+  s.round_p50_ns = load_u64(p + 48);
+  s.round_p95_ns = load_u64(p + 56);
+  s.round_p99_ns = load_u64(p + 64);
+  s.push_to_score_p50_ns = load_u64(p + 72);
+  s.push_to_score_p95_ns = load_u64(p + 80);
+  s.push_to_score_p99_ns = load_u64(p + 88);
+  s.n_streams = static_cast<Index>(load_u32(p + 96));
+  s.n_shards = static_cast<Index>(load_u32(p + 100));
+  s.n_connections = static_cast<Index>(load_u32(p + 104));
   return s;
 }
 

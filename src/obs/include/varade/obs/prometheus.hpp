@@ -1,0 +1,44 @@
+#pragma once
+// Prometheus text-format (version 0.0.4) exposition for obs primitives.
+//
+// Usage: construct a PrometheusWriter, emit metrics grouped by family
+// (HELP/TYPE headers are written once per family name, on first use), and
+// serve `text()` as `text/plain`. Histogram families are emitted in the
+// classic cumulative-`le` form with sparse buckets — only bucket edges that
+// actually hold samples appear, plus the mandatory `+Inf`, `_sum`, and
+// `_count` series — so a 320-bucket LogHistogram stays a few lines.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "varade/obs/telemetry.hpp"
+
+namespace varade::obs {
+
+class PrometheusWriter {
+ public:
+  // `labels` is the inner body of the label set, e.g. `shard="3"`, or empty.
+  void counter(std::string_view name, std::string_view help,
+               std::uint64_t value, std::string_view labels = {});
+  void gauge(std::string_view name, std::string_view help, double value,
+             std::string_view labels = {});
+  // `scale` converts recorded units to exposed units (default ns -> s).
+  void histogram(std::string_view name, std::string_view help,
+                 const HistogramSnapshot& snap, double scale = 1e-9,
+                 std::string_view labels = {});
+
+  const std::string& text() const { return out_; }
+
+ private:
+  void family(std::string_view name, std::string_view help,
+              std::string_view type);
+  void sample(std::string_view name, std::string_view suffix,
+              std::string_view labels, std::string_view extra_label,
+              double value);
+
+  std::string out_;
+  std::string last_family_;
+};
+
+}  // namespace varade::obs

@@ -1,0 +1,179 @@
+#pragma once
+// varade::obs — lock-free runtime telemetry.
+//
+// Two primitives, built for many-writers / rare-reader use on scoring hot
+// paths:
+//
+//   LogHistogram  fixed-bucket log-scale histogram (log2 octaves split into
+//                 8 sub-buckets, <= 12.5% relative bucket width). Recording
+//                 is one relaxed fetch_add per bucket plus relaxed
+//                 count/sum updates and a CAS min/max — no locks, no
+//                 allocation, wait-free except the (rare-loser) min/max CAS.
+//   Counter       cache-line-padded relaxed monotonic counter.
+//
+// Writers are expected to be per-shard / per-thread instances; a reader
+// takes `snapshot()` of each and `merge()`s the snapshots, so recording
+// never contends with exposition. Snapshots are relaxed loads: each bucket
+// is individually exact-or-slightly-stale, cross-bucket totals can be
+// transiently off by in-flight records, and everything is exact once the
+// writers quiesce. That is the same contract the serving counters already
+// document and all any metrics pipeline needs.
+//
+// Compile-time gate: building with -DVARADE_OBS=OFF (CMake) defines
+// VARADE_OBS_DISABLED, which flips `kEnabled` to false. The primitives
+// stay fully functional (tests exercise them in any build); what
+// disappears is the *instrumentation glue* — `tick()` stops reading the
+// clock and the `record_since` / `record_value` / `count` helpers compile
+// to nothing, so every call site gated through them costs zero.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace varade::obs {
+
+#if defined(VARADE_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+// Monotonic wall-clock in nanoseconds (CLOCK_MONOTONIC). Always live, even
+// when instrumentation is compiled off — benches time themselves with it.
+std::int64_t now_ns();
+
+// Instrumentation timestamp: now_ns() when telemetry is enabled, a constant
+// 0 (no clock read, no syscall) when compiled off.
+inline std::int64_t tick() {
+  if constexpr (kEnabled) return now_ns();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Bucket geometry (shared by LogHistogram, its snapshots, and the wire /
+// Prometheus expositions).
+//
+// Values 0..7 get exact unit buckets; from 8 upward each power-of-two
+// octave is split into kSubBuckets sub-buckets, so bucket width is at most
+// 1/8 of the value (12.5% relative error). kMaxExp = 41 covers values up
+// to ~2^42 ns (~73 minutes as a latency); anything larger clamps into the
+// final bucket, whose upper bound is reported as +Inf.
+inline constexpr int kSubBits = 3;
+inline constexpr int kSubBuckets = 1 << kSubBits;
+inline constexpr int kMaxExp = 41;
+inline constexpr int kBuckets = (kMaxExp - 1) * kSubBuckets;  // 320
+
+constexpr int bucket_of(std::int64_t v) {
+  if (v < kSubBuckets) return v < 0 ? 0 : static_cast<int>(v);
+  const int exp = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+  if (exp > kMaxExp) return kBuckets - 1;
+  const int sub =
+      static_cast<int>((v >> (exp - kSubBits)) & (kSubBuckets - 1));
+  return (exp - kSubBits + 1) * kSubBuckets + sub;
+}
+
+// Smallest value that lands in bucket b.
+constexpr std::int64_t bucket_lower(int b) {
+  if (b < kSubBuckets) return b;
+  const int exp = b / kSubBuckets + kSubBits - 1;
+  const int sub = b % kSubBuckets;
+  return static_cast<std::int64_t>(kSubBuckets + sub) << (exp - kSubBits);
+}
+
+// Largest value that lands in bucket b (INT64_MAX for the overflow bucket).
+constexpr std::int64_t bucket_upper(int b) {
+  if (b >= kBuckets - 1) return INT64_MAX;
+  return bucket_lower(b + 1) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Plain-data snapshot of one histogram. Mergeable (associative and
+// commutative: counts/sums add, min/max combine) and queryable.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+
+  void merge(const HistogramSnapshot& other);
+
+  // Upper-bound estimate of the q-quantile (0 < q <= 1): the upper edge of
+  // the first bucket whose cumulative count reaches q * count, clamped to
+  // the observed max. Resolution is the bucket width (<= 12.5%).
+  std::int64_t quantile(double q) const;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The lock-free histogram itself. One instance per writer shard; align to a
+// cache line so adjacent shard instances never false-share.
+class alignas(64) LogHistogram {
+ public:
+  LogHistogram() : min_(INT64_MAX), max_(INT64_MIN) {}
+
+  // Hot path: relaxed adds; the min/max CAS loops only retry when another
+  // writer moved the extremum concurrently.
+  void record(std::int64_t v) {
+    if (v < 0) v = 0;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_;
+  std::atomic<std::int64_t> max_;
+};
+
+// Cache-line-padded relaxed monotonic counter.
+class alignas(64) Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Gated instrumentation helpers — the only way hot paths should touch the
+// primitives. All compile to nothing under VARADE_OBS_DISABLED.
+
+// Record the elapsed time since `t0` (a value obtained from tick()).
+inline void record_since(LogHistogram& h, std::int64_t t0) {
+  if constexpr (kEnabled) h.record(now_ns() - t0);
+}
+
+// Record elapsed time between two already-taken ticks.
+inline void record_span(LogHistogram& h, std::int64_t t0, std::int64_t t1) {
+  if constexpr (kEnabled) h.record(t1 - t0);
+}
+
+// Record a non-time sample (queue depth, buffer bytes, ...).
+inline void record_value(LogHistogram& h, std::int64_t v) {
+  if constexpr (kEnabled) h.record(v);
+}
+
+inline void count(Counter& c, std::uint64_t n = 1) {
+  if constexpr (kEnabled) c.add(n);
+}
+
+}  // namespace varade::obs

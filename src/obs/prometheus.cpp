@@ -1,0 +1,109 @@
+#include "varade/obs/prometheus.hpp"
+
+#include <cstdio>
+
+namespace varade::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::family(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  if (last_family_ == name) return;
+  last_family_.assign(name);
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::sample(std::string_view name, std::string_view suffix,
+                              std::string_view labels,
+                              std::string_view extra_label, double value) {
+  out_ += name;
+  out_ += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out_ += '{';
+    out_ += labels;
+    if (!labels.empty() && !extra_label.empty()) out_ += ',';
+    out_ += extra_label;
+    out_ += '}';
+  }
+  out_ += ' ';
+  append_double(out_, value);
+  out_ += '\n';
+}
+
+void PrometheusWriter::counter(std::string_view name, std::string_view help,
+                               std::uint64_t value, std::string_view labels) {
+  family(name, help, "counter");
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += std::to_string(value);
+  out_ += '\n';
+}
+
+void PrometheusWriter::gauge(std::string_view name, std::string_view help,
+                             double value, std::string_view labels) {
+  family(name, help, "gauge");
+  sample(name, "", labels, {}, value);
+}
+
+void PrometheusWriter::histogram(std::string_view name, std::string_view help,
+                                 const HistogramSnapshot& snap, double scale,
+                                 std::string_view labels) {
+  family(name, help, "histogram");
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (snap.buckets[b] == 0) continue;
+    cum += snap.buckets[b];
+    // The overflow bucket has no finite edge; it is folded into +Inf below.
+    if (b == kBuckets - 1) continue;
+    std::string le = "le=\"";
+    char edge[40];
+    std::snprintf(edge, sizeof edge, "%.9g",
+                  static_cast<double>(bucket_upper(b)) * scale);
+    le += edge;
+    le += '"';
+    sample(name, "_bucket", labels, le, static_cast<double>(cum));
+  }
+  sample(name, "_bucket", labels, "le=\"+Inf\"", static_cast<double>(cum));
+  out_ += name;
+  out_ += "_sum";
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  append_double(out_, static_cast<double>(snap.sum) * scale);
+  out_ += '\n';
+  out_ += name;
+  out_ += "_count";
+  if (!labels.empty()) {
+    out_ += '{';
+    out_ += labels;
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += std::to_string(cum);
+  out_ += '\n';
+}
+
+}  // namespace varade::obs

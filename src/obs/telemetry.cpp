@@ -1,0 +1,56 @@
+#include "varade/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace varade::obs {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot s;
+  for (int b = 0; b < kBuckets; ++b)
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::int64_t mn = min_.load(std::memory_order_relaxed);
+  const std::int64_t mx = max_.load(std::memory_order_relaxed);
+  s.min = mn == INT64_MAX ? 0 : mn;
+  s.max = mx == INT64_MIN ? 0 : mx;
+  return s;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+std::int64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  double want = q * static_cast<double>(count) + 0.5;
+  std::uint64_t target = static_cast<std::uint64_t>(want);
+  if (target < 1) target = 1;
+  if (target > count) target = count;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets[b];
+    if (cum >= target) return std::min(bucket_upper(b), max);
+  }
+  return max;
+}
+
+}  // namespace varade::obs

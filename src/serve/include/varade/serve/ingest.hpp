@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "varade/obs/telemetry.hpp"
 #include "varade/tensor/tensor.hpp"
 
 namespace varade::serve {
@@ -60,7 +61,10 @@ class SampleRing {
   /// `capacity_pow2` sequence slots and `data` `capacity_pow2 * channels`
   /// floats, both outliving the ring (the RingArena contract). `capacity_pow2`
   /// must already be a power of two. Slot sequences are (re)initialised here.
-  SampleRing(Index channels, Index capacity_pow2, std::atomic<std::uint64_t>* slots, float* data);
+  /// `ts` is the optional telemetry timestamp lane (`capacity_pow2` entries,
+  /// same lifetime); rings without one carry 0 timestamps.
+  SampleRing(Index channels, Index capacity_pow2, std::atomic<std::uint64_t>* slots, float* data,
+             std::int64_t* ts = nullptr);
 
   /// The capacity the two-argument constructor would pick for `min_capacity`
   /// — exposed so a RingArena can size its slabs before building rings.
@@ -74,31 +78,43 @@ class SampleRing {
 
   /// Copies `channels()` floats into the ring. Returns false when full.
   /// Safe to call concurrently with try_pop and with other try_push callers.
-  bool try_push(const float* sample);
+  bool try_push(const float* sample) { return try_push(sample, 0); }
+
+  /// try_push carrying a telemetry timestamp (an obs::tick() value, 0 =
+  /// unsampled) through the ring's timestamp lane alongside the sample data.
+  /// The consumer receives it in try_pop_with's sink. Dropped when the ring
+  /// has no lane (telemetry compiled off, or lane-less arena storage).
+  bool try_push(const float* sample, std::int64_t enqueue_ns);
 
   /// Copies the oldest sample into `out` (`channels()` floats). Returns false
   /// when empty. Safe to call concurrently with try_push and other poppers.
   bool try_pop(float* out);
 
   /// Zero-copy pop: claims the oldest sample and invokes
-  /// `sink(const float* slot)` on its in-ring data before the slot is
-  /// recycled, so a consumer can move the sample straight into its own
-  /// structures without an intermediate staging buffer. The pointer is only
-  /// valid inside the call. Returns false when empty. Same concurrency
-  /// guarantees as try_pop; the slot is recycled even if `sink` throws (the
-  /// sample is then lost, but the ring stays usable).
+  /// `sink(const float* slot, std::int64_t enqueue_ns)` on its in-ring data
+  /// before the slot is recycled, so a consumer can move the sample straight
+  /// into its own structures without an intermediate staging buffer. The
+  /// pointer is only valid inside the call; `enqueue_ns` is the telemetry
+  /// timestamp the producer pushed with (0 when unsampled or the ring has no
+  /// lane). Returns false when empty. Same concurrency guarantees as
+  /// try_pop; the slot is recycled even if `sink` throws (the sample is then
+  /// lost, but the ring stays usable).
   template <typename Sink>
   bool try_pop_with(Sink&& sink) {
     std::uint64_t pos = 0;
     if (!claim_pop(pos)) return false;
     const float* src = data_ + (pos & mask_) * static_cast<std::uint64_t>(channels_);
+    std::int64_t enqueue_ns = 0;
+    if constexpr (obs::kEnabled) {
+      if (ts_ != nullptr) enqueue_ns = ts_[pos & mask_];
+    }
     struct Recycle {
       SampleRing* ring;
       std::uint64_t pos;
       ~Recycle() { ring->slots_[pos & ring->mask_].store(pos + ring->mask_ + 1,
                                                          std::memory_order_release); }
     } recycle{this, pos};
-    sink(static_cast<const float*>(src));
+    sink(static_cast<const float*>(src), enqueue_ns);
     return true;
   }
 
@@ -124,10 +140,18 @@ class SampleRing {
   std::uint64_t mask_ = 0;
   std::atomic<std::uint64_t>* slots_ = nullptr;  // capacity sequence tickets
   float* data_ = nullptr;                        // capacity * channels floats, slot-major
+  // Telemetry timestamp lane, one std::int64_t per slot. Plain (non-atomic)
+  // stores are safe under the slot-sequence protocol: the lane entry is
+  // written between the tail CAS claiming the slot and the release store
+  // publishing it, exactly like the sample data, so the consumer's acquire
+  // load of the sequence orders the read. nullptr when telemetry is
+  // compiled off or the storage provider carved no lane.
+  std::int64_t* ts_ = nullptr;
 
-  // Set only by the owning constructor; arena-backed rings leave both empty.
+  // Set only by the owning constructor; arena-backed rings leave these empty.
   std::unique_ptr<std::atomic<std::uint64_t>[]> owned_slots_;
   std::vector<float> owned_data_;
+  std::vector<std::int64_t> owned_ts_;
 
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // next push position
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // next pop position
@@ -154,6 +178,9 @@ class RingArena {
 
   std::atomic<std::uint64_t>* slots(Index ring);
   float* data(Index ring);
+  /// Telemetry timestamp lane for ring `ring` — nullptr when telemetry is
+  /// compiled off (the arena then allocates no lane at all).
+  std::int64_t* ts(Index ring);
 
  private:
   Index n_rings_ = 0;
@@ -161,6 +188,7 @@ class RingArena {
   Index capacity_ = 0;
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
   std::vector<float> data_;
+  std::vector<std::int64_t> ts_;  // empty when telemetry is compiled off
 };
 
 }  // namespace varade::serve

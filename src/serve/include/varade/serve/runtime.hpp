@@ -115,22 +115,57 @@ struct ShardStats {
   Index n_streams = 0;  ///< streams this shard owns
   long rounds = 0;      ///< scoring rounds (drain + engine step) run
   long naps = 0;        ///< times the shard's scorer actually went to sleep
+  long scored = 0;      ///< StreamScores emitted (result queue or callback)
 };
 
 /// One aggregate snapshot of the whole runtime: the per-stream ingestion
 /// totals summed across streams, the per-shard scorer totals summed across
 /// shards, plus the full per-stream/per-shard breakdowns — everything a
-/// serving daemon's stats endpoint reports in one call. Same consistency
-/// contract as the individual accessors: each counter is exact, the set is a
-/// consistent snapshot only once quiescent.
+/// serving daemon's stats endpoint reports in one call.
+///
+/// Memory-order contract (the one the TSan snapshot suite pins):
+///   - Every counter is an independent atomic updated with relaxed RMWs and
+///     read with one relaxed load per snapshot — no torn values, ever, and
+///     each counter is individually monotonic across repeated snapshots.
+///   - Cross-counter invariants (dropped <= pushed, scored <= pushed,
+///     scored == pushed - dropped) are guaranteed only once the runtime is
+///     quiescent (after close(), or while no push is in flight). A snapshot
+///     taken mid-traffic may catch one counter before its sibling — relaxed
+///     loads order nothing across locations, and stats() deliberately does
+///     not impose ordering: the hot path stays fence-free.
+///   - After close() returns, every counter is exact and the invariants
+///     hold with equality.
 struct RuntimeStats {
   long pushed = 0;    ///< sum of IngestStats::pushed over all streams
   long dropped = 0;   ///< sum of IngestStats::dropped over all streams
   long rejected = 0;  ///< sum of IngestStats::rejected over all streams
   long rounds = 0;    ///< sum of ShardStats::rounds over all shards
   long naps = 0;      ///< sum of ShardStats::naps over all shards
+  long scored = 0;    ///< sum of ShardStats::scored over all shards
   std::vector<IngestStats> streams;  ///< by global stream id
   std::vector<ShardStats> shards;    ///< by shard id
+};
+
+/// Telemetry snapshot of one shard's scorer loop plus its engine's phase
+/// tracer. All histograms are nanosecond-valued.
+struct ShardTelemetry {
+  obs::HistogramSnapshot round;  ///< productive round: drain + step + emit
+  obs::HistogramSnapshot drain;  ///< ring-drain sweep of a productive round
+  obs::HistogramSnapshot emit;   ///< result-queue / callback hop per round
+  /// Nap/idle wake to end of the next productive drain sweep.
+  obs::HistogramSnapshot wake_to_drain;
+  EngineTelemetry engine;
+
+  void merge(const ShardTelemetry& other);
+};
+
+/// Whole-runtime telemetry: per-shard snapshots plus their merge. Obtained
+/// from AsyncScoringRuntime::telemetry(); safe to take while scorers run
+/// (same relaxed-snapshot contract as RuntimeStats). All-zero when telemetry
+/// is compiled off (-DVARADE_OBS=OFF).
+struct RuntimeTelemetry {
+  ShardTelemetry total;                ///< merged across active shards
+  std::vector<ShardTelemetry> shards;  ///< by shard id (active shards only)
 };
 
 class AsyncScoringRuntime {
@@ -212,12 +247,17 @@ class AsyncScoringRuntime {
 
   /// Per-stream ingestion counters; valid any time.
   IngestStats stats(Index stream) const;
-  /// Aggregate snapshot across every stream and shard; valid any time.
+  /// Aggregate snapshot across every stream and shard; valid any time (see
+  /// RuntimeStats for the exact memory-order contract).
   RuntimeStats stats() const;
   /// Scoring rounds (drain + engine step) across all shards.
   long rounds() const;
   /// Per-shard scorer counters (shard in [0, n_shards())).
   ShardStats shard_stats(Index shard) const;
+  /// Latency telemetry across every active shard; valid any time (relaxed
+  /// histogram snapshots — see obs::LogHistogram). Before start() the
+  /// engine sections are empty.
+  RuntimeTelemetry telemetry() const;
 
   /// Per-stream results by global stream id, forwarded to the owning
   /// shard's engine. Quiescent-only: callable before start() (empty-state
@@ -285,6 +325,14 @@ class AsyncScoringRuntime {
     std::atomic<bool> asleep{false};
     std::atomic<long> rounds{0};
     std::atomic<long> naps{0};
+    /// StreamScores emitted by this shard (result queue or callback).
+    std::atomic<long> scored{0};
+    /// Scorer-loop latency histograms (recorded by the shard's scorer only;
+    /// snapshotted by telemetry() from any thread).
+    obs::LogHistogram round_hist;
+    obs::LogHistogram drain_hist;
+    obs::LogHistogram emit_hist;
+    obs::LogHistogram wake_hist;
     /// Per-shard result queue; drain_scores() merges across shards.
     std::mutex results_mu;
     std::vector<StreamScore> results;

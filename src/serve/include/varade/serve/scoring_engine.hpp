@@ -40,9 +40,31 @@
 
 #include "varade/core/detector.hpp"
 #include "varade/core/monitor.hpp"
+#include "varade/obs/telemetry.hpp"
 #include "varade/serve/thread_pool.hpp"
 
 namespace varade::serve {
+
+/// The five phases of one step() round, in execution order. Indexes into
+/// EngineTelemetry::phases and the phase labels of every exposition.
+inline constexpr int kStepPhases = 5;
+inline constexpr const char* kStepPhaseName[kStepPhases] = {
+    "stage", "normalize", "gather", "score", "alarm"};
+
+/// Telemetry snapshot of one engine (merge shard snapshots for fleet-wide
+/// views). All durations are nanoseconds.
+struct EngineTelemetry {
+  /// Per-round duration of each step() phase (gather/score only recorded on
+  /// rounds with warm streams).
+  obs::HistogramSnapshot phases[kStepPhases];
+  /// Whole step() call duration (calls that had buffered work only).
+  obs::HistogramSnapshot step;
+  /// Sampled push->score end-to-end latency: enqueue timestamps carried
+  /// through the pending arena to the round that consumed them.
+  obs::HistogramSnapshot push_to_score;
+
+  void merge(const EngineTelemetry& other);
+};
 
 namespace detail {
 /// The one wording for stream-id range errors, shared by every serve
@@ -126,6 +148,12 @@ class ScoringEngine {
   /// n_channels() — the explicit length contract that lets the engine
   /// validate raw-pointer pushes the way the vector overload always could.
   void push(Index stream, const float* raw_sample, Index count);
+  /// Telemetry-carrying overload: `enqueue_ns` is an obs::tick() timestamp
+  /// taken when the sample entered the serving system (0 = unsampled). The
+  /// next step() that scores the sample records now - enqueue_ns into the
+  /// push_to_score histogram. With telemetry compiled off the timestamp is
+  /// dropped at the door.
+  void push(Index stream, const float* raw_sample, Index count, std::int64_t enqueue_ns);
   void push(Index stream, const std::vector<float>& raw_sample);
 
   /// Drains every buffered sample; returns scores ordered chronologically
@@ -145,6 +173,12 @@ class ScoringEngine {
   /// Per-worker detector replicas in use (0 = unsharded scoring).
   Index n_replicas() const { return static_cast<Index>(replicas_.size()); }
   const ScoringEngineConfig& config() const { return config_; }
+
+  /// Snapshot of this engine's phase/step/push-to-score histograms. Safe to
+  /// call from another thread while step() runs (relaxed-load snapshot; see
+  /// obs::LogHistogram for the exact staleness contract). All-zero when
+  /// telemetry is compiled off.
+  EngineTelemetry telemetry() const;
 
  private:
   /// Throws the standard range error unless `id` names a registered stream.
@@ -197,6 +231,16 @@ class ScoringEngine {
   std::vector<float> pending_arena_;        // count * channels_ floats
   std::vector<std::vector<Index>> pending_;  // per-stream sample offsets
   std::vector<Index> pending_head_;
+  // Enqueue timestamps parallel to the arena, one per staged sample (0 =
+  // unsampled). Never touched when telemetry is compiled off.
+  std::vector<std::int64_t> pending_ts_;
+
+  // Telemetry: recorded by step()/push consumers, snapshotted by
+  // telemetry(). Cache-line aligned instances, relaxed hot path.
+  obs::LogHistogram phase_hist_[kStepPhases];
+  obs::LogHistogram step_hist_;
+  obs::LogHistogram push_to_score_hist_;
+  std::vector<std::int64_t> round_ts_;  // per-active-stream enqueue ts scratch
 
   // Round-scratch slabs reused across step() rounds (sized to the round's
   // active streams; capacity retained).

@@ -45,12 +45,16 @@ SampleRing::SampleRing(Index channels, Index min_capacity) : channels_(channels)
   owned_data_.assign(capacity * static_cast<std::uint64_t>(channels), 0.0F);
   slots_ = owned_slots_.get();
   data_ = owned_data_.data();
+  if constexpr (obs::kEnabled) {
+    owned_ts_.assign(capacity, 0);
+    ts_ = owned_ts_.data();
+  }
   init_slots();
 }
 
 SampleRing::SampleRing(Index channels, Index capacity_pow2, std::atomic<std::uint64_t>* slots,
-                       float* data)
-    : channels_(channels), slots_(slots), data_(data) {
+                       float* data, std::int64_t* ts)
+    : channels_(channels), slots_(slots), data_(data), ts_(ts) {
   check(channels >= 1, "SampleRing needs at least one channel");
   check(capacity_pow2 >= 1 && (capacity_pow2 & (capacity_pow2 - 1)) == 0,
         "arena-backed SampleRing capacity must be a power of two");
@@ -68,6 +72,7 @@ RingArena::RingArena(Index n_rings, Index channels, Index min_capacity)
       detail::checked_mul(total_slots, channels_, "ring arena sample storage");
   slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(total_slots));
   data_.assign(static_cast<std::size_t>(total_floats), 0.0F);
+  if constexpr (obs::kEnabled) ts_.assign(static_cast<std::size_t>(total_slots), 0);
 }
 
 std::atomic<std::uint64_t>* RingArena::slots(Index ring) {
@@ -81,7 +86,13 @@ float* RingArena::data(Index ring) {
          static_cast<std::size_t>(ring) * static_cast<std::size_t>(capacity_ * channels_);
 }
 
-bool SampleRing::try_push(const float* sample) {
+std::int64_t* RingArena::ts(Index ring) {
+  check(ring >= 0 && ring < n_rings_, "RingArena ring index out of range");
+  if (ts_.empty()) return nullptr;
+  return ts_.data() + static_cast<std::size_t>(ring) * static_cast<std::size_t>(capacity_);
+}
+
+bool SampleRing::try_push(const float* sample, std::int64_t enqueue_ns) {
   std::uint64_t pos = tail_.load(std::memory_order_relaxed);
   for (;;) {
     std::atomic<std::uint64_t>& slot = slots_[pos & mask_];
@@ -92,6 +103,11 @@ bool SampleRing::try_push(const float* sample) {
       if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
         std::copy(sample, sample + channels_,
                   data_ + (pos & mask_) * static_cast<std::uint64_t>(channels_));
+        // The lane entry must be (re)written even for unsampled pushes:
+        // a stale timestamp from a previous lap would otherwise surface.
+        if constexpr (obs::kEnabled) {
+          if (ts_ != nullptr) ts_[pos & mask_] = enqueue_ns;
+        }
         slot.store(pos + 1, std::memory_order_release);
         return true;
       }

@@ -7,6 +7,15 @@ namespace varade::serve {
 
 using detail::stream_range_message;
 
+namespace {
+
+/// Push->score latency sampling period: every Nth accepted push per stream
+/// carries an enqueue timestamp through the ring's timestamp lane. Power of
+/// two so the hot-path check is a mask.
+constexpr long kPushSampleEvery = 64;
+
+}  // namespace
+
 Index ShardPartition::resolve(Index requested) {
   check(requested >= 0, "n_shards must be >= 0 (0 = auto)");
   if (requested > 0) return requested;
@@ -115,7 +124,8 @@ void AsyncScoringRuntime::start() {
         std::make_unique<RingArena>(owned, normalizer_->n_channels(), config_.ring_capacity);
     for (Index i = 0; i < owned; ++i)
       shard.rings.emplace_back(normalizer_->n_channels(), shard.arena->capacity(),
-                               shard.arena->slots(i), shard.arena->data(i));
+                               shard.arena->slots(i), shard.arena->data(i),
+                               shard.arena->ts(i));
   }
 
   // accepting_ first: a push that observes started_ must find intake open.
@@ -190,10 +200,20 @@ PushResult AsyncScoringRuntime::push(Index stream, const float* raw_sample, Inde
     // Safe to touch only here: an open intake implies start() finished
     // building the shard's arena-backed rings (release/acquire on started_).
     SampleRing& ring = shard.rings[local];
+    // Sampled end-to-end latency: every kPushSampleEvery-th accepted push on
+    // a stream stamps the ring slot with its enqueue time; the timestamp
+    // rides the lane to the engine and is recorded when the sample's round
+    // completes. One relaxed load + mask when telemetry is on, nothing at
+    // all when compiled off.
+    std::int64_t enqueue_ns = 0;
+    if constexpr (obs::kEnabled) {
+      if ((ingest.pushed.load(std::memory_order_relaxed) & (kPushSampleEvery - 1)) == 0)
+        enqueue_ns = obs::now_ns();
+    }
     bool dropped_any = false;
     Backoff backoff;
     for (;;) {
-      if (ring.try_push(raw_sample)) {
+      if (ring.try_push(raw_sample, enqueue_ns)) {
         result = dropped_any ? PushResult::DroppedOldest : PushResult::Ok;
         break;
       }
@@ -251,9 +271,11 @@ long AsyncScoringRuntime::drain_ring(Shard& shard, Index local, bool bounded) {
   long drained = 0;
   for (Index k = 0; max_pops < 0 || k < max_pops; ++k) {
     // Zero-copy: the engine buffers the sample straight from the ring slot;
-    // no staging vector in between.
-    if (!ring.try_pop_with(
-            [&](const float* sample) { engine.push(local, sample, channels); }))
+    // no staging vector in between. The telemetry timestamp lane rides along
+    // into the engine's pending arena.
+    if (!ring.try_pop_with([&](const float* sample, std::int64_t enqueue_ns) {
+          engine.push(local, sample, channels, enqueue_ns);
+        }))
       break;
     ++drained;
   }
@@ -262,6 +284,10 @@ long AsyncScoringRuntime::drain_ring(Shard& shard, Index local, bool bounded) {
 
 void AsyncScoringRuntime::emit(Shard& shard, std::vector<StreamScore> scores) {
   if (scores.empty()) return;
+  // The one choke point every emitted score passes (steady-state rounds and
+  // the final close() drain alike), so this counter is the ground truth for
+  // "scored": after close(), scored == pushed - dropped.
+  shard.scored.fetch_add(static_cast<long>(scores.size()), std::memory_order_relaxed);
   if (callback_) {
     // Serialised across shards so user callbacks never run concurrently;
     // per-stream order is preserved (a stream has exactly one shard).
@@ -324,17 +350,36 @@ void AsyncScoringRuntime::shard_loop_impl(Shard& shard) {
   constexpr std::chrono::microseconds kNapCeiling{50000};
   std::chrono::microseconds nap = kNapFloor;
   int idle = 0;
+  // Set at every nap exit; the next productive drain sweep records the
+  // wake-to-drain latency and clears it. Scorer-thread-local by design.
+  std::int64_t wake_marker = 0;
   for (;;) {
     // One round: drain this shard's rings round-robin into its engine (each
     // ring FIFO, so per-stream producer order is preserved), then score. At
     // most one ring's worth per stream per round, so a hot producer
     // refilling its ring cannot starve the shard's other streams.
+    const std::int64_t t_round = obs::tick();
     long drained = 0;
     for (Index i = 0; i < n; ++i) drained += drain_ring(shard, i, /*bounded=*/true);
     if (drained > 0) {
       idle = 0;
       nap = kNapFloor;
-      emit(shard, step_engine());
+      if constexpr (obs::kEnabled) {
+        const std::int64_t t_drained = obs::now_ns();
+        shard.drain_hist.record(t_drained - t_round);
+        if (wake_marker != 0) {
+          shard.wake_hist.record(t_drained - wake_marker);
+          wake_marker = 0;
+        }
+      }
+      std::vector<StreamScore> scores = step_engine();
+      const std::int64_t t_emit = obs::tick();
+      emit(shard, std::move(scores));
+      if constexpr (obs::kEnabled) {
+        const std::int64_t t_done = obs::now_ns();
+        shard.emit_hist.record(t_done - t_emit);
+        shard.round_hist.record(t_done - t_round);
+      }
       shard.rounds.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -373,6 +418,9 @@ void AsyncScoringRuntime::shard_loop_impl(Shard& shard) {
       }
       shard.asleep.store(false, std::memory_order_release);
     }
+    // Every nap-block exit is a wake (cv notify, timeout, or the pending
+    // re-check firing); the next productive drain records the gap.
+    wake_marker = obs::tick();
     if (timed_out) {
       // Still quiet: back off harder, and go straight to the next nap after
       // one ring scan (skip the yield rounds — they are for active traffic).
@@ -455,6 +503,7 @@ RuntimeStats AsyncScoringRuntime::stats() const {
     total.shards.push_back(shard_stats(k));
     total.rounds += total.shards.back().rounds;
     total.naps += total.shards.back().naps;
+    total.scored += total.shards.back().scored;
   }
   return total;
 }
@@ -471,7 +520,36 @@ ShardStats AsyncScoringRuntime::shard_stats(Index shard) const {
   s.n_streams = static_cast<Index>(sh.ingest.size());
   s.rounds = sh.rounds.load(std::memory_order_relaxed);
   s.naps = sh.naps.load(std::memory_order_relaxed);
+  s.scored = sh.scored.load(std::memory_order_relaxed);
   return s;
+}
+
+void ShardTelemetry::merge(const ShardTelemetry& other) {
+  round.merge(other.round);
+  drain.merge(other.drain);
+  emit.merge(other.emit);
+  wake_to_drain.merge(other.wake_to_drain);
+  engine.merge(other.engine);
+}
+
+RuntimeTelemetry AsyncScoringRuntime::telemetry() const {
+  RuntimeTelemetry t;
+  const Index active = n_active_shards();
+  t.shards.reserve(static_cast<std::size_t>(active));
+  for (Index k = 0; k < active; ++k) {
+    const Shard& sh = shards_[static_cast<std::size_t>(k)];
+    ShardTelemetry st;
+    st.round = sh.round_hist.snapshot();
+    st.drain = sh.drain_hist.snapshot();
+    st.emit = sh.emit_hist.snapshot();
+    st.wake_to_drain = sh.wake_hist.snapshot();
+    // The engine exists only once start() ran; its histograms are atomic,
+    // so snapshotting while the scorer runs is safe.
+    if (sh.engine) st.engine = sh.engine->telemetry();
+    t.total.merge(st);
+    t.shards.push_back(std::move(st));
+  }
+  return t;
 }
 
 void AsyncScoringRuntime::require_quiescent(const char* what) const {

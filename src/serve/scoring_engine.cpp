@@ -135,12 +135,20 @@ Index ScoringEngine::global_id(Index stream) const {
 }
 
 void ScoringEngine::push(Index stream, const float* raw_sample, Index count) {
+  push(stream, raw_sample, count, 0);
+}
+
+void ScoringEngine::push(Index stream, const float* raw_sample, Index count,
+                         std::int64_t enqueue_ns) {
   require_stream(stream);
   if (count != channels_) throw Error(channel_mismatch_message(channels_, count));
   const auto s = static_cast<std::size_t>(stream);
   const Index offset = static_cast<Index>(pending_arena_.size()) / channels_;
   pending_arena_.insert(pending_arena_.end(), raw_sample, raw_sample + channels_);
   pending_[s].push_back(offset);
+  // The timestamp lane stays index-parallel to the arena, so even unsampled
+  // pushes append their 0 — but only when telemetry exists at all.
+  if constexpr (obs::kEnabled) pending_ts_.push_back(enqueue_ns);
 }
 
 void ScoringEngine::push(Index stream, const std::vector<float>& raw_sample) {
@@ -186,6 +194,7 @@ void ScoringEngine::score_chunks(const std::vector<Tensor>& contexts,
 
 std::vector<StreamScore> ScoringEngine::step() {
   check(calibrated_, "ScoringEngine::step before calibrate()/set_threshold()");
+  const std::int64_t t_step = obs::tick();
   const Index window = window_;
   const Index channels = channels_;
   const Index row_floats = channels * window;  // checked at add_stream time
@@ -205,14 +214,17 @@ std::vector<StreamScore> ScoringEngine::step() {
 
   while (!active_.empty()) {
     const auto n_active = static_cast<Index>(active_.size());
+    const std::int64_t t_stage = obs::tick();
 
     // Phase 1a (parallel over streams): stage this round's raw sample from
     // the arena into the round slab and flag streams whose ring already
-    // holds a full context.
+    // holds a full context. The sampled enqueue timestamps ride along so
+    // push->score latency can be recorded when the round completes.
     round_raw_.resize(static_cast<std::size_t>(
         checked_mul(n_active, channels, "round staging slab")));
     round_norm_.resize(round_raw_.size());
     round_ready_.resize(static_cast<std::size_t>(n_active));
+    if constexpr (obs::kEnabled) round_ts_.resize(static_cast<std::size_t>(n_active));
     pool_.parallel_for(n_active, [&](Index i, int) {
       const auto s = static_cast<std::size_t>(active_[static_cast<std::size_t>(i)]);
       const Index offset = pending_[s][static_cast<std::size_t>(pending_head_[s])];
@@ -221,7 +233,11 @@ std::vector<StreamScore> ScoringEngine::step() {
       round_ready_[static_cast<std::size_t>(i)] =
           static_cast<std::uint8_t>(ring_fill_[s] == window);
       score_[s] = -1.0F;
+      if constexpr (obs::kEnabled)
+        round_ts_[static_cast<std::size_t>(i)] = pending_ts_[static_cast<std::size_t>(offset)];
     });
+    const std::int64_t t_norm = obs::tick();
+    obs::record_span(phase_hist_[0], t_stage, t_norm);
 
     // Phase 1b (parallel over blocks): vectorised normalisation of the whole
     // round in stream-major order — the same arithmetic per element as
@@ -233,6 +249,7 @@ std::vector<StreamScore> ScoringEngine::step() {
       normalizer_->transform_rows(round_raw_.data() + lo * channels, hi - lo,
                                   round_norm_.data() + lo * channels);
     });
+    obs::record_span(phase_hist_[1], t_norm, obs::tick());
 
     ready_.clear();
     ready_pos_.clear();
@@ -247,6 +264,7 @@ std::vector<StreamScore> ScoringEngine::step() {
       // Phase 2a (parallel over ready streams): unroll slab context rings and
       // current observations straight into per-chunk [rows, C, T] / [rows, C]
       // batches; rows are disjoint slices.
+      const std::int64_t t_gather = obs::tick();
       const auto n_ready = static_cast<Index>(ready_.size());
       std::vector<Tensor> contexts;
       std::vector<Tensor> observations;
@@ -266,12 +284,17 @@ std::vector<StreamScore> ScoringEngine::step() {
         std::copy(norm, norm + channels, observations[chunk].data() + row * channels);
       });
 
+      const std::int64_t t_score = obs::tick();
+      obs::record_span(phase_hist_[2], t_gather, t_score);
+
       // Phase 2b: batched scoring (chunked by max_batch, sharded when
       // replicas are available).
       score_chunks(contexts, observations, ready_);
+      obs::record_span(phase_hist_[3], t_score, obs::tick());
     }
 
     // Phase 3 (parallel over streams): alarm update and ring advance.
+    const std::int64_t t_alarm = obs::tick();
     pool_.parallel_for(n_active, [&](Index i, int) {
       const auto s = static_cast<std::size_t>(active_[static_cast<std::size_t>(i)]);
       ++samples_seen_[s];
@@ -290,6 +313,16 @@ std::vector<StreamScore> ScoringEngine::step() {
       for (Index ch = 0; ch < channels; ++ch) slab_row[ch * window + pos] = norm[ch];
       ++pending_head_[s];
     });
+    if constexpr (obs::kEnabled) {
+      const std::int64_t t_done = obs::now_ns();
+      phase_hist_[4].record(t_done - t_alarm);
+      // Sampled push->score latency: every staged sample that carried an
+      // enqueue timestamp completed its pipeline this round.
+      for (Index i = 0; i < n_active; ++i) {
+        const std::int64_t ts = round_ts_[static_cast<std::size_t>(i)];
+        if (ts > 0) push_to_score_hist_.record(t_done - ts);
+      }
+    }
 
     for (Index s : active_) {
       const auto si = static_cast<std::size_t>(s);
@@ -312,7 +345,25 @@ std::vector<StreamScore> ScoringEngine::step() {
     pending_head_[si] = 0;
   }
   pending_arena_.clear();
+  if constexpr (obs::kEnabled) {
+    pending_ts_.clear();
+    if (!drained.empty()) step_hist_.record(obs::now_ns() - t_step);
+  }
   return out;
+}
+
+void EngineTelemetry::merge(const EngineTelemetry& other) {
+  for (int p = 0; p < kStepPhases; ++p) phases[p].merge(other.phases[p]);
+  step.merge(other.step);
+  push_to_score.merge(other.push_to_score);
+}
+
+EngineTelemetry ScoringEngine::telemetry() const {
+  EngineTelemetry t;
+  for (int p = 0; p < kStepPhases; ++p) t.phases[p] = phase_hist_[p].snapshot();
+  t.step = step_hist_.snapshot();
+  t.push_to_score = push_to_score_hist_.snapshot();
+  return t;
 }
 
 bool ScoringEngine::in_alarm(Index stream) const {

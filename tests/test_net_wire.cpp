@@ -8,6 +8,7 @@
 // ThreadSanitizer (ci.sh --tsan).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -21,6 +22,7 @@
 #include "varade/net/server.hpp"
 #include "varade/net/socket.hpp"
 #include "varade/net/wire.hpp"
+#include "varade/obs/telemetry.hpp"
 #include "varade/serve/scoring_engine.hpp"
 
 namespace varade::net {
@@ -75,6 +77,13 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
                              .rejected = 2,
                              .rounds = 50,
                              .naps = 3,
+                             .scored = 95,
+                             .round_p50_ns = 1500,
+                             .round_p95_ns = 9000,
+                             .round_p99_ns = 20000,
+                             .push_to_score_p50_ns = 40000,
+                             .push_to_score_p95_ns = 250000,
+                             .push_to_score_p99_ns = 1000000,
                              .n_streams = 16,
                              .n_shards = 2,
                              .n_connections = 4});
@@ -128,6 +137,13 @@ TEST(Wire, EveryFrameTypeRoundTrips) {
     EXPECT_EQ(stats.rejected, 2U);
     EXPECT_EQ(stats.rounds, 50U);
     EXPECT_EQ(stats.naps, 3U);
+    EXPECT_EQ(stats.scored, 95U);
+    EXPECT_EQ(stats.round_p50_ns, 1500U);
+    EXPECT_EQ(stats.round_p95_ns, 9000U);
+    EXPECT_EQ(stats.round_p99_ns, 20000U);
+    EXPECT_EQ(stats.push_to_score_p50_ns, 40000U);
+    EXPECT_EQ(stats.push_to_score_p95_ns, 250000U);
+    EXPECT_EQ(stats.push_to_score_p99_ns, 1000000U);
     EXPECT_EQ(stats.n_streams, 16);
     EXPECT_EQ(stats.n_shards, 2);
     EXPECT_EQ(stats.n_connections, 4);
@@ -779,6 +795,190 @@ TEST(NetE2E, ProtocolViolationsGetNamedWireErrors) {
   server.request_stop();
   server_thread.join();
   EXPECT_EQ(server.protocol_errors(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics endpoint
+// ---------------------------------------------------------------------------
+
+/// One minimal HTTP/1.0 exchange against the metrics listener: send
+/// `request`, read to EOF, return the whole response.
+std::string http_exchange(int port, const std::string& request) {
+  Socket sock =
+      connect_endpoint(Endpoint{.kind = Endpoint::Kind::Tcp, .host = "127.0.0.1", .port = port});
+  send_all(sock.fd(), reinterpret_cast<const std::uint8_t*>(request.data()), request.size());
+  std::string response;
+  std::uint8_t buf[4096];
+  for (;;) {
+    if (!wait_readable(sock.fd(), 30000)) break;
+    const long n = read_some(sock.fd(), buf, sizeof(buf));
+    if (n == 0) break;  // server closes after one response
+    if (n < 0) continue;
+    response.append(reinterpret_cast<const char*>(buf), static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(NetE2E, MetricsEndpointServesPrometheusText) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_metrics.sock";
+  config.n_streams = 2;
+  config.threshold = rig().threshold;
+  config.metrics_port = 0;  // ephemeral, resolved at construction
+  Server server(rig().detector, rig().normalizer, config);
+  ASSERT_GT(server.metrics_port(), 0);
+  std::thread server_thread([&server] { server.run(); });
+  {
+    // Put real traffic through first, so the series carry live values.
+    Client client(parse_endpoint("unix:" + config.uds_path));
+    const float sample[3] = {0.5F, 0.5F, 0.5F};
+    for (int t = 0; t < 10; ++t)
+      client.send_sample(0, static_cast<std::uint64_t>(t), sample);
+    client.flush();
+    ClientEvent ev;
+    for (int got = 0; got < 10;) {
+      ASSERT_TRUE(client.poll_event(ev, 30000));
+      if (ev.kind == ClientEvent::Kind::Score) ++got;
+    }
+
+    const std::string response =
+        http_exchange(server.metrics_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    ASSERT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0U) << response.substr(0, 120);
+    EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+    const std::size_t body_at = response.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    const std::string body = response.substr(body_at + 4);
+
+    // Runtime counters are always live (they come from RuntimeStats, not the
+    // compile-gated instrumentation).
+    EXPECT_NE(body.find("\nvarade_samples_pushed_total 10\n"), std::string::npos);
+    EXPECT_NE(body.find("varade_scorer_rounds_total{shard=\"0\"}"), std::string::npos);
+    EXPECT_NE(body.find("# TYPE varade_net_connections gauge\n"), std::string::npos);
+    EXPECT_NE(body.find("# TYPE varade_step_phase_seconds histogram\n"), std::string::npos);
+    EXPECT_NE(body.find("varade_push_to_score_seconds_count"), std::string::npos);
+    if constexpr (obs::kEnabled) {
+      // With telemetry compiled in, the scrape-time traffic above has gone
+      // through every instrumented hop.
+      EXPECT_NE(body.find("varade_step_phase_seconds_bucket{phase=\"score\""),
+                std::string::npos);
+      EXPECT_EQ(body.find("varade_net_frames_decoded_total 0\n"), std::string::npos);
+    }
+
+    // Wrong path and wrong method get HTTP errors, not silence.
+    EXPECT_EQ(http_exchange(server.metrics_port(), "GET /nope HTTP/1.0\r\n\r\n")
+                  .rfind("HTTP/1.0 404", 0),
+              0U);
+    EXPECT_EQ(http_exchange(server.metrics_port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                  .rfind("HTTP/1.0 405", 0),
+              0U);
+
+    // metrics_text() is the same exposition, scrape-free (for tests and
+    // embedders without a listener).
+    const std::string direct = server.metrics_text();
+    EXPECT_NE(direct.find("\nvarade_samples_pushed_total 10\n"), std::string::npos);
+    EXPECT_NE(direct.find("# TYPE varade_scorer_round_seconds histogram\n"),
+              std::string::npos);
+  }
+  server.request_stop();
+  server_thread.join();
+}
+
+TEST(NetE2E, StatsReplyCarriesScoredAndLatencyQuantiles) {
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_stats_tel.sock";
+  config.n_streams = 1;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+  {
+    Client client(parse_endpoint("unix:" + config.uds_path));
+    const float sample[3] = {0.5F, 0.5F, 0.5F};
+    for (int t = 0; t < 20; ++t)
+      client.send_sample(0, static_cast<std::uint64_t>(t), sample);
+    client.flush();
+    ClientEvent ev;
+    for (int got = 0; got < 20;) {
+      ASSERT_TRUE(client.poll_event(ev, 30000));
+      if (ev.kind == ClientEvent::Kind::Score) ++got;
+    }
+    client.request_stats();
+    WireStats stats{};
+    bool got_stats = false;
+    while (client.poll_event(ev, 30000)) {
+      if (ev.kind == ClientEvent::Kind::Stats) {
+        stats = ev.stats;
+        got_stats = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(got_stats);
+    EXPECT_EQ(stats.pushed, 20U);
+    // Every accepted sample was scored (we waited for the scores above).
+    EXPECT_EQ(stats.scored, 20U);
+    if constexpr (obs::kEnabled) {
+      // Quantiles come from live histograms: ordered and non-zero once
+      // rounds have run.
+      EXPECT_GT(stats.round_p50_ns, 0U);
+      EXPECT_LE(stats.round_p50_ns, stats.round_p95_ns);
+      EXPECT_LE(stats.round_p95_ns, stats.round_p99_ns);
+    } else {
+      EXPECT_EQ(stats.round_p50_ns, 0U);
+      EXPECT_EQ(stats.push_to_score_p99_ns, 0U);
+    }
+  }
+  server.request_stop();
+  server_thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Disconnect-mid-drain accounting
+// ---------------------------------------------------------------------------
+
+TEST(NetE2E, DisconnectMidDrainKeepsAccountingReconciled) {
+  // A client pushes a burst and vanishes without reading a single score.
+  // The daemon must still drain everything it accepted, and the exit
+  // accounting must reconcile: RuntimeStats::scored counts every score the
+  // runtime emitted (== pushed - dropped, exactly, once closed), while the
+  // scores that lost their owner mid-drain show up in scores_unrouted() —
+  // not as silently inflated "delivered" work. This is the invariant the
+  // daemon's exit report prints (see served_main.cpp).
+  net::ServerConfig config;
+  config.uds_path = "/tmp/varade_test_vanish.sock";
+  config.n_streams = 1;
+  config.threshold = rig().threshold;
+  Server server(rig().detector, rig().normalizer, config);
+  std::thread server_thread([&server] { server.run(); });
+
+  constexpr Index kPushes = 300;
+  {
+    // Raw socket, not Client: no GOODBYE, no reads — the connection just
+    // disappears with every sample already on the wire.
+    std::vector<std::uint8_t> bytes;
+    append_hello(bytes);
+    const float sample[3] = {0.5F, 0.5F, 0.5F};
+    for (Index t = 0; t < kPushes; ++t)
+      append_sample(bytes, 0, static_cast<std::uint64_t>(t), sample, 3);
+    Socket sock = connect_endpoint(parse_endpoint("unix:" + config.uds_path));
+    send_all(sock.fd(), bytes.data(), bytes.size());
+  }  // abrupt close
+
+  // Let the daemon observe the EOF and finish scoring the burst, then stop.
+  for (int spin = 0; spin < 30000 && server.runtime().stats().scored < kPushes; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.request_stop();
+  server_thread.join();
+
+  const serve::RuntimeStats fin = server.runtime().stats();
+  EXPECT_EQ(fin.pushed, kPushes);  // every frame was on the wire before close
+  EXPECT_EQ(fin.dropped, 0);
+  EXPECT_EQ(fin.rejected, 0);
+  // The reconciliation pin: emitted scores match accepted samples exactly...
+  EXPECT_EQ(fin.scored, fin.pushed - fin.dropped);
+  // ...and the undeliverable remainder is accounted, not lost: every score
+  // was either routed to the (gone) owner before the EOF was processed or
+  // counted as unrouted afterwards.
+  EXPECT_GT(server.scores_unrouted(), 0);
+  EXPECT_LE(server.scores_unrouted(), fin.scored);
 }
 
 // ---------------------------------------------------------------------------

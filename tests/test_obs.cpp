@@ -1,0 +1,505 @@
+// varade::obs test suite.
+//
+// Pins the telemetry primitives from every angle the serving stack depends
+// on: exact bucket geometry (every boundary of all 320 buckets), lock-free
+// record vs snapshot under real concurrency (run under TSan by the
+// concurrency CI job), merge algebra (associative, commutative, empty
+// identity — the contract that makes per-shard instances merge-at-read
+// correct), the Prometheus text exposition, and — the one that matters most
+// — bit-exact score parity between instrumented and uninstrumented pushes:
+// telemetry must observe the pipeline, never perturb it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "varade/core/varade.hpp"
+#include "varade/obs/prometheus.hpp"
+#include "varade/obs/telemetry.hpp"
+#include "varade/serve/runtime.hpp"
+#include "varade/serve/scoring_engine.hpp"
+
+namespace varade::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket geometry: every boundary of every bucket, exactly
+// ---------------------------------------------------------------------------
+
+TEST(ObsBuckets, EveryBoundaryRoundTrips) {
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_EQ(bucket_of(bucket_lower(b)), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(bucket_of(bucket_upper(b)), b) << "upper edge of bucket " << b;
+    if (b + 1 < kBuckets) {
+      // Adjacency: one past the upper edge is exactly the next bucket's
+      // lower edge — no gaps, no overlaps, anywhere in the range.
+      EXPECT_EQ(bucket_upper(b) + 1, bucket_lower(b + 1));
+      EXPECT_EQ(bucket_of(bucket_upper(b) + 1), b + 1);
+    }
+  }
+}
+
+TEST(ObsBuckets, EdgeCases) {
+  // Negative values clamp into bucket 0 (record() clamps them to 0 anyway).
+  EXPECT_EQ(bucket_of(-1), 0);
+  EXPECT_EQ(bucket_of(INT64_MIN), 0);
+  // Values 0..7 get exact unit buckets.
+  for (std::int64_t v = 0; v < kSubBuckets; ++v) {
+    EXPECT_EQ(bucket_of(v), static_cast<int>(v));
+    EXPECT_EQ(bucket_lower(static_cast<int>(v)), v);
+    EXPECT_EQ(bucket_upper(static_cast<int>(v)), v);
+  }
+  // Anything past the covered range lands in the overflow bucket, whose
+  // upper bound is INT64_MAX (exposed as +Inf).
+  EXPECT_EQ(bucket_of(INT64_MAX), kBuckets - 1);
+  EXPECT_EQ(bucket_upper(kBuckets - 1), INT64_MAX);
+}
+
+TEST(ObsBuckets, RelativeWidthAtMostOneEighth) {
+  // The design contract: from kSubBuckets up, each bucket spans at most
+  // 12.5% of its lower edge. (Exact unit buckets below have zero width.)
+  for (int b = kSubBuckets; b + 1 < kBuckets; ++b) {
+    const std::int64_t width = bucket_upper(b) - bucket_lower(b) + 1;
+    EXPECT_LE(width * kSubBuckets, bucket_lower(b)) << "bucket " << b;
+  }
+}
+
+TEST(ObsBuckets, BucketOfIsMonotone) {
+  int prev = 0;
+  for (std::int64_t v = 0; v < (1 << 20); v += 37) {
+    const int b = bucket_of(v);
+    EXPECT_GE(b, prev) << "value " << v;
+    prev = b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram: single-threaded exactness, then quantiles
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, SingleThreadSnapshotIsExact) {
+  LogHistogram h;
+  const std::int64_t values[] = {0, 1, 7, 8, 9, 100, 1000, 123456, -5};
+  std::int64_t sum = 0;
+  for (const std::int64_t v : values) {
+    h.record(v);
+    sum += v < 0 ? 0 : v;  // record() clamps negatives to 0
+  }
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 9U);
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 123456);
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) total += snap.buckets[b];
+  EXPECT_EQ(total, snap.count);
+  // Each recorded value sits in exactly the bucket the geometry names.
+  EXPECT_EQ(snap.buckets[bucket_of(0)], 2U);  // 0 itself plus the clamped -5
+  EXPECT_EQ(snap.buckets[bucket_of(100)], 1U);
+  EXPECT_EQ(snap.buckets[bucket_of(123456)], 1U);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsAllZero) {
+  const HistogramSnapshot snap = LogHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0U);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.quantile(0.5), 0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(ObsHistogram, QuantilesUpperBoundWithinBucketResolution) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const HistogramSnapshot snap = h.snapshot();
+  // quantile() reports the upper edge of the bucket that crosses the rank:
+  // an upper bound on the true quantile, within the 12.5% bucket width.
+  const std::int64_t p50 = snap.quantile(0.50);
+  const std::int64_t p99 = snap.quantile(0.99);
+  EXPECT_GE(p50, 500);
+  EXPECT_LE(p50, 500 + 500 / kSubBuckets);
+  EXPECT_GE(p99, 990);
+  EXPECT_LE(p99, 990 + 990 / kSubBuckets);
+  // The extremes clamp to observed min/max, not bucket edges.
+  EXPECT_EQ(snap.quantile(1.0), 1000);
+  EXPECT_EQ(snap.quantile(0.0), 1);
+  EXPECT_NEAR(snap.mean(), 500.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Merge algebra: what makes per-shard instances correct
+// ---------------------------------------------------------------------------
+
+HistogramSnapshot fill(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  LogHistogram h;
+  for (int i = 0; i < n; ++i)
+    h.record(static_cast<std::int64_t>(std::fabs(rng.normal(0.0F, 1.0F)) * 5e4F));
+  return h.snapshot();
+}
+
+void expect_same(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(std::memcmp(a.buckets, b.buckets, sizeof a.buckets), 0);
+}
+
+TEST(ObsHistogram, MergeIsAssociativeCommutativeWithEmptyIdentity) {
+  const HistogramSnapshot a = fill(1, 300);
+  const HistogramSnapshot b = fill(2, 500);
+  const HistogramSnapshot c = fill(3, 700);
+
+  HistogramSnapshot ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  HistogramSnapshot a_bc = b;
+  a_bc.merge(c);
+  a_bc.merge(a);  // (b+c)+a: associativity and commutativity in one shape
+  expect_same(ab_c, a_bc);
+
+  HistogramSnapshot with_empty = a;
+  with_empty.merge(HistogramSnapshot{});
+  expect_same(with_empty, a);
+  HistogramSnapshot from_empty;
+  from_empty.merge(a);
+  expect_same(from_empty, a);
+}
+
+TEST(ObsHistogram, MergedShardsEqualOneCombinedWriter) {
+  // The serving pattern: N per-shard instances merged at read time must be
+  // indistinguishable from one histogram that saw every sample.
+  Rng rng(7);
+  LogHistogram shard[3];
+  LogHistogram combined;
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t v =
+        static_cast<std::int64_t>(std::fabs(rng.normal(0.0F, 1.0F)) * 1e6F);
+    shard[i % 3].record(v);
+    combined.record(v);
+  }
+  HistogramSnapshot merged = shard[0].snapshot();
+  merged.merge(shard[1].snapshot());
+  merged.merge(shard[2].snapshot());
+  expect_same(merged, combined.snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: recorders vs a live snapshotter (run under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, ConcurrentRecordVersusSnapshot) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  LogHistogram h;
+  std::atomic<bool> stop{false};
+
+  // Reader thread: snapshots continuously while writers hammer the buckets.
+  // Each per-counter read must be a plausible intermediate state — counts
+  // monotone across snapshots, never beyond the final total — and TSan must
+  // see no race.
+  std::thread reader([&h, &stop] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot snap = h.snapshot();
+      EXPECT_LE(snap.count,
+                static_cast<std::uint64_t>(kWriters) * kPerWriter);
+      EXPECT_GE(snap.count, prev);
+      prev = snap.count;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&h, w] {
+      for (int i = 0; i < kPerWriter; ++i)
+        h.record(static_cast<std::int64_t>(w) * 1000 + i % 997);
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiescent: everything is exact.
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  std::int64_t sum = 0;
+  for (int w = 0; w < kWriters; ++w)
+    for (int i = 0; i < kPerWriter; ++i) sum += static_cast<std::int64_t>(w) * 1000 + i % 997;
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 3000 + 996);
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) total += snap.buckets[b];
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST(ObsCounter, ConcurrentAddsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Counter c;
+  std::atomic<bool> stop{false};
+  std::thread reader([&c, &stop] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t v = c.value();
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(i % 3 == 0 ? 2 : 1);
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  std::uint64_t expected = 0;
+  for (int i = 0; i < kPerThread; ++i) expected += i % 3 == 0 ? 2 : 1;
+  EXPECT_EQ(c.value(), expected * kThreads);
+}
+
+TEST(ObsClock, TickIsMonotoneWhenEnabledZeroWhenOff) {
+  if constexpr (kEnabled) {
+    const std::int64_t a = tick();
+    const std::int64_t b = tick();
+    EXPECT_GT(a, 0);
+    EXPECT_GE(b, a);
+  } else {
+    EXPECT_EQ(tick(), 0);
+  }
+  // now_ns() is always live, even compiled off (benches time themselves).
+  EXPECT_GE(now_ns(), now_ns() - now_ns());
+  const std::int64_t t0 = now_ns();
+  EXPECT_GE(now_ns(), t0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, CounterAndGaugeFormat) {
+  PrometheusWriter w;
+  w.counter("varade_test_total", "a test counter", 42);
+  w.counter("varade_test_total", "a test counter", 7, "shard=\"1\"");
+  w.gauge("varade_depth", "a gauge", 2.5);
+  const std::string& text = w.text();
+  // HELP/TYPE once per family, even across labelled series.
+  EXPECT_EQ(text.find("# HELP varade_test_total a test counter\n"),
+            text.rfind("# HELP varade_test_total"));
+  EXPECT_NE(text.find("# TYPE varade_test_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("\nvarade_test_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("\nvarade_test_total{shard=\"1\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE varade_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("\nvarade_depth 2.5\n"), std::string::npos);
+}
+
+TEST(ObsPrometheus, HistogramIsCumulativeAndConsistent) {
+  LogHistogram h;
+  for (const std::int64_t v : {5, 5, 100, 100000, 100000, 100000})
+    h.record(v);
+  PrometheusWriter w;
+  w.histogram("varade_lat_seconds", "latency", h.snapshot(), /*scale=*/1e-9,
+              "phase=\"score\"");
+  const std::string text = w.text();
+  EXPECT_NE(text.find("# TYPE varade_lat_seconds histogram\n"), std::string::npos);
+  // Sparse buckets: three non-empty edges plus the mandatory +Inf.
+  // Cumulative counts along the le series must be non-decreasing and end at
+  // _count.
+  std::vector<double> cum;
+  std::size_t pos = 0;
+  while ((pos = text.find("varade_lat_seconds_bucket{phase=\"score\",le=", pos)) !=
+         std::string::npos) {
+    const std::size_t sp = text.find(' ', pos);
+    cum.push_back(std::stod(text.substr(sp + 1)));
+    pos = sp;
+  }
+  ASSERT_EQ(cum.size(), 4U);  // 3 sparse edges + "+Inf"
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_EQ(cum.back(), 6.0);
+  EXPECT_NE(text.find("varade_lat_seconds_bucket{phase=\"score\",le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("varade_lat_seconds_count{phase=\"score\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("varade_lat_seconds_sum{phase=\"score\"} "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace varade::obs
+
+// ---------------------------------------------------------------------------
+// Parity: telemetry observes the pipeline, never perturbs it
+// ---------------------------------------------------------------------------
+
+namespace varade::serve {
+namespace {
+
+data::MultivariateSeries make_sine(Index length, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MultivariateSeries s(3);
+  std::vector<float> row(3);
+  for (Index t = 0; t < length; ++t) {
+    for (Index c = 0; c < 3; ++c)
+      row[static_cast<std::size_t>(c)] =
+          std::sin(0.05F * static_cast<float>(t) + static_cast<float>(c)) +
+          rng.normal(0.0F, 0.03F);
+    s.append(row, 0);
+  }
+  return s;
+}
+
+/// One tiny fitted VARADE shared by the parity tests (fitting dominates; the
+/// engine only reads the model).
+struct ObsRig {
+  data::MultivariateSeries train_raw = make_sine(400, 1);
+  data::MinMaxNormalizer normalizer;
+  data::MultivariateSeries train;
+  core::VaradeDetector detector;
+
+  ObsRig()
+      : detector({.window = 16,
+                  .base_channels = 4,
+                  .epochs = 1,
+                  .learning_rate = 1e-3F,
+                  .train_stride = 4}) {
+    normalizer.fit(train_raw);
+    train = normalizer.transform(train_raw);
+    detector.fit(train);
+  }
+};
+
+ObsRig& rig() {
+  static ObsRig* r = new ObsRig();
+  return *r;
+}
+
+void expect_scores_identical(const std::vector<StreamScore>& a,
+                             const std::vector<StreamScore>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream, b[i].stream);
+    EXPECT_EQ(a[i].sample, b[i].sample);
+    // Bit comparison, not float ==: parity means identical IEEE-754 bits.
+    EXPECT_EQ(std::memcmp(&a[i].score, &b[i].score, sizeof(float)), 0)
+        << "score " << i << " diverged";
+  }
+}
+
+TEST(ObsParity, TimestampedPushesScoreBitIdentically) {
+  // Same samples through the plain push() and the telemetry-carrying
+  // overload (live tick() timestamps): the scores must be bit-identical —
+  // the push_to_score lane is a side channel, not a pipeline input.
+  const auto series = make_sine(120, 11);
+  constexpr Index kStreams = 4;
+
+  ScoringEngine plain(rig().detector, rig().normalizer, {.max_batch = 8});
+  ScoringEngine timed(rig().detector, rig().normalizer, {.max_batch = 8});
+  plain.add_streams(kStreams);
+  timed.add_streams(kStreams);
+  plain.calibrate(rig().train);
+  timed.calibrate(rig().train);
+
+  std::vector<StreamScore> plain_scores;
+  std::vector<StreamScore> timed_scores;
+  for (Index t = 0; t < series.length(); ++t) {
+    for (Index s = 0; s < kStreams; ++s) {
+      plain.push(s, series.sample(t), series.n_channels());
+      timed.push(s, series.sample(t), series.n_channels(), obs::tick());
+    }
+    if (t % 7 == 0) {  // interleave steps so rounds span push batches
+      auto ps = plain.step();
+      auto ts = timed.step();
+      plain_scores.insert(plain_scores.end(), ps.begin(), ps.end());
+      timed_scores.insert(timed_scores.end(), ts.begin(), ts.end());
+    }
+  }
+  auto ps = plain.step();
+  auto ts = timed.step();
+  plain_scores.insert(plain_scores.end(), ps.begin(), ps.end());
+  timed_scores.insert(timed_scores.end(), ts.begin(), ts.end());
+
+  expect_scores_identical(plain_scores, timed_scores);
+
+  // And the side channel actually observed the traffic (when compiled in).
+  const EngineTelemetry tel = timed.telemetry();
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(tel.step.count, 0U);
+    EXPECT_GT(tel.phases[0].count, 0U);  // stage runs every round
+    EXPECT_GT(tel.phases[3].count, 0U);  // score runs once streams warm
+    EXPECT_GT(tel.push_to_score.count, 0U);
+    EXPECT_GT(tel.push_to_score.max, 0);
+  } else {
+    EXPECT_EQ(tel.step.count, 0U);
+    EXPECT_EQ(tel.push_to_score.count, 0U);
+  }
+}
+
+TEST(ObsParity, RuntimeTelemetryObservesWithoutChangingScores) {
+  // The async runtime with telemetry live must emit the same per-stream
+  // scores as a synchronous engine fed the same samples — the existing
+  // determinism contract, re-pinned with the telemetry lane active — and
+  // its telemetry() must carry the scorer-loop histograms.
+  const auto series = make_sine(300, 13);
+  constexpr Index kStreams = 3;
+
+  ScoringEngine sync(rig().detector, rig().normalizer, {.max_batch = 8});
+  sync.add_streams(kStreams);
+  sync.calibrate(rig().train);
+  std::vector<std::vector<float>> expected(kStreams);
+  for (Index t = 0; t < series.length(); ++t)
+    for (Index s = 0; s < kStreams; ++s) sync.push(s, series.sample(t), series.n_channels());
+  for (const StreamScore& sc : sync.step())
+    expected[static_cast<std::size_t>(sc.stream)].push_back(sc.score);
+
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer,
+                              {.engine = {.max_batch = 8}, .ring_capacity = 64});
+  runtime.add_streams(kStreams);
+  runtime.calibrate(rig().train);
+  runtime.start();
+  for (Index t = 0; t < series.length(); ++t)
+    for (Index s = 0; s < kStreams; ++s)
+      ASSERT_NE(runtime.push(s, series.sample(t), series.n_channels()),
+                PushResult::Rejected);
+  runtime.close();
+
+  std::vector<std::vector<float>> got(kStreams);
+  for (const StreamScore& sc : runtime.drain_scores())
+    got[static_cast<std::size_t>(sc.stream)].push_back(sc.score);
+  for (Index s = 0; s < kStreams; ++s) {
+    ASSERT_EQ(got[static_cast<std::size_t>(s)].size(),
+              expected[static_cast<std::size_t>(s)].size());
+    EXPECT_EQ(std::memcmp(got[static_cast<std::size_t>(s)].data(),
+                          expected[static_cast<std::size_t>(s)].data(),
+                          got[static_cast<std::size_t>(s)].size() * sizeof(float)),
+              0)
+        << "stream " << s;
+  }
+
+  const RuntimeTelemetry tel = runtime.telemetry();
+  ASSERT_EQ(tel.shards.size(), static_cast<std::size_t>(runtime.n_active_shards()));
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(tel.total.round.count, 0U);
+    EXPECT_GT(tel.total.drain.count, 0U);
+    EXPECT_GT(tel.total.engine.step.count, 0U);
+    // Push sampling stamps one enqueue timestamp every kPushSampleEvery
+    // pushes per stream; 300 pushes/stream guarantees several.
+    EXPECT_GT(tel.total.engine.push_to_score.count, 0U);
+    // The merged total is exactly the merge of the per-shard snapshots.
+    obs::HistogramSnapshot manual;
+    for (const ShardTelemetry& sh : tel.shards) manual.merge(sh.round);
+    EXPECT_EQ(manual.count, tel.total.round.count);
+    EXPECT_EQ(manual.sum, tel.total.round.sum);
+  } else {
+    EXPECT_EQ(tel.total.round.count, 0U);
+    EXPECT_EQ(tel.total.engine.push_to_score.count, 0U);
+  }
+}
+
+}  // namespace
+}  // namespace varade::serve

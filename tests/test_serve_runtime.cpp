@@ -579,6 +579,72 @@ TEST(AsyncScoringRuntime, FourProducersSixteenStreamsMatchSynchronousEngineBitFo
   }
 }
 
+TEST(AsyncScoringRuntime, StatsSnapshotIsConsistentUnderConcurrentTraffic) {
+  // Pins the RuntimeStats memory-order contract (see runtime.hpp): while
+  // producers hammer push() and scorers drain, every counter read by
+  // stats() is an untorn relaxed load, individually monotonic across
+  // repeated snapshots, and never exceeds what has demonstrably happened
+  // (per-counter sanity, not cross-counter — relaxed loads order nothing
+  // across locations). Run under TSan by the concurrency job, which is
+  // where a torn or racy read would actually be diagnosed.
+  constexpr Index kStreams = 4;
+  constexpr Index kPushes = 400;
+  AsyncRuntimeConfig cfg;
+  cfg.ring_capacity = 16;
+  cfg.backpressure = BackpressurePolicy::DropOldest;
+  AsyncScoringRuntime runtime(rig().detector, rig().normalizer, cfg);
+  runtime.add_streams(kStreams);
+  runtime.set_threshold(1e9F);
+  runtime.start();
+
+  const auto series = make_sine(kPushes, false, 21);
+  std::vector<std::thread> producers;
+  for (Index s = 0; s < kStreams; ++s)
+    producers.emplace_back([&runtime, &series, s] {
+      for (Index t = 0; t < kPushes; ++t)
+        runtime.push(s, series.sample(t), series.n_channels());
+    });
+
+  // Snapshot continuously while the producers run: each aggregate counter
+  // must be monotone from one snapshot to the next, and per-stream /
+  // per-shard breakdowns must always sum to the aggregates (stats() builds
+  // the totals from the same loads, so this is exact even mid-traffic).
+  RuntimeStats prev;
+  for (int iter = 0; iter < 200; ++iter) {
+    const RuntimeStats s = runtime.stats();
+    EXPECT_GE(s.pushed, prev.pushed);
+    EXPECT_GE(s.dropped, prev.dropped);
+    EXPECT_GE(s.rejected, prev.rejected);
+    EXPECT_GE(s.rounds, prev.rounds);
+    EXPECT_GE(s.naps, prev.naps);
+    EXPECT_GE(s.scored, prev.scored);
+    EXPECT_LE(s.pushed, kStreams * kPushes);
+    long stream_pushed = 0;
+    long stream_dropped = 0;
+    for (const IngestStats& is : s.streams) {
+      stream_pushed += is.pushed;
+      stream_dropped += is.dropped;
+    }
+    EXPECT_EQ(stream_pushed, s.pushed);
+    EXPECT_EQ(stream_dropped, s.dropped);
+    long shard_scored = 0;
+    for (const ShardStats& ss : s.shards) shard_scored += ss.scored;
+    EXPECT_EQ(shard_scored, s.scored);
+    prev = s;
+  }
+
+  for (std::thread& t : producers) t.join();
+  runtime.close();
+
+  // Quiescent: exact, and the cross-counter invariants hold with equality.
+  const RuntimeStats fin = runtime.stats();
+  EXPECT_EQ(fin.pushed, kStreams * kPushes);
+  EXPECT_EQ(fin.rejected, 0);
+  EXPECT_LE(fin.dropped, fin.pushed);
+  EXPECT_EQ(fin.scored, fin.pushed - fin.dropped);
+  EXPECT_EQ(static_cast<long>(runtime.drain_scores().size()), fin.scored);
+}
+
 TEST(AsyncScoringRuntime, DestructorClosesAndDrains) {
   const auto series = make_sine(100, false, 12);
   std::vector<StreamScore> seen;
