@@ -34,6 +34,17 @@ inline long parse_long_arg(const char* flag, const char* value) {
   return parsed;
 }
 
+/// parse_long_arg plus a power-of-two check, for ring-capacity-style flags
+/// where a silent round-up would hide a misconfiguration.
+inline long parse_pow2_arg(const char* flag, const char* value) {
+  const long parsed = parse_long_arg(flag, value);
+  if (parsed < 1 || (parsed & (parsed - 1)) != 0) {
+    std::fprintf(stderr, "error: %s expects a power of two >= 1, got \"%s\"\n", flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 /// The serving stack's synthetic workload: a 3-channel noisy sine cell with a
 /// short high-noise anomaly burst every 250 samples. Shared by the serving
 /// benches and the daemon's self-trained smoke configuration so every process

@@ -14,9 +14,18 @@
 //
 // --connect <endpoint> mode: drives an already-running varade-served daemon
 // (which self-trained on the same seeds) instead; scores are counted but not
-// checksum-verified (the baseline lives in the daemon's process). --shutdown
+// checksum-verified (the baseline lives in the daemon's process) unless
+// --smoke is given, which regenerates the sequential baseline locally — the
+// daemon and this process train the identical model from the identical seeds,
+// so the checksum comparison is exact across processes. --shutdown
 // additionally sends a SHUTDOWN frame once the clients finish — the ci.sh
 // smoke step uses exactly this to stop the daemon it started.
+//
+// --transport shm (or all) measures the shared-memory ring transport;
+// --batch K makes each client push K-sample SAMPLE_BATCH frames (1 = the
+// classic one-frame-per-sample path). On shm runs the merged doorbell count
+// is asserted to be a small fraction of the samples pushed — the steady-state
+// push path is zero-syscall, and the doorbell counter is the proof.
 //
 // --json <path> writes the per-transport samples/s as a machine-readable
 // record (the repo's BENCH_*.json perf trajectory points), including the
@@ -32,8 +41,9 @@
 //
 // Usage: bench_net_throughput [--quick] [--clients N] [--streams N]
 //                             [--samples N] [--detector <name>|all]
-//                             [--transport uds|tcp|both] [--shards N]
-//                             [--connect <endpoint>] [--shutdown]
+//                             [--transport uds|tcp|shm|both|all] [--shards N]
+//                             [--batch K] [--ring-capacity N]
+//                             [--connect <endpoint>] [--shutdown] [--smoke]
 //                             [--scrape-metrics <tcp:HOST:PORT>]
 //                             [--json <path>]
 #include <sys/wait.h>
@@ -65,16 +75,22 @@ struct ChildReport {
   std::uint64_t scores = 0;
   double checksum = 0.0;
   std::uint64_t nacks = 0;
+  std::uint64_t doorbells = 0;  // shm push-path doorbell syscalls (0 on sockets)
 };
 
 /// Child body: connect, push every sample of the owned streams, poll the
 /// scores back, write the report, _exit. Streams are regenerated from their
 /// seeds, so nothing but the endpoint crosses the fork.
+///
+/// batch == 1 pushes one SAMPLE frame per sample, interleaved across the
+/// owned streams; batch > 1 pushes K-sample blocks per stream via
+/// push_batch() — the series storage is row-major [time, channel], so a
+/// block is one contiguous slice, no staging copy.
 void run_child(const net::Endpoint& endpoint, int child_idx, int n_clients, Index n_streams,
-               Index n_samples, int report_fd) {
+               Index n_samples, Index batch, int report_fd) {
   ChildReport report;
   try {
-    net::Client client(endpoint, {.connect_retry_ms = 10000});
+    net::Client client(endpoint, {.connect_retry_ms = 10000, .batch = batch});
     std::vector<Index> mine;
     std::vector<data::MultivariateSeries> series;
     for (Index s = child_idx; s < n_streams; s += n_clients) {
@@ -95,14 +111,24 @@ void run_child(const net::Endpoint& endpoint, int child_idx, int n_clients, Inde
         if (timeout_ms != 0) break;  // one blocking hit, then back to pushing
       }
     };
-    for (Index t = 0; t < n_samples; ++t) {
-      for (std::size_t i = 0; i < mine.size(); ++i)
-        client.send_sample(mine[i], static_cast<std::uint64_t>(t), series[i].sample(t));
-      absorb(0);  // keep the return path drained so neither side stalls
+    if (batch <= 1) {
+      for (Index t = 0; t < n_samples; ++t) {
+        for (std::size_t i = 0; i < mine.size(); ++i)
+          client.send_sample(mine[i], static_cast<std::uint64_t>(t), series[i].sample(t));
+        absorb(0);  // keep the return path drained so neither side stalls
+      }
+    } else {
+      for (Index t = 0; t < n_samples; t += batch) {
+        const Index k = std::min(batch, n_samples - t);
+        for (std::size_t i = 0; i < mine.size(); ++i)
+          client.push_batch(mine[i], static_cast<std::uint64_t>(t), series[i].sample(t), k);
+        absorb(0);
+      }
     }
     client.flush();
     while (report.scores + report.nacks < want) absorb(30000);
     client.send_goodbye();
+    report.doorbells = static_cast<std::uint64_t>(client.shm_doorbells());
   } catch (const Error& e) {
     std::fprintf(stderr, "client %d: %s\n", child_idx, e.what());
     _exit(1);
@@ -114,7 +140,7 @@ void run_child(const net::Endpoint& endpoint, int child_idx, int n_clients, Inde
 /// Forks the clients against `endpoint`, waits for them, and returns the
 /// merged report plus the wall-clock seconds of the whole drive.
 ChildReport drive_clients(const net::Endpoint& endpoint, int n_clients, Index n_streams,
-                          Index n_samples, double& seconds) {
+                          Index n_samples, Index batch, double& seconds) {
   std::vector<pid_t> pids;
   std::vector<int> pipes;
   const auto start = Clock::now();
@@ -125,7 +151,7 @@ ChildReport drive_clients(const net::Endpoint& endpoint, int n_clients, Index n_
     if (pid < 0) fail("bench: fork(): ", std::strerror(errno));
     if (pid == 0) {
       close(fds[0]);
-      run_child(endpoint, c, n_clients, n_streams, n_samples, fds[1]);  // never returns
+      run_child(endpoint, c, n_clients, n_streams, n_samples, batch, fds[1]);  // never returns
     }
     close(fds[1]);
     pids.push_back(pid);
@@ -154,18 +180,40 @@ ChildReport drive_clients(const net::Endpoint& endpoint, int n_clients, Index n_
     merged.scores += report.scores;
     merged.checksum += report.checksum;
     merged.nacks += report.nacks;
+    merged.doorbells += report.doorbells;
   }
   seconds = std::chrono::duration<double>(Clock::now() - start).count();
   if (failed) std::exit(1);
   return merged;
 }
 
+/// The shm zero-syscall claim, asserted: steady-state pushes make no
+/// syscalls, so client doorbells (rung only when the daemon declared itself
+/// asleep on an empty ring) must be a small fraction of the samples pushed.
+/// Exits fatally when the push path degenerated into doorbell-per-sample.
+void check_doorbell_budget(std::uint64_t doorbells, long total) {
+  const auto budget = static_cast<std::uint64_t>(total / 4 + 64);
+  if (doorbells > budget) {
+    std::fprintf(stderr,
+                 "FATAL: shm push path rang %llu doorbells for %ld samples (budget %llu) —"
+                 " the zero-syscall steady state is broken\n",
+                 static_cast<unsigned long long>(doorbells), total,
+                 static_cast<unsigned long long>(budget));
+    std::exit(1);
+  }
+  std::printf("       shm doorbells: %llu for %ld samples (%.4f per sample)\n",
+              static_cast<unsigned long long>(doorbells), total,
+              static_cast<double>(doorbells) / static_cast<double>(total));
+}
+
 struct TransportResult {
   std::string transport;
   std::string detector;
+  Index batch = 1;
   double samples_per_s = 0.0;
   std::uint64_t scores = 0;
   std::uint64_t nacks = 0;
+  std::uint64_t doorbells = 0;  // shm only; 0 on the socket transports
   // Daemon-side score-latency quantiles (ns) from the runtime telemetry,
   // snapshotted while the server is still up. Zero with -DVARADE_OBS=OFF.
   std::int64_t round_p50_ns = 0, round_p95_ns = 0, round_p99_ns = 0;
@@ -175,8 +223,9 @@ struct TransportResult {
 void usage_exit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--clients N] [--streams N] [--samples N]\n"
-               "          [--detector <name>|all] [--transport uds|tcp|both] [--shards N]\n"
-               "          [--connect <endpoint>] [--shutdown]\n"
+               "          [--detector <name>|all] [--transport uds|tcp|shm|both|all]\n"
+               "          [--shards N] [--batch K] [--ring-capacity N]\n"
+               "          [--connect <endpoint>] [--shutdown] [--smoke]\n"
                "          [--scrape-metrics <tcp:HOST:PORT>] [--json <path>]\n",
                argv0);
   std::exit(2);
@@ -320,16 +369,18 @@ void write_json(const std::string& path, int n_clients, Index n_streams, Index n
   f << "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const TransportResult& r = results[i];
-    char line[640];
+    char line[704];
     std::snprintf(line, sizeof(line),
-                  "    {\"transport\": \"%s\", \"detector\": \"%s\", "
+                  "    {\"transport\": \"%s\", \"detector\": \"%s\", \"batch\": %ld, "
                   "\"samples_per_s\": %.1f, \"scores\": %llu, \"nacks\": %llu, "
+                  "\"doorbells\": %llu, "
                   "\"round_p50_ns\": %lld, \"round_p95_ns\": %lld, \"round_p99_ns\": %lld, "
                   "\"push_to_score_p50_ns\": %lld, \"push_to_score_p95_ns\": %lld, "
                   "\"push_to_score_p99_ns\": %lld}%s\n",
-                  r.transport.c_str(), r.detector.c_str(), r.samples_per_s,
-                  static_cast<unsigned long long>(r.scores),
+                  r.transport.c_str(), r.detector.c_str(), static_cast<long>(r.batch),
+                  r.samples_per_s, static_cast<unsigned long long>(r.scores),
                   static_cast<unsigned long long>(r.nacks),
+                  static_cast<unsigned long long>(r.doorbells),
                   static_cast<long long>(r.round_p50_ns), static_cast<long long>(r.round_p95_ns),
                   static_cast<long long>(r.round_p99_ns),
                   static_cast<long long>(r.push_to_score_p50_ns),
@@ -353,12 +404,15 @@ int main(int argc, char** argv) {
   Index n_streams = 16;
   Index n_samples = 2000;
   Index n_shards = 1;
+  Index batch = 1;
+  Index ring_capacity = 0;  // 0 = the runtime default
   std::string detector_arg = "VARADE";
   std::string transport_arg = "both";
   std::string json_path;
   std::string connect_spec;
   std::string scrape_spec;
   bool send_shutdown = false;
+  bool smoke = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) {
       n_clients = 2;
@@ -372,6 +426,10 @@ int main(int argc, char** argv) {
       n_samples = bench::parse_long_arg("--samples", argv[++a]);
     } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
       n_shards = bench::parse_long_arg("--shards", argv[++a]);
+    } else if (std::strcmp(argv[a], "--batch") == 0 && a + 1 < argc) {
+      batch = bench::parse_long_arg("--batch", argv[++a]);
+    } else if (std::strcmp(argv[a], "--ring-capacity") == 0 && a + 1 < argc) {
+      ring_capacity = bench::parse_pow2_arg("--ring-capacity", argv[++a]);
     } else if (std::strcmp(argv[a], "--detector") == 0 && a + 1 < argc) {
       detector_arg = argv[++a];
     } else if (std::strcmp(argv[a], "--transport") == 0 && a + 1 < argc) {
@@ -382,6 +440,8 @@ int main(int argc, char** argv) {
       scrape_spec = argv[++a];
     } else if (std::strcmp(argv[a], "--shutdown") == 0) {
       send_shutdown = true;
+    } else if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
     } else {
@@ -393,21 +453,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --clients/--streams/--samples must be >= 1\n");
     return 2;
   }
+  if (batch < 1 || batch > static_cast<Index>(net::kMaxBatchSamples)) {
+    std::fprintf(stderr, "error: --batch must be in [1, %u]\n", net::kMaxBatchSamples);
+    return 2;
+  }
   if (n_clients > static_cast<int>(n_streams)) n_clients = static_cast<int>(n_streams);
-  if (transport_arg != "uds" && transport_arg != "tcp" && transport_arg != "both")
+  if (transport_arg != "uds" && transport_arg != "tcp" && transport_arg != "shm" &&
+      transport_arg != "both" && transport_arg != "all")
     usage_exit(argv[0]);
 
   const long total = static_cast<long>(n_streams) * static_cast<long>(n_samples);
 
-  // --connect: drive an external daemon; count scores, no local baseline.
+  // --connect: drive an external daemon; count scores, no local baseline
+  // (unless --smoke regenerates it from the shared seeds below).
   if (!connect_spec.empty()) {
     const net::Endpoint endpoint = net::parse_endpoint(connect_spec);
-    std::printf("driving %s with %d client processes (%ld streams x %ld samples)\n",
+    std::printf("driving %s with %d client processes (%ld streams x %ld samples, batch %ld)\n",
                 net::to_string(endpoint).c_str(), n_clients, static_cast<long>(n_streams),
-                static_cast<long>(n_samples));
+                static_cast<long>(n_samples), static_cast<long>(batch));
     double seconds = 0.0;
     const ChildReport merged =
-        drive_clients(endpoint, n_clients, n_streams, n_samples, seconds);
+        drive_clients(endpoint, n_clients, n_streams, n_samples, batch, seconds);
     std::printf("%llu scores, %llu nacks in %.3f s  ->  %.0f samples/s end-to-end\n",
                 static_cast<unsigned long long>(merged.scores),
                 static_cast<unsigned long long>(merged.nacks), seconds,
@@ -416,6 +482,44 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FATAL: expected %ld scores+nacks, got %llu\n", total,
                    static_cast<unsigned long long>(merged.scores + merged.nacks));
       return 1;
+    }
+    if (endpoint.kind == net::Endpoint::Kind::Shm)
+      check_doorbell_budget(merged.doorbells, total);
+    if (smoke) {
+      // The daemon self-trained on the same seeds this process holds, so the
+      // sequential baseline is reproducible here: train the identical model,
+      // monitor the identical streams, compare checksums exactly as the
+      // self-contained mode does — but across a process boundary.
+      if (merged.nacks != 0) {
+        std::fprintf(stderr, "FATAL: --smoke run saw %llu nacks\n",
+                     static_cast<unsigned long long>(merged.nacks));
+        return 1;
+      }
+      std::printf("regenerating the sequential baseline for the smoke checksum...\n");
+      const core::Profile profile = bench::tiny_serve_profile();
+      const data::MultivariateSeries train_raw = bench::make_sine(1200, 1);
+      data::MinMaxNormalizer normalizer;
+      normalizer.fit(train_raw);
+      const data::MultivariateSeries train = normalizer.transform(train_raw);
+      const std::unique_ptr<core::AnomalyDetector> detector =
+          core::make_detector(profile, detector_arg);
+      detector->fit(train);
+      const float threshold = core::calibrate_threshold(*detector, train, {});
+      double checksum_base = 0.0;
+      for (Index s = 0; s < n_streams; ++s) {
+        core::OnlineMonitor monitor(*detector, normalizer);
+        monitor.set_threshold(threshold);
+        const data::MultivariateSeries in =
+            bench::make_sine(n_samples, 100 + static_cast<std::uint64_t>(s));
+        for (Index t = 0; t < in.length(); ++t) checksum_base += monitor.push(in.sample(t));
+      }
+      if (std::abs(merged.checksum - checksum_base) > 1e-6 * std::abs(checksum_base)) {
+        std::fprintf(stderr,
+                     "FATAL: smoke checksum mismatch vs sequential baseline (%.9g vs %.9g)\n",
+                     merged.checksum, checksum_base);
+        return 1;
+      }
+      std::printf("smoke checksum matches the sequential baseline (%.9g)\n", merged.checksum);
     }
     // Daemon-side latency quantiles via the STATS wire probe (all zero when
     // the daemon was built with -DVARADE_OBS=OFF).
@@ -461,6 +565,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> transports;
   if (transport_arg == "both") {
     transports = {"uds", "tcp"};
+  } else if (transport_arg == "all") {
+    transports = {"uds", "tcp", "shm"};
   } else {
     transports.push_back(transport_arg);
   }
@@ -505,23 +611,29 @@ int main(int argc, char** argv) {
                     static_cast<long>(getpid()));
       if (transport == "uds") {
         config.uds_path = uds_path;
+      } else if (transport == "shm") {
+        config.shm_path = uds_path;  // the shm bootstrap socket reuses the path
       } else {
         config.tcp_port = 0;  // ephemeral
       }
       config.n_streams = n_streams;
       config.threshold = threshold;
       config.runtime.n_shards = n_shards;
+      if (ring_capacity > 0) config.runtime.ring_capacity = ring_capacity;
 
       // Listeners exist after construction but no thread does yet: the forks
       // below happen from a single-threaded process, and the children queue
       // in the listen backlog until run() starts accepting.
       net::Server server(*detector, normalizer, config);
-      const net::Endpoint endpoint =
-          transport == "uds"
-              ? net::Endpoint{.kind = net::Endpoint::Kind::Unix, .path = config.uds_path}
-              : net::Endpoint{.kind = net::Endpoint::Kind::Tcp,
-                              .host = "127.0.0.1",
-                              .port = server.tcp_port()};
+      net::Endpoint endpoint;
+      if (transport == "uds") {
+        endpoint = net::Endpoint{.kind = net::Endpoint::Kind::Unix, .path = config.uds_path};
+      } else if (transport == "shm") {
+        endpoint = net::Endpoint{.kind = net::Endpoint::Kind::Shm, .path = config.shm_path};
+      } else {
+        endpoint = net::Endpoint{
+            .kind = net::Endpoint::Kind::Tcp, .host = "127.0.0.1", .port = server.tcp_port()};
+      }
 
       std::vector<pid_t> pids;
       std::vector<int> pipes;
@@ -533,7 +645,7 @@ int main(int argc, char** argv) {
         if (pid < 0) fail("bench: fork(): ", std::strerror(errno));
         if (pid == 0) {
           close(fds[0]);
-          run_child(endpoint, c, n_clients, n_streams, n_samples, fds[1]);  // never returns
+          run_child(endpoint, c, n_clients, n_streams, n_samples, batch, fds[1]);  // never returns
         }
         close(fds[1]);
         pids.push_back(pid);
@@ -564,6 +676,7 @@ int main(int argc, char** argv) {
         merged.scores += report.scores;
         merged.checksum += report.checksum;
         merged.nacks += report.nacks;
+        merged.doorbells += report.doorbells;
       }
       const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
       // Latency telemetry, snapshotted while the runtime is still up (the
@@ -586,15 +699,25 @@ int main(int argc, char** argv) {
         return 1;
       }
       const double samples_per_s = static_cast<double>(total) / seconds;
-      std::printf("%-6s %d client processes: %10.3f s  %12.0f samples/s"
+      std::printf("%-6s %d client processes, batch %ld: %10.3f s  %12.0f samples/s"
                   "  (checksum matches sequential baseline)\n",
-                  transport.c_str(), n_clients, seconds, samples_per_s);
-      TransportResult result{transport, name, samples_per_s, merged.scores, merged.nacks,
-                             telemetry.round.quantile(0.50), telemetry.round.quantile(0.95),
-                             telemetry.round.quantile(0.99),
-                             telemetry.engine.push_to_score.quantile(0.50),
-                             telemetry.engine.push_to_score.quantile(0.95),
-                             telemetry.engine.push_to_score.quantile(0.99)};
+                  transport.c_str(), n_clients, static_cast<long>(batch), seconds,
+                  samples_per_s);
+      if (transport == "shm") check_doorbell_budget(merged.doorbells, total);
+      TransportResult result{.transport = transport,
+                             .detector = name,
+                             .batch = batch,
+                             .samples_per_s = samples_per_s,
+                             .scores = merged.scores,
+                             .nacks = merged.nacks,
+                             .doorbells = merged.doorbells,
+                             .round_p50_ns = telemetry.round.quantile(0.50),
+                             .round_p95_ns = telemetry.round.quantile(0.95),
+                             .round_p99_ns = telemetry.round.quantile(0.99),
+                             .push_to_score_p50_ns = telemetry.engine.push_to_score.quantile(0.50),
+                             .push_to_score_p95_ns = telemetry.engine.push_to_score.quantile(0.95),
+                             .push_to_score_p99_ns =
+                                 telemetry.engine.push_to_score.quantile(0.99)};
       if (result.round_p50_ns > 0)
         std::printf("       score latency: round p50/p95/p99 %.1f/%.1f/%.1f us,"
                     " push->score %.1f/%.1f/%.1f us\n",

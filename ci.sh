@@ -4,10 +4,11 @@
 # Configure the Release preset, build everything with -j, run the fast CTest
 # preset (everything except LABELS slow), then run the batched-vs-sequential
 # parity suites explicitly by label, a serve throughput smoke run covering
-# all six detectors, and a network-serving smoke: start varade-served on a
-# Unix socket, drive it with forked client processes, and shut it down over
-# the wire. src/core, src/serve, and src/net are compiled with -Werror
-# unconditionally, so a warning in any of them breaks the build itself.
+# all six detectors, and two network-serving smokes: start varade-served on a
+# Unix socket (then on a shm: bootstrap socket with batched frames), drive it
+# with forked client processes, and shut it down over the wire. src/core,
+# src/serve, and src/net are compiled with -Werror unconditionally, so a
+# warning in any of them breaks the build itself.
 #
 # --sanitize instead builds the library and tests under ASan + UBSan
 # (RelWithDebInfo, VARADE_SANITIZE=ON, separate build-asan tree) and runs the
@@ -17,8 +18,9 @@
 # --tsan builds under ThreadSanitizer (VARADE_TSAN=ON, separate build-tsan
 # tree) and runs the concurrency label — the thread pool, the async
 # ingestion runtime (lock-free rings, backpressure, multi-producer parity),
-# and the sharded runtime (multi-engine parity at shards {1,2,4,auto},
-# serialized-sharing fallback) race-checked.
+# the sharded runtime (multi-engine parity at shards {1,2,4,auto},
+# serialized-sharing fallback), and the shm ring's SPSC producer/consumer
+# pair with doorbell arming (test_net_wire) race-checked.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -122,5 +124,24 @@ wait "$DAEMON_PID"
 grep -q '^shutdown: .* samples pushed, .* scored, ' "$NET_LOG" \
   || { echo "FATAL: daemon exit report missing from $NET_LOG"; cat "$NET_LOG"; exit 1; }
 rm -f "$NET_SOCK"
+
+echo "== smoke: shared-memory transport (daemon on shm:, batch 64, checksum vs baseline) =="
+# --smoke regenerates the sequential OnlineMonitor baseline in the bench
+# process (both sides self-train from the same seeds) and exits nonzero on
+# any checksum divergence or if the shm push path degenerates into
+# doorbell-per-sample syscalls. --shutdown stops the daemon over the wire.
+SHM_SOCK="/tmp/varade_ci_shm_$$.sock"
+SHM_LOG="$BUILD_DIR/served_shm_smoke.log"
+"$BUILD_DIR/src/net/varade-served" --listen "shm:$SHM_SOCK" --streams 8 --quiet > "$SHM_LOG" &
+SHM_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SHM_SOCK" ]] && break; sleep 0.2; done
+[[ -S "$SHM_SOCK" ]] || { echo "FATAL: daemon never bound $SHM_SOCK"; kill "$SHM_PID"; exit 1; }
+"$BUILD_DIR/bench/bench_net_throughput" \
+  --connect "shm:$SHM_SOCK" --clients 2 --streams 8 --samples 300 \
+  --batch 64 --smoke --shutdown
+wait "$SHM_PID"
+grep -q '^shutdown: .* samples pushed, .* scored, ' "$SHM_LOG" \
+  || { echo "FATAL: daemon exit report missing from $SHM_LOG"; cat "$SHM_LOG"; exit 1; }
+rm -f "$SHM_SOCK"
 
 echo "CI OK"

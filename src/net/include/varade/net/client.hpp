@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "varade/net/shm.hpp"
 #include "varade/net/socket.hpp"
 #include "varade/net/wire.hpp"
 
@@ -35,6 +36,12 @@ struct ClientConfig {
   /// yet holds connections in the backlog, so this mostly covers the
   /// daemon-not-yet-bound race in tests and forked benchmarks.
   int connect_retry_ms = 2000;
+  /// send_sample() auto-coalescing: consecutive sends that continue one
+  /// stream's sequence are held back and emitted as a single SAMPLE_BATCH of
+  /// up to this many samples (1 = every send is its own SAMPLE frame). A
+  /// stream switch, a sequence gap, or any flush ends the run, so frame
+  /// order on the wire is exactly send order.
+  Index batch = 1;
 };
 
 /// One frame from the daemon, tagged by kind; exactly one member is valid.
@@ -61,11 +68,29 @@ class Client {
   Index n_streams() const { return welcome_.n_streams; }
   Index n_channels() const { return welcome_.n_channels; }
 
-  /// Encodes one SAMPLE frame (values must hold n_channels() floats);
-  /// flushes when the buffer crosses config.flush_bytes.
+  /// Encodes one sample (values must hold n_channels() floats); with
+  /// config.batch > 1 and the daemon's SAMPLE_BATCH feature granted,
+  /// consecutive sends of one stream coalesce into batch frames. Flushes
+  /// when the buffer crosses config.flush_bytes.
   void send_sample(Index stream, std::uint64_t seq, const float* values);
-  /// Writes out everything buffered (blocking).
+  /// Encodes `count` consecutive samples of one stream (values is the
+  /// row-major [count, n_channels()] block starting at base_seq) as
+  /// SAMPLE_BATCH frames — one header per kMaxBatchSamples instead of one
+  /// per sample. Falls back to per-sample SAMPLE frames against a daemon
+  /// that did not grant the feature.
+  void push_batch(Index stream, std::uint64_t base_seq, const float* values, Index count);
+  /// Writes out everything buffered (blocking; on the shm transport this
+  /// spins-then-waits while the ring is full and makes no syscall otherwise,
+  /// except the doorbell when the daemon declared itself asleep).
   void flush();
+
+  /// True when the session runs over shared-memory rings.
+  bool shm_active() const { return use_shm_; }
+  /// Doorbell syscalls made by this client's push path (shm only). The
+  /// zero-syscall claim is this counter staying a small fraction of the
+  /// samples pushed — it only moves on empty->nonempty ring transitions
+  /// that caught the daemon asleep.
+  long shm_doorbells() const { return shm_doorbells_; }
 
   void request_stats();
   /// Asks the daemon to shut down (it drains, flushes, and says GOODBYE).
@@ -84,6 +109,11 @@ class Client {
 
  private:
   bool take_frame(ClientEvent& out);
+  /// Ends the send_sample coalescing run, encoding it into out_.
+  void flush_run();
+  /// Blocks up to remaining_ms for ring bytes (or daemon death); true when
+  /// progress was made, false on timeout.
+  bool fill_from_shm(int remaining_ms);
 
   ClientConfig config_;
   Socket sock_;
@@ -91,6 +121,17 @@ class Client {
   std::vector<std::uint8_t> out_;
   Welcome welcome_;
   bool closed_ = false;
+
+  ShmSession shm_;
+  bool use_shm_ = false;
+  bool shm_eof_ = false;  // bootstrap socket EOF seen; ring already drained
+  long shm_doorbells_ = 0;
+
+  // send_sample coalescing run (config.batch > 1).
+  Index run_stream_ = -1;
+  std::uint64_t run_base_seq_ = 0;
+  Index run_count_ = 0;
+  std::vector<float> run_values_;
 };
 
 }  // namespace varade::net

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "varade/net/shm.hpp"
 #include "varade/net/socket.hpp"
 #include "varade/net/wire.hpp"
 #include "varade/obs/telemetry.hpp"
@@ -51,6 +52,14 @@ struct ServerConfig {
   /// Unix-domain listener path; empty disables. A stale socket file is
   /// replaced.
   std::string uds_path;
+  /// Shared-memory bootstrap listener path ("shm:PATH"); empty disables. A
+  /// Unix socket at PATH accepts connections whose HELLO may request the
+  /// kFeatureShm bit; granted sessions get a per-connection ring segment
+  /// fd-passed in the WELCOME and all further frames travel through the
+  /// rings (the socket stays open only as the liveness signal).
+  std::string shm_path;
+  /// Per-direction ring size for shm sessions (bytes, power of two).
+  std::size_t shm_ring_bytes = 1 << 20;
   /// Streams the runtime serves (wire stream ids are [0, n_streams)).
   Index n_streams = 16;
   /// Calibrated alarm threshold (the daemon calibrates before serving).
@@ -90,6 +99,7 @@ class Server {
   /// Resolved metrics-endpoint port, or -1 when the endpoint is off.
   int metrics_port() const { return metrics_port_; }
   const std::string& uds_path() const { return config_.uds_path; }
+  const std::string& shm_path() const { return config_.shm_path; }
   Index n_streams() const { return config_.n_streams; }
   Index n_channels() const { return n_channels_; }
 
@@ -128,9 +138,14 @@ class Server {
     std::vector<std::uint8_t> out;  // encoded frames awaiting write
     std::size_t out_off = 0;        // already-written prefix of `out`
     serve::BackpressurePolicy policy;
-    SampleData sample;  // decode scratch, reused per frame
+    SampleData sample;      // decode scratch, reused per frame
+    SampleBatchData batch;  // SAMPLE_BATCH decode scratch, reused per frame
+    std::uint8_t features = 0;  // feature bits granted in the WELCOME
     bool helloed = false;
-    bool closing = false;  // flush `out`, then close
+    bool closing = false;       // flush `out`, then close
+    bool shm_bootstrap = false;  // accepted on the shm listener
+    bool shm_active = false;     // rings negotiated; sock is liveness-only
+    ShmSession shm;
   };
 
   /// Per-stream mirror of the engine's alarm state machine, fed the drained
@@ -155,12 +170,21 @@ class Server {
   };
 
   void handle_frame(Connection& conn, const Frame& frame);
+  void handle_hello(Connection& conn, const Frame& frame);
   void handle_sample(Connection& conn, const Frame& frame);
+  void handle_sample_batch(Connection& conn, const Frame& frame);
   /// Sends WIRE_ERROR with `message` and schedules the connection for close.
   void protocol_error(Connection& conn, const std::string& message);
   void route_scores();
   void read_connection(Connection& conn);
   void write_connection(Connection& conn);
+  /// Drains the c2s ring through the frame dispatcher; the shm analogue of
+  /// read_connection (the bootstrap socket itself is handled in run()).
+  void read_shm_connection(Connection& conn);
+  /// Moves pending output bytes into the s2c ring, ringing the client's
+  /// doorbell when it declared itself asleep; a full ring leaves the rest
+  /// for the next loop iteration (the shm analogue of an EAGAIN).
+  void write_shm_connection(Connection& conn);
   void read_metrics(MetricsConn& conn);
   void write_metrics(MetricsConn& conn);
   void release_streams(Connection& conn);
@@ -174,6 +198,7 @@ class Server {
 
   Socket tcp_listener_;
   Socket uds_listener_;
+  Socket shm_listener_;
   Socket metrics_listener_;
   int tcp_port_ = -1;
   int metrics_port_ = -1;
@@ -197,6 +222,10 @@ class Server {
   obs::Counter frames_decoded_;
   obs::Counter flush_stalls_;
   obs::Counter metrics_scrapes_;
+  obs::LogHistogram shm_ring_depth_hist_;  // c2s readable bytes per drain
+  obs::Counter batch_frames_;          // SAMPLE_BATCH frames dispatched
+  obs::Counter batch_samples_;         // samples carried by those frames
+  obs::Counter shm_doorbells_rung_;    // s2c doorbells (client was asleep)
 };
 
 }  // namespace varade::net

@@ -1,0 +1,174 @@
+// Shared-memory transport for co-located producers: a mmap'd
+// single-producer single-consumer byte ring per direction, carrying the
+// exact same wire frames the sockets carry (the codec never knows which
+// transport it is on). The steady-state push is zero-syscall: bytes go
+// straight into the mapped ring; the only syscall left is an eventfd
+// doorbell rung exclusively when the consumer has declared itself asleep.
+//
+// Segment layout (one anonymous /dev/shm file per connection, fd-passed over
+// the bootstrap Unix socket and unlinked before it is ever shared, so a
+// crashed peer can never leave a stale file behind):
+//
+//   offset                          contents
+//   0                               ShmSegmentHeader {magic, version,
+//                                                     ring_bytes}
+//   64                              c2s ShmRingControl (client -> server)
+//   64 + 192                        c2s data[ring_bytes]
+//   64 + 192 + ring_bytes           s2c ShmRingControl (server -> client)
+//   64 + 2*192 + ring_bytes         s2c data[ring_bytes]
+//
+// Ring memory-ordering contract (SPSC, Dekker/eventcount style):
+//   - `tail` is the producer's monotonic write index, `head` the consumer's
+//     monotonic read index; both only ever grow, and are masked by
+//     ring_bytes - 1 (a power of two) on access. Occupancy is tail - head.
+//   - Producer: copy payload bytes into data[], then tail.store(release) —
+//     the release pairs with the consumer's tail.load(acquire), so a
+//     consumer that observes the new tail also observes the bytes.
+//   - Consumer: head.store(release) after copying out pairs with the
+//     producer's head.load(acquire) — space is only reused once the bytes
+//     were really read.
+//   - Doorbell (lost-wakeup-free): before sleeping the consumer stores
+//     waiting = 1, issues a seq_cst fence, and re-checks tail; only if the
+//     ring is still empty does it block on the eventfd. The producer stores
+//     tail, issues a seq_cst fence, and exchanges waiting — ringing the
+//     doorbell only when it wins the armed flag. The two fences make
+//     "consumer missed the new tail" and "producer missed waiting = 1"
+//     mutually exclusive, so a doorbell is rung for every armed sleep that
+//     has data, and *only* for those — doorbells are a strict subset of
+//     empty->nonempty transitions, not a per-write cost.
+//
+// Frames larger than the ring are fine: the ring is a byte stream, so a
+// frame simply flows through in pieces (FrameReader reassembles, exactly as
+// it does for fragmented socket reads). A full ring is backpressure: the
+// producer spins-then-waits (serve::Backoff) until the consumer drains.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "varade/tensor/tensor.hpp"
+
+namespace varade::net {
+
+inline constexpr std::uint64_t kShmMagic = 0x5641524144455348ULL;  // "VARADESH"
+inline constexpr std::uint32_t kShmVersion = 1;
+inline constexpr std::size_t kShmMinRingBytes = 4096;
+inline constexpr std::size_t kShmMaxRingBytes = 1ULL << 30;
+
+/// First 64 bytes of the segment; validated byte-for-byte by attach().
+struct ShmSegmentHeader {
+  std::uint64_t magic = kShmMagic;
+  std::uint32_t version = kShmVersion;
+  std::uint32_t ring_bytes = 0;  ///< per-direction data size, power of two
+  std::uint8_t reserved[48] = {};
+};
+static_assert(sizeof(ShmSegmentHeader) == 64);
+
+/// Control block of one SPSC ring; each index on its own cache line so the
+/// producer's tail stores never bounce the consumer's head line.
+struct ShmRingControl {
+  alignas(64) std::atomic<std::uint64_t> tail{0};  ///< producer write index
+  alignas(64) std::atomic<std::uint64_t> head{0};  ///< consumer read index
+  alignas(64) std::atomic<std::uint32_t> waiting{0};  ///< consumer armed flag
+};
+static_assert(sizeof(ShmRingControl) == 192);
+
+/// Total segment size for a per-direction ring of `ring_bytes`.
+std::size_t shm_segment_size(std::size_t ring_bytes);
+
+/// Initialises a freshly mapped segment (header + zeroed ring controls).
+/// `ring_bytes` must be a power of two in [kShmMinRingBytes, kShmMaxRingBytes].
+void shm_init_segment(void* base, std::size_t ring_bytes);
+
+/// Validates a mapped segment before trusting a single byte of it: magic,
+/// version, ring_bytes a power of two within bounds, and the mapping large
+/// enough for the layout the header claims. Throws varade::Error (message
+/// prefixed "net: shm") naming the defect; returns ring_bytes on success.
+std::size_t shm_validate_segment(const void* base, std::size_t mapped_bytes);
+
+/// Non-owning view over one direction's control block + data bytes. One
+/// thread (or process) may call the producer methods, one the consumer
+/// methods; the struct itself holds no state beyond the pointers.
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(ShmRingControl* control, std::uint8_t* data, std::size_t bytes)
+      : control_(control), data_(data), bytes_(bytes), mask_(bytes - 1) {}
+
+  std::size_t capacity() const { return bytes_; }
+
+  // --- producer side ---
+  /// Copies up to n bytes in; returns the count written (0 when full).
+  /// `ring_doorbell` is set when the consumer declared itself asleep and
+  /// this write won the armed flag — the caller must then write 1 to the
+  /// ring's eventfd, or the consumer sleeps through the data.
+  std::size_t write_some(const std::uint8_t* src, std::size_t n, bool& ring_doorbell);
+  std::size_t free_space() const;
+
+  // --- consumer side ---
+  /// Copies up to n bytes out; returns the count read (0 when empty).
+  std::size_t read_some(std::uint8_t* dst, std::size_t n);
+  std::size_t readable() const;
+  /// Declares the consumer asleep and re-checks for data; true means the
+  /// ring is really empty and blocking on the eventfd is race-free (any
+  /// later write sees the armed flag and rings). False means bytes arrived
+  /// concurrently — the caller must disarm and drain instead of sleeping.
+  bool arm_waiting();
+  void disarm_waiting();
+
+ private:
+  ShmRingControl* control_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t mask_ = 0;
+};
+
+/// One connection's shared-memory session: the mapped segment plus the two
+/// doorbell eventfds. The server create()s it (shm_open + immediate
+/// shm_unlink, so the segment is anonymous the moment it exists) and passes
+/// {segment fd, c2s eventfd, s2c eventfd} over the bootstrap Unix socket via
+/// SCM_RIGHTS; the client attach()es from the received fds. Both sides hold
+/// independent mappings, so either may unmap first.
+class ShmSession {
+ public:
+  ShmSession() = default;
+  ~ShmSession();
+
+  ShmSession(const ShmSession&) = delete;
+  ShmSession& operator=(const ShmSession&) = delete;
+  ShmSession(ShmSession&& other) noexcept;
+  ShmSession& operator=(ShmSession&& other) noexcept;
+
+  /// Server side: creates + maps a fresh segment and both eventfds.
+  static ShmSession create(std::size_t ring_bytes);
+  /// Client side: maps the received segment fd (validating the header) and
+  /// adopts the eventfds. Takes ownership of all three fds, error or not.
+  static ShmSession attach(int seg_fd, int c2s_doorbell, int s2c_doorbell);
+
+  bool valid() const { return base_ != nullptr; }
+  ShmRing& c2s() { return c2s_; }
+  ShmRing& s2c() { return s2c_; }
+  /// The segment fd, held only until it has been passed to the peer.
+  int seg_fd() const { return seg_fd_; }
+  void close_seg_fd();
+  int c2s_doorbell() const { return c2s_doorbell_; }
+  int s2c_doorbell() const { return s2c_doorbell_; }
+
+  /// Rings a doorbell (writes 1 to the eventfd; EAGAIN — a full counter —
+  /// already guarantees a pending wakeup and is ignored).
+  static void ring_doorbell(int eventfd);
+  /// Drains a doorbell (reads the nonblocking eventfd; EAGAIN is fine).
+  static void drain_doorbell(int eventfd);
+
+ private:
+  void* base_ = nullptr;
+  std::size_t mapped_ = 0;
+  int seg_fd_ = -1;
+  int c2s_doorbell_ = -1;
+  int s2c_doorbell_ = -1;
+  ShmRing c2s_;
+  ShmRing s2c_;
+};
+
+}  // namespace varade::net

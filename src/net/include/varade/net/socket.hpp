@@ -5,6 +5,8 @@
 //   unix:/path/to/daemon.sock      — Unix-domain stream socket
 //   tcp:host:port                  — TCP (host may be a dotted quad or name)
 //   host:port                      — shorthand for tcp:
+//   shm:/path/to/daemon.sock       — shared-memory rings, bootstrapped over
+//                                    a Unix socket at PATH (see shm.hpp)
 // so every binary (daemon, client, bench, example) speaks one spec format.
 //
 // All failures throw varade::Error with the errno text attached; nothing in
@@ -14,6 +16,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "varade/tensor/tensor.hpp"
 
@@ -21,15 +24,16 @@ namespace varade::net {
 
 /// A parsed endpoint spec.
 struct Endpoint {
-  enum class Kind { Tcp, Unix };
+  enum class Kind { Tcp, Unix, Shm };
   Kind kind = Kind::Tcp;
   std::string host;  // Tcp only
   int port = 0;      // Tcp only
-  std::string path;  // Unix only
+  std::string path;  // Unix and Shm (the bootstrap socket path)
 };
 
-/// Parses "unix:PATH", "tcp:HOST:PORT", or "HOST:PORT". Throws on anything
-/// else (empty path, non-numeric or out-of-range port, missing separator).
+/// Parses "unix:PATH", "tcp:HOST:PORT", "HOST:PORT", or "shm:PATH". Throws
+/// on anything else (empty path, non-numeric or out-of-range port, missing
+/// separator).
 Endpoint parse_endpoint(const std::string& spec);
 
 /// Formats an endpoint back into the canonical spec string.
@@ -83,5 +87,17 @@ long read_some(int fd, void* buf, std::size_t n);
 /// poll() for readability with a timeout; true when readable (or hung up),
 /// false on timeout. EINTR restarts with the remaining time.
 bool wait_readable(int fd, int timeout_ms);
+
+/// Writes all `n` bytes over a Unix socket with `n_fds` file descriptors
+/// attached via SCM_RIGHTS (riding the first byte). Blocking semantics like
+/// send_all. The shm bootstrap handshake uses this to hand the segment and
+/// doorbell fds to the client inside the WELCOME.
+void send_with_fds(int fd, const void* data, std::size_t n, const int* fds, int n_fds);
+
+/// One read of up to `n` bytes that also collects any SCM_RIGHTS fds into
+/// `out_fds` (appended; caller owns them). Same return contract as
+/// read_some. A receiver expecting fds must use this for *every* read in
+/// that window — a plain recv() silently drops in-flight descriptors.
+long recv_some_fds(int fd, void* buf, std::size_t n, std::vector<int>& out_fds);
 
 }  // namespace varade::net

@@ -25,10 +25,12 @@
 // error, never undefined behaviour.
 //
 // Frame catalogue (direction in parentheses):
-//   Hello        (c->s)  {u8 policy_request}           open the session
+//   Hello        (c->s)  {u8 policy_request[, u8 features]}  open the session
 //   Welcome      (s->c)  {u32 streams, u32 channels, f32 threshold,
-//                         u8 policy}                    config handshake reply
+//                         u8 policy[, u8 features]}    config handshake reply
 //   Sample       (c->s)  {u32 stream, u64 seq, C f32}   one raw sample
+//   SampleBatch  (c->s)  {u32 stream, u64 base_seq, u32 count, K*C f32}
+//                        K consecutive samples of one stream under one header
 //   Score        (s->c)  {u32 stream, u64 sample, f32}  one anomaly score
 //   Alarm        (s->c)  {u32 stream, u64 onset, u64 last, f32 peak,
 //                         u8 raised}                    alarm event state
@@ -71,15 +73,30 @@ enum class FrameType : std::uint8_t {
   Shutdown = 9,
   Goodbye = 10,
   WireError = 11,
+  SampleBatch = 12,
 };
+
+/// Hard cap on samples per SAMPLE_BATCH frame. With the 1 MiB payload cap a
+/// batch of 4096 samples still leaves room for 63 channels; a count beyond
+/// this is rejected before any per-sample work.
+inline constexpr std::uint32_t kMaxBatchSamples = 4096;
+
+// HELLO/WELCOME feature bits (the optional second payload byte). A legacy
+// 1-byte HELLO means "no features"; the daemon echoes the subset it granted
+// in a 14-byte WELCOME, so both sides agree before the first SAMPLE.
+inline constexpr std::uint8_t kFeatureSampleBatch = 0x01;  ///< SAMPLE_BATCH accepted
+inline constexpr std::uint8_t kFeatureShm = 0x02;          ///< shm ring transport
 
 /// Human-readable frame-type name (used in every decode error message).
 const char* to_string(FrameType type);
 
-/// Why the daemon refused a SAMPLE frame.
+/// Why the daemon refused a SAMPLE frame (or part of a SAMPLE_BATCH).
 enum class NackReason : std::uint8_t {
-  Backpressure = 0,  ///< the stream's ring was full under the Reject policy
-  StreamBusy = 1,    ///< the stream is owned by another live connection
+  Backpressure = 0,     ///< the stream's ring was full under the Reject policy
+  StreamBusy = 1,       ///< the stream is owned by another live connection
+  MalformedSample = 2,  ///< non-finite value inside a SAMPLE_BATCH; seq names
+                        ///< the first bad sample and the batch tail from it
+                        ///< onward was dropped (the connection stays open)
 };
 
 const char* to_string(NackReason reason);
@@ -99,6 +116,16 @@ struct Welcome {
   Index n_channels = 0;
   float threshold = 0.0F;
   serve::BackpressurePolicy policy = serve::BackpressurePolicy::Block;
+  /// Feature bits the daemon granted (subset of the Hello request). Encoded
+  /// as a 14th payload byte only when nonzero, so legacy peers still parse.
+  std::uint8_t features = 0;
+};
+
+/// Decoded HELLO frame: the requested backpressure policy (nullopt defers to
+/// the daemon default) plus the feature bits the client advertises.
+struct HelloData {
+  std::optional<serve::BackpressurePolicy> policy;
+  std::uint8_t features = 0;
 };
 
 /// Decoded SAMPLE frame. `values` is reused across calls so the per-sample
@@ -107,6 +134,22 @@ struct SampleData {
   Index stream = 0;
   std::uint64_t seq = 0;
   std::vector<float> values;
+};
+
+/// Decoded SAMPLE_BATCH frame. Structural problems (bad count, size
+/// mismatch) throw like any other decode; a non-finite *value* instead
+/// truncates: `valid` is the number of leading well-formed samples copied
+/// into `values` and `bad_channel` names the offending channel of sample
+/// `valid` (-1 when the whole batch is clean). The server turns a truncation
+/// into NACK(MalformedSample, seq = base_seq + valid) without dropping the
+/// connection — the sender loses the batch tail, not the session.
+struct SampleBatchData {
+  Index stream = 0;
+  std::uint64_t base_seq = 0;
+  Index count = 0;        ///< samples carried by the frame
+  Index valid = 0;        ///< leading samples with all-finite values
+  Index bad_channel = -1; ///< channel of the first non-finite value
+  std::vector<float> values;  ///< [valid * n_channels], reused across calls
 };
 
 /// Decoded SCORE frame.
@@ -166,12 +209,19 @@ struct WireStats {
 void append_frame(std::vector<std::uint8_t>& out, FrameType type, const std::uint8_t* payload,
                   std::size_t payload_len);
 /// HELLO's policy byte: a concrete policy requests it; nullopt (wire value
-/// 255) asks the daemon to apply its configured default.
+/// 255) asks the daemon to apply its configured default. Nonzero `features`
+/// appends the second payload byte (legacy daemons reject it by size, which
+/// is why the client only sets bits it needs).
 void append_hello(std::vector<std::uint8_t>& out,
-                  std::optional<serve::BackpressurePolicy> policy = std::nullopt);
+                  std::optional<serve::BackpressurePolicy> policy = std::nullopt,
+                  std::uint8_t features = 0);
 void append_welcome(std::vector<std::uint8_t>& out, const Welcome& welcome);
 void append_sample(std::vector<std::uint8_t>& out, Index stream, std::uint64_t seq,
                    const float* values, Index n_channels);
+/// One header for `count` consecutive samples of one stream; `values` is the
+/// row-major [count, n_channels] block starting at sequence `base_seq`.
+void append_sample_batch(std::vector<std::uint8_t>& out, Index stream, std::uint64_t base_seq,
+                         const float* values, Index count, Index n_channels);
 void append_score(std::vector<std::uint8_t>& out, Index stream, std::uint64_t sample,
                   float score);
 void append_alarm(std::vector<std::uint8_t>& out, const AlarmData& alarm);
@@ -191,12 +241,16 @@ Welcome decode_welcome(const Frame& frame);
 /// `n_channels` fixes the expected payload size; `out.values` is resized to
 /// it. Rejects non-finite values, naming the channel.
 void decode_sample(const Frame& frame, Index n_channels, SampleData& out);
+/// Structural validation (count in [1, kMaxBatchSamples], payload exactly
+/// 16 + 4*count*n_channels bytes) throws; non-finite values truncate into
+/// out.valid / out.bad_channel instead (see SampleBatchData).
+void decode_sample_batch(const Frame& frame, Index n_channels, SampleBatchData& out);
 ScoreData decode_score(const Frame& frame);
 AlarmData decode_alarm(const Frame& frame);
 NackData decode_nack(const Frame& frame);
 WireStats decode_stats_reply(const Frame& frame);
-/// nullopt when the client deferred to the daemon's default policy.
-std::optional<serve::BackpressurePolicy> decode_hello(const Frame& frame);
+/// Accepts the legacy 1-byte payload (features = 0) and the 2-byte form.
+HelloData decode_hello(const Frame& frame);
 /// WireError payload is the error message itself.
 std::string decode_wire_error(const Frame& frame);
 

@@ -6,9 +6,14 @@
 //
 // Usage:
 //   varade-served --listen unix:/tmp/varade.sock [--listen tcp:127.0.0.1:7733]
-//                 [--metrics tcp:HOST:PORT] [--streams N] [--detector <name>]
-//                 [--shards N] [--policy block|drop-oldest|reject] [--ring N]
-//                 [--score-threads N] [--quiet]
+//                 [--listen shm:/tmp/varade-shm.sock] [--metrics tcp:HOST:PORT]
+//                 [--streams N] [--detector <name>] [--shards N]
+//                 [--policy block|drop-oldest|reject] [--ring-capacity N]
+//                 [--shm-ring-bytes N] [--score-threads N] [--quiet]
+//
+// `--listen shm:PATH` accepts connections on a Unix bootstrap socket at PATH
+// and upgrades them to per-connection shared-memory rings (see
+// varade/net/shm.hpp); samples then flow without per-sample syscalls.
 //
 // The resolved TCP port (ephemeral when :0 was asked for) is printed as
 //   listening on tcp:HOST:PORT
@@ -53,9 +58,10 @@ serve::BackpressurePolicy parse_policy(const char* value) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --listen <unix:PATH|tcp:HOST:PORT> [--listen ...]\n"
+               "usage: %s --listen <unix:PATH|tcp:HOST:PORT|shm:PATH> [--listen ...]\n"
                "          [--metrics tcp:HOST:PORT] [--streams N] [--detector <name>]\n"
-               "          [--shards N] [--policy block|drop-oldest|reject] [--ring N]\n"
+               "          [--shards N] [--policy block|drop-oldest|reject]\n"
+               "          [--ring-capacity N] [--shm-ring-bytes N]\n"
                "          [--score-threads N] [--quiet]\n",
                argv0);
   return 2;
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
       const net::Endpoint ep = net::parse_endpoint(argv[++a]);
       if (ep.kind == net::Endpoint::Kind::Unix) {
         config.uds_path = ep.path;
+      } else if (ep.kind == net::Endpoint::Kind::Shm) {
+        config.shm_path = ep.path;
       } else {
         config.tcp_host = ep.host;
         config.tcp_port = ep.port;
@@ -92,7 +100,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--shards") == 0 && a + 1 < argc) {
       config.runtime.n_shards = bench::parse_long_arg("--shards", argv[++a]);
     } else if (std::strcmp(argv[a], "--ring") == 0 && a + 1 < argc) {
+      // Legacy spelling of --ring-capacity (kept for existing wrappers; the
+      // runtime rounds non-powers-of-two up, this path does not validate).
       config.runtime.ring_capacity = bench::parse_long_arg("--ring", argv[++a]);
+    } else if (std::strcmp(argv[a], "--ring-capacity") == 0 && a + 1 < argc) {
+      config.runtime.ring_capacity = bench::parse_pow2_arg("--ring-capacity", argv[++a]);
+    } else if (std::strcmp(argv[a], "--shm-ring-bytes") == 0 && a + 1 < argc) {
+      config.shm_ring_bytes =
+          static_cast<std::size_t>(bench::parse_pow2_arg("--shm-ring-bytes", argv[++a]));
     } else if (std::strcmp(argv[a], "--score-threads") == 0 && a + 1 < argc) {
       config.runtime.engine.scoring_threads =
           static_cast<int>(bench::parse_long_arg("--score-threads", argv[++a]));
@@ -135,6 +150,8 @@ int main(int argc, char** argv) {
       std::printf("listening on tcp:%s:%d\n", config.tcp_host.c_str(), server.tcp_port());
     if (!server.uds_path().empty())
       std::printf("listening on unix:%s\n", server.uds_path().c_str());
+    if (!server.shm_path().empty())
+      std::printf("listening on shm:%s\n", server.shm_path().c_str());
     if (server.metrics_port() >= 0)
       std::printf("metrics on tcp:%s:%d\n", config.metrics_host.c_str(), server.metrics_port());
     std::printf("serving %ld streams x %ld channels (threshold %.6f, policy %s)\n",

@@ -38,8 +38,15 @@ Server::Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& no
         "net: n_streams exceeds the wire's u32 stream id space");
   check(config_.tcp_port >= -1 && config_.tcp_port <= 65535,
         "net: tcp_port out of range [-1, 65535]");
-  check(config_.tcp_port >= 0 || !config_.uds_path.empty(),
-        "Server needs at least one listener (tcp_port >= 0 or a uds_path)");
+  check(config_.tcp_port >= 0 || !config_.uds_path.empty() || !config_.shm_path.empty(),
+        "Server needs at least one listener (tcp_port >= 0, a uds_path, or a shm_path)");
+  if (!config_.shm_path.empty()) {
+    check(config_.shm_ring_bytes >= kShmMinRingBytes &&
+              config_.shm_ring_bytes <= kShmMaxRingBytes &&
+              (config_.shm_ring_bytes & (config_.shm_ring_bytes - 1)) == 0,
+          "net: shm_ring_bytes must be a power of two in [" +
+              std::to_string(kShmMinRingBytes) + ", " + std::to_string(kShmMaxRingBytes) + "]");
+  }
   check(config_.max_connections >= 1, "net: max_connections must be >= 1");
   check(config_.poll_interval_ms >= 1, "net: poll_interval_ms must be >= 1");
   check(config_.metrics_port >= -1 && config_.metrics_port <= 65535,
@@ -67,6 +74,10 @@ Server::Server(core::AnomalyDetector& detector, const data::MinMaxNormalizer& no
     uds_listener_ = unix_listen(config_.uds_path, config_.listen_backlog);
     set_nonblocking(uds_listener_.fd(), true);
   }
+  if (!config_.shm_path.empty()) {
+    shm_listener_ = unix_listen(config_.shm_path, config_.listen_backlog);
+    set_nonblocking(shm_listener_.fd(), true);
+  }
   if (config_.metrics_port >= 0) {
     metrics_port_ = config_.metrics_port;
     metrics_listener_ = tcp_listen(config_.metrics_host, metrics_port_, config_.listen_backlog);
@@ -81,6 +92,7 @@ Server::~Server() {
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
   if (!config_.uds_path.empty()) (void)unlink(config_.uds_path.c_str());
+  if (!config_.shm_path.empty()) (void)unlink(config_.shm_path.c_str());
 }
 
 void Server::request_stop() {
@@ -136,6 +148,93 @@ void Server::handle_sample(Connection& conn, const Frame& frame) {
   }
 }
 
+void Server::handle_sample_batch(Connection& conn, const Frame& frame) {
+  if ((conn.features & kFeatureSampleBatch) == 0) {
+    protocol_error(conn, "net: SAMPLE_BATCH frame without the feature negotiated in HELLO");
+    return;
+  }
+  decode_sample_batch(frame, n_channels_, conn.batch);  // structural throws -> WIRE_ERROR
+  obs::count(batch_frames_);
+  obs::count(batch_samples_, static_cast<std::uint64_t>(conn.batch.count));
+  const Index stream = conn.batch.stream;
+  if (stream >= config_.n_streams) {
+    protocol_error(conn, "net: " + serve::detail::stream_range_message(stream, config_.n_streams));
+    return;
+  }
+  StreamMirror& mirror = streams_[static_cast<std::size_t>(stream)];
+  if (mirror.owner == nullptr) mirror.owner = &conn;  // first-push-wins ownership
+  if (mirror.owner != &conn) {
+    NackData nack;
+    nack.stream = stream;
+    nack.seq = conn.batch.base_seq;
+    nack.result = serve::PushResult::Rejected;
+    nack.reason = NackReason::StreamBusy;
+    append_nack(conn.out, nack);
+    frames_nacked_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // The valid prefix enters the ring sample by sample, exactly as unbatched
+  // SAMPLE frames would — the runtime (and therefore every score) cannot
+  // tell the difference.
+  for (Index i = 0; i < conn.batch.valid; ++i) {
+    const serve::PushResult result = runtime_.push(
+        stream, conn.batch.values.data() + static_cast<std::size_t>(i) * n_channels_,
+        n_channels_, conn.policy);
+    if (result == serve::PushResult::Rejected) {
+      NackData nack;
+      nack.stream = stream;
+      nack.seq = conn.batch.base_seq + static_cast<std::uint64_t>(i);
+      nack.result = result;
+      nack.reason = NackReason::Backpressure;
+      append_nack(conn.out, nack);
+      frames_nacked_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (conn.batch.valid < conn.batch.count) {
+    // A non-finite value truncated the batch: name the offending in-batch
+    // sample and drop only the tail — the connection survives.
+    NackData nack;
+    nack.stream = stream;
+    nack.seq = conn.batch.base_seq + static_cast<std::uint64_t>(conn.batch.valid);
+    nack.result = serve::PushResult::Rejected;
+    nack.reason = NackReason::MalformedSample;
+    append_nack(conn.out, nack);
+    frames_nacked_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handle_hello(Connection& conn, const Frame& frame) {
+  const HelloData hello = decode_hello(frame);  // throws -> WIRE_ERROR
+  conn.policy = hello.policy.value_or(config_.runtime.backpressure);
+  conn.helloed = true;
+  // Grant SAMPLE_BATCH to anyone who asks; the shm rings only on the shm
+  // bootstrap listener (a request elsewhere is simply not granted, and the
+  // client sees that in the WELCOME's feature echo).
+  std::uint8_t granted = hello.features & kFeatureSampleBatch;
+  if (conn.shm_bootstrap && (hello.features & kFeatureShm) != 0) granted |= kFeatureShm;
+  conn.features = granted;
+  Welcome welcome;
+  welcome.n_streams = config_.n_streams;
+  welcome.n_channels = n_channels_;
+  welcome.threshold = runtime_.threshold();
+  welcome.policy = conn.policy;
+  welcome.features = granted;
+  if ((granted & kFeatureShm) != 0) {
+    // The WELCOME must carry the segment + doorbell fds, so it bypasses
+    // conn.out and goes straight out with sendmsg(SCM_RIGHTS). From here on
+    // the socket is only the liveness signal; frames travel in the rings.
+    conn.shm = ShmSession::create(config_.shm_ring_bytes);
+    std::vector<std::uint8_t> bytes;
+    append_welcome(bytes, welcome);
+    const int fds[3] = {conn.shm.seg_fd(), conn.shm.c2s_doorbell(), conn.shm.s2c_doorbell()};
+    send_with_fds(conn.sock.fd(), bytes.data(), bytes.size(), fds, 3);
+    conn.shm.close_seg_fd();
+    conn.shm_active = true;
+    return;
+  }
+  append_welcome(conn.out, welcome);
+}
+
 void Server::handle_frame(Connection& conn, const Frame& frame) {
   if (!conn.helloed) {
     if (frame.type != FrameType::Hello) {
@@ -143,14 +242,7 @@ void Server::handle_frame(Connection& conn, const Frame& frame) {
                                net::to_string(frame.type));
       return;
     }
-    conn.policy = decode_hello(frame).value_or(config_.runtime.backpressure);
-    conn.helloed = true;
-    Welcome welcome;
-    welcome.n_streams = config_.n_streams;
-    welcome.n_channels = n_channels_;
-    welcome.threshold = runtime_.threshold();
-    welcome.policy = conn.policy;
-    append_welcome(conn.out, welcome);
+    handle_hello(conn, frame);
     return;
   }
   switch (frame.type) {
@@ -159,6 +251,9 @@ void Server::handle_frame(Connection& conn, const Frame& frame) {
       return;
     case FrameType::Sample:
       handle_sample(conn, frame);
+      return;
+    case FrameType::SampleBatch:
+      handle_sample_batch(conn, frame);
       return;
     case FrameType::StatsRequest: {
       const serve::RuntimeStats rs = runtime_.stats();
@@ -235,6 +330,64 @@ void Server::read_connection(Connection& conn) {
   if (frames > 0) {
     obs::record_since(decode_hist_, t_read);
     obs::count(frames_decoded_, static_cast<std::uint64_t>(frames));
+  }
+}
+
+void Server::read_shm_connection(Connection& conn) {
+  const std::size_t depth = conn.shm.c2s().readable();
+  if (depth == 0) return;
+  obs::record_value(shm_ring_depth_hist_, static_cast<std::int64_t>(depth));
+  std::uint8_t buf[65536];
+  const std::int64_t t_read = obs::tick();
+  long frames = 0;
+  bool done = false;
+  while (!done) {
+    const std::size_t n = conn.shm.c2s().read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    try {
+      conn.reader.feed(buf, n);
+      Frame frame;
+      while (conn.reader.next(frame)) {
+        ++frames;
+        handle_frame(conn, frame);
+        if (conn.closing) {  // discard the rest of the ring
+          done = true;
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      protocol_error(conn, e.what());
+      break;
+    }
+  }
+  if (frames > 0) {
+    obs::record_since(decode_hist_, t_read);
+    obs::count(frames_decoded_, static_cast<std::uint64_t>(frames));
+  }
+}
+
+void Server::write_shm_connection(Connection& conn) {
+  obs::record_value(out_depth_hist_, static_cast<std::int64_t>(conn.out.size() - conn.out_off));
+  while (conn.out_off < conn.out.size()) {
+    bool bell = false;
+    const std::size_t n = conn.shm.s2c().write_some(conn.out.data() + conn.out_off,
+                                                    conn.out.size() - conn.out_off, bell);
+    if (bell) {
+      ShmSession::ring_doorbell(conn.shm.s2c_doorbell());
+      obs::count(shm_doorbells_rung_);
+    }
+    if (n == 0) {
+      obs::count(flush_stalls_);  // ring full: the client reads too slowly
+      break;
+    }
+    conn.out_off += n;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > 65536) {
+    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
   }
 }
 
@@ -340,10 +493,20 @@ std::string Server::metrics_text() const {
             flush_stalls_.value());
   w.counter("varade_net_metrics_scrapes_total", "GET /metrics requests served.",
             metrics_scrapes_.value());
+  w.counter("varade_net_batch_frames_total", "SAMPLE_BATCH frames decoded and dispatched.",
+            batch_frames_.value());
+  w.counter("varade_net_batch_samples_total", "Samples carried by SAMPLE_BATCH frames.",
+            batch_samples_.value());
+  w.counter("varade_net_shm_doorbells_total",
+            "Server-to-client doorbells rung (the client had declared itself asleep).",
+            shm_doorbells_rung_.value());
   w.histogram("varade_net_frame_decode_seconds",
               "Frame decode + dispatch time per readable-socket batch.", decode_hist_.snapshot());
   w.histogram("varade_net_out_buffer_bytes", "Pending output bytes at each flush attempt.",
               out_depth_hist_.snapshot(), 1.0);
+  w.histogram("varade_net_shm_ring_depth_bytes",
+              "Client-to-server ring occupancy at each nonempty drain.",
+              shm_ring_depth_hist_.snapshot(), 1.0);
 
   return w.text();
 }
@@ -462,6 +625,7 @@ void Server::begin_shutdown() {
   shutting_down_ = true;
   tcp_listener_.close();
   uds_listener_.close();
+  shm_listener_.close();
   metrics_listener_.close();
   metrics_conns_.clear();  // a half-served scrape does not gate shutdown
   // Drain every accepted sample (close() blocks until the scorers finish),
@@ -501,6 +665,10 @@ void Server::run() {
         pfds.push_back({uds_listener_.fd(), POLLIN, 0});
         ++n_listeners;
       }
+      if (shm_listener_.valid()) {
+        pfds.push_back({shm_listener_.fd(), POLLIN, 0});
+        ++n_listeners;
+      }
       if (metrics_listener_.valid()) {
         metrics_listener_idx = pfds.size();
         pfds.push_back({metrics_listener_.fd(), POLLIN, 0});
@@ -510,8 +678,10 @@ void Server::run() {
     for (const std::unique_ptr<Connection>& conn : conns_) {
       if (!conn->sock.valid()) continue;
       short events = 0;
-      if (!conn->closing) events |= POLLIN;
-      if (conn->out_off < conn->out.size()) events |= POLLOUT;
+      // A shm connection's socket is polled even while closing: it is the
+      // liveness signal, and output leaves through the ring, never POLLOUT.
+      if (!conn->closing || conn->shm_active) events |= POLLIN;
+      if (!conn->shm_active && conn->out_off < conn->out.size()) events |= POLLOUT;
       pfds.push_back({conn->sock.fd(), events, 0});
       pfd_conns.push_back(conn.get());
     }
@@ -524,10 +694,31 @@ void Server::run() {
       pfds.push_back({mc->sock.fd(), events, 0});
       pfd_mconns.push_back(mc.get());
     }
+    // Shm doorbells: arm each empty c2s ring before sleeping (the armed
+    // flag makes the client's next write ring the eventfd — see shm.hpp's
+    // ordering contract). A ring with bytes already in it forces a zero
+    // timeout instead: the data is older than this poll.
+    const std::size_t first_bell = pfds.size();
+    int poll_timeout = config_.poll_interval_ms;
+    for (const std::unique_ptr<Connection>& conn : conns_) {
+      if (!conn->shm_active || !conn->sock.valid()) continue;
+      if (conn->shm.c2s().arm_waiting()) {
+        pfds.push_back({conn->shm.c2s_doorbell(), POLLIN, 0});
+      } else {
+        conn->shm.c2s().disarm_waiting();
+        poll_timeout = 0;
+      }
+    }
 
-    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
-                          config_.poll_interval_ms);
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), poll_timeout);
     if (rc < 0 && errno != EINTR) fail("net: poll(): ", std::strerror(errno));
+
+    // Disarm + drain every doorbell before touching the rings; the drain
+    // pass below picks the bytes up regardless of which fd fired.
+    for (std::size_t i = first_bell; i < pfds.size(); ++i)
+      if ((pfds[i].revents & POLLIN) != 0) ShmSession::drain_doorbell(pfds[i].fd);
+    for (const std::unique_ptr<Connection>& conn : conns_)
+      if (conn->shm_active) conn->shm.c2s().disarm_waiting();
 
     if (pfds[0].revents & POLLIN) {
       char sink[64];
@@ -573,6 +764,7 @@ void Server::run() {
         auto conn = std::make_unique<Connection>();
         conn->sock = Socket(fd);
         conn->policy = config_.runtime.backpressure;
+        conn->shm_bootstrap = shm_listener_.valid() && pfds[i].fd == shm_listener_.fd();
         conns_.push_back(std::move(conn));
         connections_accepted_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -581,9 +773,35 @@ void Server::run() {
     for (std::size_t i = first_conn; i < first_mconn; ++i) {
       Connection& conn = *pfd_conns[i - first_conn];
       if (!conn.sock.valid()) continue;
-      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_connection(conn);
+      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      if (!conn.shm_active) {
+        read_connection(conn);
+        continue;
+      }
+      // Post-handshake the shm socket carries liveness only: EOF means the
+      // client is gone (drain what it left in the ring first — those frames
+      // were complete before it departed); actual bytes are a client bug.
+      std::uint8_t probe[4096];
+      for (;;) {
+        const long n = read_some(conn.sock.fd(), probe, sizeof(probe));
+        if (n == -1) break;
+        if (n == 0) {
+          read_shm_connection(conn);
+          release_streams(conn);
+          conn.sock.close();
+          break;
+        }
+        protocol_error(conn, "net: unexpected bytes on the shm bootstrap socket");
+        break;
+      }
     }
-    for (std::size_t i = first_mconn; i < pfds.size(); ++i) {
+    // Rings are drained every iteration — a doorbell wakes the loop early,
+    // but bytes written while the loop was already busy arrive bell-free.
+    for (const std::unique_ptr<Connection>& conn : conns_) {
+      if (conn->shm_active && conn->sock.valid() && !conn->closing)
+        read_shm_connection(*conn);
+    }
+    for (std::size_t i = first_mconn; i < first_bell; ++i) {
       MetricsConn& mc = *pfd_mconns[i - first_mconn];
       if (!mc.sock.valid()) continue;
       if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) read_metrics(mc);
@@ -595,7 +813,11 @@ void Server::run() {
     // queued this iteration, after the poll — write eagerly, not only on
     // POLLOUT, so a quiet socket does not add a poll interval of latency).
     for (const std::unique_ptr<Connection>& conn : conns_) {
-      if (conn->sock.valid() && conn->out_off < conn->out.size()) write_connection(*conn);
+      if (!conn->sock.valid() || conn->out_off >= conn->out.size()) continue;
+      if (conn->shm_active)
+        write_shm_connection(*conn);
+      else
+        write_connection(*conn);
     }
     for (const std::unique_ptr<MetricsConn>& mc : metrics_conns_) {
       if (mc->sock.valid() && mc->responded) write_metrics(*mc);

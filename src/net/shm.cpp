@@ -1,0 +1,260 @@
+#include "varade/net/shm.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <new>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace varade::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail("net: shm ", what, ": ", std::strerror(errno));
+}
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+void check_ring_bytes(std::size_t ring_bytes) {
+  check(is_pow2(ring_bytes), "net: shm ring_bytes " + std::to_string(ring_bytes) +
+                                 " is not a power of two");
+  check(ring_bytes >= kShmMinRingBytes && ring_bytes <= kShmMaxRingBytes,
+        "net: shm ring_bytes " + std::to_string(ring_bytes) + " outside [" +
+            std::to_string(kShmMinRingBytes) + ", " + std::to_string(kShmMaxRingBytes) + "]");
+}
+
+ShmRingControl* ring_control(void* base, std::size_t ring_bytes, int which) {
+  auto* p = static_cast<std::uint8_t*>(base) + sizeof(ShmSegmentHeader) +
+            static_cast<std::size_t>(which) * (sizeof(ShmRingControl) + ring_bytes);
+  return reinterpret_cast<ShmRingControl*>(p);
+}
+
+std::uint8_t* ring_data(void* base, std::size_t ring_bytes, int which) {
+  return reinterpret_cast<std::uint8_t*>(ring_control(base, ring_bytes, which)) +
+         sizeof(ShmRingControl);
+}
+
+}  // namespace
+
+std::size_t shm_segment_size(std::size_t ring_bytes) {
+  return sizeof(ShmSegmentHeader) + 2 * (sizeof(ShmRingControl) + ring_bytes);
+}
+
+void shm_init_segment(void* base, std::size_t ring_bytes) {
+  check_ring_bytes(ring_bytes);
+  auto* header = new (base) ShmSegmentHeader;
+  header->ring_bytes = static_cast<std::uint32_t>(ring_bytes);
+  for (int which = 0; which < 2; ++which) new (ring_control(base, ring_bytes, which)) ShmRingControl;
+}
+
+std::size_t shm_validate_segment(const void* base, std::size_t mapped_bytes) {
+  check(mapped_bytes >= sizeof(ShmSegmentHeader),
+        "net: shm segment is " + std::to_string(mapped_bytes) +
+            " bytes, smaller than its own header");
+  // The header bytes come from another process: copy them out before
+  // inspection so validation never trusts alignment or aliasing of the raw
+  // mapping.
+  ShmSegmentHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  check(header.magic == kShmMagic, "net: shm segment has bad magic (not a varade segment)");
+  check(header.version == kShmVersion,
+        "net: shm segment version " + std::to_string(header.version) + " (expected " +
+            std::to_string(kShmVersion) + ")");
+  const std::size_t ring_bytes = header.ring_bytes;
+  check(is_pow2(ring_bytes),
+        "net: shm segment ring_bytes " + std::to_string(ring_bytes) + " is not a power of two");
+  check(ring_bytes >= kShmMinRingBytes && ring_bytes <= kShmMaxRingBytes,
+        "net: shm segment ring_bytes " + std::to_string(ring_bytes) + " outside [" +
+            std::to_string(kShmMinRingBytes) + ", " + std::to_string(kShmMaxRingBytes) + "]");
+  check(mapped_bytes >= shm_segment_size(ring_bytes),
+        "net: shm segment is " + std::to_string(mapped_bytes) + " bytes but its header claims " +
+            std::to_string(shm_segment_size(ring_bytes)));
+  return ring_bytes;
+}
+
+std::size_t ShmRing::free_space() const {
+  const std::uint64_t head = control_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = control_->tail.load(std::memory_order_relaxed);
+  return bytes_ - static_cast<std::size_t>(tail - head);
+}
+
+std::size_t ShmRing::readable() const {
+  const std::uint64_t tail = control_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = control_->head.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(tail - head);
+}
+
+std::size_t ShmRing::write_some(const std::uint8_t* src, std::size_t n, bool& ring_doorbell) {
+  ring_doorbell = false;
+  const std::uint64_t head = control_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = control_->tail.load(std::memory_order_relaxed);
+  const std::size_t space = bytes_ - static_cast<std::size_t>(tail - head);
+  const std::size_t count = std::min(n, space);
+  if (count == 0) return 0;
+  const std::size_t at = static_cast<std::size_t>(tail) & mask_;
+  const std::size_t first = std::min(count, bytes_ - at);
+  std::memcpy(data_ + at, src, first);
+  if (count > first) std::memcpy(data_, src + first, count - first);
+  control_->tail.store(tail + count, std::memory_order_release);
+  // Dekker handshake with arm_waiting(): the fence orders the tail store
+  // before the waiting load, so either the consumer's re-check sees the new
+  // tail or this load sees the armed flag — never neither.
+#if defined(__SANITIZE_THREAD__)
+  // TSan cannot model atomic_thread_fence (GCC rejects it under
+  // -Werror=tsan), so this build uses the fence-free Dekker formulation: a
+  // seq_cst RMW on `waiting` itself. The two sides' RMWs are
+  // coherence-ordered, and the loser synchronizes-with the winner — the same
+  // either/or guarantee the fences give, at the cost of an unconditional RMW.
+  ring_doorbell = control_->waiting.exchange(0, std::memory_order_seq_cst) != 0;
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (control_->waiting.load(std::memory_order_relaxed) != 0)
+    ring_doorbell = control_->waiting.exchange(0, std::memory_order_relaxed) != 0;
+#endif
+  return count;
+}
+
+std::size_t ShmRing::read_some(std::uint8_t* dst, std::size_t n) {
+  const std::uint64_t tail = control_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = control_->head.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t count = std::min(n, avail);
+  if (count == 0) return 0;
+  const std::size_t at = static_cast<std::size_t>(head) & mask_;
+  const std::size_t first = std::min(count, bytes_ - at);
+  std::memcpy(dst, data_ + at, first);
+  if (count > first) std::memcpy(dst + first, data_, count - first);
+  control_->head.store(head + count, std::memory_order_release);
+  return count;
+}
+
+bool ShmRing::arm_waiting() {
+#if defined(__SANITIZE_THREAD__)
+  // Fence-free Dekker under TSan; see write_some().
+  control_->waiting.exchange(1, std::memory_order_seq_cst);
+#else
+  control_->waiting.store(1, std::memory_order_relaxed);
+  // Pairs with the producer-side fence in write_some(); see there.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  return readable() == 0;
+}
+
+void ShmRing::disarm_waiting() { control_->waiting.store(0, std::memory_order_relaxed); }
+
+ShmSession::~ShmSession() {
+  if (base_ != nullptr) ::munmap(base_, mapped_);
+  if (seg_fd_ >= 0) ::close(seg_fd_);
+  if (c2s_doorbell_ >= 0) ::close(c2s_doorbell_);
+  if (s2c_doorbell_ >= 0) ::close(s2c_doorbell_);
+}
+
+ShmSession::ShmSession(ShmSession&& other) noexcept
+    : base_(other.base_),
+      mapped_(other.mapped_),
+      seg_fd_(other.seg_fd_),
+      c2s_doorbell_(other.c2s_doorbell_),
+      s2c_doorbell_(other.s2c_doorbell_),
+      c2s_(other.c2s_),
+      s2c_(other.s2c_) {
+  other.base_ = nullptr;
+  other.mapped_ = 0;
+  other.seg_fd_ = other.c2s_doorbell_ = other.s2c_doorbell_ = -1;
+  other.c2s_ = ShmRing();
+  other.s2c_ = ShmRing();
+}
+
+ShmSession& ShmSession::operator=(ShmSession&& other) noexcept {
+  if (this != &other) {
+    this->~ShmSession();
+    new (this) ShmSession(std::move(other));
+  }
+  return *this;
+}
+
+void ShmSession::close_seg_fd() {
+  if (seg_fd_ >= 0) {
+    ::close(seg_fd_);
+    seg_fd_ = -1;
+  }
+}
+
+ShmSession ShmSession::create(std::size_t ring_bytes) {
+  check_ring_bytes(ring_bytes);
+  // A unique name, opened exclusively and unlinked before anyone else can
+  // see it: the segment lives only as the fds referencing it.
+  char name[64];
+  static std::atomic<unsigned> counter{0};
+  std::snprintf(name, sizeof(name), "/varade-%ld-%u", static_cast<long>(::getpid()),
+                counter.fetch_add(1, std::memory_order_relaxed));
+  const int fd = ::shm_open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) fail_errno(std::string("shm_open(") + name + ")");
+  (void)::shm_unlink(name);
+
+  ShmSession session;
+  session.seg_fd_ = fd;
+  session.mapped_ = shm_segment_size(ring_bytes);
+  if (::ftruncate(fd, static_cast<off_t>(session.mapped_)) != 0) fail_errno("ftruncate");
+  void* base = ::mmap(nullptr, session.mapped_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) fail_errno("mmap");
+  session.base_ = base;
+  shm_init_segment(base, ring_bytes);
+  session.c2s_ = ShmRing(ring_control(base, ring_bytes, 0), ring_data(base, ring_bytes, 0),
+                         ring_bytes);
+  session.s2c_ = ShmRing(ring_control(base, ring_bytes, 1), ring_data(base, ring_bytes, 1),
+                         ring_bytes);
+  session.c2s_doorbell_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (session.c2s_doorbell_ < 0) fail_errno("eventfd");
+  session.s2c_doorbell_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (session.s2c_doorbell_ < 0) fail_errno("eventfd");
+  return session;
+}
+
+ShmSession ShmSession::attach(int seg_fd, int c2s_doorbell, int s2c_doorbell) {
+  ShmSession session;  // owns the fds from here on, error paths included
+  session.seg_fd_ = seg_fd;
+  session.c2s_doorbell_ = c2s_doorbell;
+  session.s2c_doorbell_ = s2c_doorbell;
+  check(seg_fd >= 0 && c2s_doorbell >= 0 && s2c_doorbell >= 0,
+        "net: shm attach needs three valid fds");
+  struct stat st{};
+  if (::fstat(seg_fd, &st) != 0) fail_errno("fstat");
+  check(st.st_size > 0, "net: shm segment fd has zero size");
+  session.mapped_ = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, session.mapped_, PROT_READ | PROT_WRITE, MAP_SHARED, seg_fd, 0);
+  if (base == MAP_FAILED) fail_errno("mmap");
+  session.base_ = base;
+  const std::size_t ring_bytes = shm_validate_segment(base, session.mapped_);
+  session.c2s_ = ShmRing(ring_control(base, ring_bytes, 0), ring_data(base, ring_bytes, 0),
+                         ring_bytes);
+  session.s2c_ = ShmRing(ring_control(base, ring_bytes, 1), ring_data(base, ring_bytes, 1),
+                         ring_bytes);
+  session.close_seg_fd();  // the mapping outlives the fd
+  return session;
+}
+
+void ShmSession::ring_doorbell(int eventfd) {
+  const std::uint64_t one = 1;
+  for (;;) {
+    const ssize_t rc = ::write(eventfd, &one, sizeof(one));
+    if (rc >= 0 || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno != EINTR) fail_errno("eventfd write");
+  }
+}
+
+void ShmSession::drain_doorbell(int eventfd) {
+  std::uint64_t sink = 0;
+  for (;;) {
+    const ssize_t rc = ::read(eventfd, &sink, sizeof(sink));
+    if (rc >= 0 || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno != EINTR) fail_errno("eventfd read");
+  }
+}
+
+}  // namespace varade::net

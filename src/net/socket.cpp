@@ -63,10 +63,16 @@ Endpoint parse_endpoint(const std::string& spec) {
     check(!ep.path.empty(), "net: endpoint \"" + spec + "\" has an empty unix path");
     return ep;
   }
+  if (spec.rfind("shm:", 0) == 0) {
+    ep.kind = Endpoint::Kind::Shm;
+    ep.path = spec.substr(4);
+    check(!ep.path.empty(), "net: endpoint \"" + spec + "\" has an empty shm bootstrap path");
+    return ep;
+  }
   if (spec.rfind("tcp:", 0) == 0) rest = spec.substr(4);
   const std::size_t colon = rest.rfind(':');
   check(colon != std::string::npos && colon > 0,
-        "net: endpoint \"" + spec + "\" is not unix:PATH or tcp:HOST:PORT");
+        "net: endpoint \"" + spec + "\" is not unix:PATH, shm:PATH, or tcp:HOST:PORT");
   ep.kind = Endpoint::Kind::Tcp;
   ep.host = rest.substr(0, colon);
   const std::string port_str = rest.substr(colon + 1);
@@ -83,6 +89,7 @@ Endpoint parse_endpoint(const std::string& spec) {
 
 std::string to_string(const Endpoint& endpoint) {
   if (endpoint.kind == Endpoint::Kind::Unix) return "unix:" + endpoint.path;
+  if (endpoint.kind == Endpoint::Kind::Shm) return "shm:" + endpoint.path;
   return "tcp:" + endpoint.host + ":" + std::to_string(endpoint.port);
 }
 
@@ -155,8 +162,10 @@ Socket unix_connect(const std::string& path) {
 }
 
 Socket connect_endpoint(const Endpoint& endpoint) {
-  return endpoint.kind == Endpoint::Kind::Unix ? unix_connect(endpoint.path)
-                                               : tcp_connect(endpoint.host, endpoint.port);
+  // A shm endpoint's socket is its bootstrap Unix socket; the rings are
+  // negotiated over it afterwards (Client does that part).
+  if (endpoint.kind != Endpoint::Kind::Tcp) return unix_connect(endpoint.path);
+  return tcp_connect(endpoint.host, endpoint.port);
 }
 
 void set_nonblocking(int fd, bool on) {
@@ -194,6 +203,71 @@ long read_some(int fd, void* buf, std::size_t n) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
     if (errno == ECONNRESET) return 0;  // peer vanished: treat as EOF
     fail_errno("recv");
+  }
+}
+
+void send_with_fds(int fd, const void* data, std::size_t n, const int* fds, int n_fds) {
+  check(n > 0, "net: send_with_fds needs at least one byte to carry the fds");
+  check(n_fds >= 1 && n_fds <= 8, "net: send_with_fds fd count out of range [1, 8]");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+
+  // The descriptors ride the first byte; the rest of the bytes follow plain.
+  alignas(cmsghdr) char control[CMSG_SPACE(8 * sizeof(int))];
+  std::memset(control, 0, sizeof(control));
+  iovec iov{};
+  iov.iov_base = const_cast<std::uint8_t*>(p);
+  iov.iov_len = 1;
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = CMSG_SPACE(static_cast<std::size_t>(n_fds) * sizeof(int));
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(static_cast<std::size_t>(n_fds) * sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), fds, static_cast<std::size_t>(n_fds) * sizeof(int));
+  for (;;) {
+    const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc >= 1) break;
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 100);
+      continue;
+    }
+    fail_errno("sendmsg(SCM_RIGHTS)");
+  }
+  if (n > 1) send_all(fd, p + 1, n - 1);
+}
+
+long recv_some_fds(int fd, void* buf, std::size_t n, std::vector<int>& out_fds) {
+  alignas(cmsghdr) char control[CMSG_SPACE(8 * sizeof(int))];
+  iovec iov{};
+  iov.iov_base = buf;
+  iov.iov_len = n;
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    const ssize_t rc = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+      if (errno == ECONNRESET) return 0;
+      fail_errno("recvmsg");
+    }
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr; cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) continue;
+      const std::size_t bytes = cmsg->cmsg_len - CMSG_LEN(0);
+      const std::size_t count = bytes / sizeof(int);
+      std::vector<int> fds(count);
+      std::memcpy(fds.data(), CMSG_DATA(cmsg), count * sizeof(int));
+      out_fds.insert(out_fds.end(), fds.begin(), fds.end());
+    }
+    return static_cast<long>(rc);
   }
 }
 

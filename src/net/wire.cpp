@@ -105,6 +105,7 @@ const char* to_string(FrameType type) {
     case FrameType::Shutdown: return "SHUTDOWN";
     case FrameType::Goodbye: return "GOODBYE";
     case FrameType::WireError: return "WIRE_ERROR";
+    case FrameType::SampleBatch: return "SAMPLE_BATCH";
   }
   return "UNKNOWN";
 }
@@ -113,6 +114,7 @@ const char* to_string(NackReason reason) {
   switch (reason) {
     case NackReason::Backpressure: return "Backpressure";
     case NackReason::StreamBusy: return "StreamBusy";
+    case NackReason::MalformedSample: return "MalformedSample";
   }
   return "UNKNOWN";
 }
@@ -124,17 +126,19 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type, const std::uin
 }
 
 void append_hello(std::vector<std::uint8_t>& out,
-                  std::optional<serve::BackpressurePolicy> policy) {
-  std::uint8_t* p = begin_frame(out, FrameType::Hello, 1);
+                  std::optional<serve::BackpressurePolicy> policy, std::uint8_t features) {
+  std::uint8_t* p = begin_frame(out, FrameType::Hello, features != 0 ? 2 : 1);
   p[0] = policy ? encode_policy_byte(*policy) : kDefaultPolicyByte;
+  if (features != 0) p[1] = features;
 }
 
 void append_welcome(std::vector<std::uint8_t>& out, const Welcome& welcome) {
-  std::uint8_t* p = begin_frame(out, FrameType::Welcome, 13);
+  std::uint8_t* p = begin_frame(out, FrameType::Welcome, welcome.features != 0 ? 14 : 13);
   store_u32(p, static_cast<std::uint32_t>(welcome.n_streams));
   store_u32(p + 4, static_cast<std::uint32_t>(welcome.n_channels));
   store_f32(p + 8, welcome.threshold);
   p[12] = encode_policy_byte(welcome.policy);
+  if (welcome.features != 0) p[13] = welcome.features;
 }
 
 void append_sample(std::vector<std::uint8_t>& out, Index stream, std::uint64_t seq,
@@ -144,6 +148,19 @@ void append_sample(std::vector<std::uint8_t>& out, Index stream, std::uint64_t s
   store_u32(p, static_cast<std::uint32_t>(stream));
   store_u64(p + 4, seq);
   for (Index c = 0; c < n_channels; ++c) store_f32(p + 12 + 4 * c, values[c]);
+}
+
+void append_sample_batch(std::vector<std::uint8_t>& out, Index stream, std::uint64_t base_seq,
+                         const float* values, Index count, Index n_channels) {
+  check(count >= 1 && static_cast<std::uint32_t>(count) <= kMaxBatchSamples,
+        "net: SAMPLE_BATCH count " + std::to_string(count) + " outside [1, " +
+            std::to_string(kMaxBatchSamples) + "]");
+  const std::size_t floats = static_cast<std::size_t>(count) * static_cast<std::size_t>(n_channels);
+  std::uint8_t* p = begin_frame(out, FrameType::SampleBatch, 16 + 4 * floats);
+  store_u32(p, static_cast<std::uint32_t>(stream));
+  store_u64(p + 4, base_seq);
+  store_u32(p + 12, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < floats; ++i) store_f32(p + 16 + 4 * i, values[i]);
 }
 
 void append_score(std::vector<std::uint8_t>& out, Index stream, std::uint64_t sample,
@@ -207,22 +224,36 @@ void append_wire_error(std::vector<std::uint8_t>& out, const std::string& messag
                reinterpret_cast<const std::uint8_t*>(message.data()), n);
 }
 
-std::optional<serve::BackpressurePolicy> decode_hello(const Frame& frame) {
+HelloData decode_hello(const Frame& frame) {
   require_type(frame, FrameType::Hello);
-  require_size(frame, 1);
-  if (frame.payload[0] == kDefaultPolicyByte) return std::nullopt;
-  return decode_policy_byte(frame.payload[0], "HELLO");
+  if (frame.payload.size() != 1 && frame.payload.size() != 2)
+    fail("net: HELLO frame payload is ", frame.payload.size(), " bytes, expected 1 or 2");
+  HelloData h;
+  if (frame.payload[0] != kDefaultPolicyByte)
+    h.policy = decode_policy_byte(frame.payload[0], "HELLO");
+  if (frame.payload.size() == 2) {
+    h.features = frame.payload[1];
+    if ((h.features & ~(kFeatureSampleBatch | kFeatureShm)) != 0)
+      fail("net: unknown feature bits ", static_cast<int>(h.features), " in HELLO frame");
+  }
+  return h;
 }
 
 Welcome decode_welcome(const Frame& frame) {
   require_type(frame, FrameType::Welcome);
-  require_size(frame, 13);
+  if (frame.payload.size() != 13 && frame.payload.size() != 14)
+    fail("net: WELCOME frame payload is ", frame.payload.size(), " bytes, expected 13 or 14");
   const std::uint8_t* p = frame.payload.data();
   Welcome w;
   w.n_streams = static_cast<Index>(load_u32(p));
   w.n_channels = static_cast<Index>(load_u32(p + 4));
   w.threshold = load_f32(p + 8);
   w.policy = decode_policy_byte(p[12], "WELCOME");
+  if (frame.payload.size() == 14) {
+    w.features = p[13];
+    if ((w.features & ~(kFeatureSampleBatch | kFeatureShm)) != 0)
+      fail("net: unknown feature bits ", static_cast<int>(w.features), " in WELCOME frame");
+  }
   check(w.n_streams >= 1, "net: WELCOME frame announces zero streams");
   check(w.n_channels >= 1, "net: WELCOME frame announces zero channels");
   return w;
@@ -241,6 +272,45 @@ void decode_sample(const Frame& frame, Index n_channels, SampleData& out) {
       fail("net: non-finite value in SAMPLE frame (stream ", out.stream, ", channel ", c, ")");
     out.values[static_cast<std::size_t>(c)] = v;
   }
+}
+
+void decode_sample_batch(const Frame& frame, Index n_channels, SampleBatchData& out) {
+  require_type(frame, FrameType::SampleBatch);
+  if (frame.payload.size() < 16)
+    fail("net: SAMPLE_BATCH frame payload is ", frame.payload.size(),
+         " bytes, shorter than the 16-byte batch header");
+  const std::uint8_t* p = frame.payload.data();
+  const std::uint32_t count = load_u32(p + 12);
+  if (count == 0) fail("net: SAMPLE_BATCH frame carries zero samples");
+  if (count > kMaxBatchSamples)
+    fail("net: SAMPLE_BATCH count ", count, " exceeds the ", kMaxBatchSamples, "-sample cap");
+  const std::size_t expected =
+      16 + 4 * static_cast<std::size_t>(count) * static_cast<std::size_t>(n_channels);
+  if (frame.payload.size() != expected)
+    fail("net: SAMPLE_BATCH frame payload is ", frame.payload.size(), " bytes, expected ",
+         expected, " for ", count, " samples of ", n_channels, " channels");
+  out.stream = static_cast<Index>(load_u32(p));
+  out.base_seq = load_u64(p + 4);
+  out.count = static_cast<Index>(count);
+  out.bad_channel = -1;
+  out.values.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(n_channels));
+  Index valid = 0;
+  for (Index i = 0; i < out.count && out.bad_channel < 0; ++i) {
+    const std::uint8_t* row = p + 16 + 4 * static_cast<std::size_t>(i) *
+                                       static_cast<std::size_t>(n_channels);
+    for (Index c = 0; c < n_channels; ++c) {
+      const float v = load_f32(row + 4 * c);
+      if (!std::isfinite(v)) {
+        out.bad_channel = c;
+        break;
+      }
+      out.values[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_channels) +
+                 static_cast<std::size_t>(c)] = v;
+    }
+    if (out.bad_channel < 0) valid = i + 1;
+  }
+  out.valid = valid;
+  out.values.resize(static_cast<std::size_t>(valid) * static_cast<std::size_t>(n_channels));
 }
 
 ScoreData decode_score(const Frame& frame) {
@@ -274,7 +344,7 @@ NackData decode_nack(const Frame& frame) {
   if (p[12] > static_cast<std::uint8_t>(serve::PushResult::Rejected))
     fail("net: invalid PushResult byte ", static_cast<int>(p[12]), " in NACK frame");
   n.result = static_cast<serve::PushResult>(p[12]);
-  if (p[13] > static_cast<std::uint8_t>(NackReason::StreamBusy))
+  if (p[13] > static_cast<std::uint8_t>(NackReason::MalformedSample))
     fail("net: invalid NackReason byte ", static_cast<int>(p[13]), " in NACK frame");
   n.reason = static_cast<NackReason>(p[13]);
   return n;
@@ -320,7 +390,7 @@ void FrameReader::validate_header() {
     fail("net: unsupported wire version ", static_cast<int>(p[1]), " (expected ",
          static_cast<int>(kWireVersion), ")");
   if (p[2] < static_cast<std::uint8_t>(FrameType::Hello) ||
-      p[2] > static_cast<std::uint8_t>(FrameType::WireError))
+      p[2] > static_cast<std::uint8_t>(FrameType::SampleBatch))
     fail("net: unknown frame type ", static_cast<int>(p[2]));
   if (p[3] != 0) fail("net: nonzero reserved header byte ", static_cast<int>(p[3]));
   const std::uint32_t len = load_u32(p + 4);
